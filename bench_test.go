@@ -1,0 +1,326 @@
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (run the full regeneration via cmd/experiments;
+// these measure the cost of each experiment's computational core), plus
+// ablation benchmarks for the design choices DESIGN.md calls out.
+//
+//	go test -bench=. -benchmem
+package mgba_test
+
+import (
+	"testing"
+
+	"mgba/internal/aocv"
+	"mgba/internal/closure"
+	"mgba/internal/core"
+	"mgba/internal/fixtures"
+	"mgba/internal/gen"
+	"mgba/internal/graph"
+	"mgba/internal/pathsel"
+	"mgba/internal/pba"
+	"mgba/internal/rng"
+	"mgba/internal/solver"
+	"mgba/internal/sta"
+)
+
+// benchDesign generates a mid-sized cone design once per benchmark binary.
+func benchDesign(b *testing.B) *graph.Graph {
+	b.Helper()
+	cfg := gen.Suite()[2] // D3
+	cfg.Gates, cfg.FFs = cfg.Gates/2, cfg.FFs/2
+	d, err := gen.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := graph.Build(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// benchProblem assembles the calibration problem of the bench design.
+func benchProblem(b *testing.B) *solver.Problem {
+	b.Helper()
+	g := benchDesign(b)
+	opt := core.DefaultOptions()
+	opt.Method = core.MethodSCGRS
+	m, err := core.Calibrate(g, sta.DefaultConfig(), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if m.Problem == nil {
+		b.Fatal("no violated paths in bench design")
+	}
+	return m.Problem
+}
+
+// E-T1: the AOCV derating lookup behind Table 1.
+func BenchmarkTable1Lookup(b *testing.B) {
+	set := aocv.Default(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = set.Late.Lookup(float64(i%48)+1, float64(i%700))
+	}
+}
+
+// E-F2: the Fig. 2 worked example — build, analyze, enumerate and retime.
+func BenchmarkFig2DepthGap(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d, info, cfg, err := fixtures.Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := graph.Build(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := sta.Analyze(g, cfg)
+		an := pba.NewAnalyzer(r)
+		p := an.WorstPath(g.FFIndex(info.FF4))
+		if tm := an.Retime(p); tm.Arrival < 689.99 || tm.Arrival > 690.01 {
+			b.Fatalf("worked example drifted: %v", tm.Arrival)
+		}
+	}
+}
+
+// E-S32: the two path-selection schemes of §3.2 under the same budget.
+func BenchmarkPathSelectionPerEndpoint(b *testing.B) {
+	g := benchDesign(b)
+	an := pba.NewAnalyzer(sta.Analyze(g, sta.DefaultConfig()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pathsel.PerEndpointTopK(an, 20, 0)
+	}
+}
+
+func BenchmarkPathSelectionGlobal(b *testing.B) {
+	g := benchDesign(b)
+	an := pba.NewAnalyzer(sta.Analyze(g, sta.DefaultConfig()))
+	budget := len(pathsel.PerEndpointTopK(an, 20, 0).Paths)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pathsel.GlobalTopM(an, budget, 500)
+	}
+}
+
+// E-F3: the exact solve that produces the Fig. 3 sparsity histogram.
+func BenchmarkFig3FullSolve(b *testing.B) {
+	p := benchProblem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := solver.FullSolve(p, 8, 300, 1e-8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E-F4: one point of the Fig. 4 sweep — solve a uniformly sampled subset.
+func BenchmarkFig4RowSweep(b *testing.B) {
+	p := benchProblem(b)
+	r := rng.New(7)
+	rows := p.A.Rows() / 4
+	if rows < 64 {
+		rows = 64
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel := r.SampleWithoutReplacement(p.A.Rows(), rows)
+		sub := p.SubProblem(sel)
+		if _, _, err := solver.SCG(sub, solver.DefaultOptions(), rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E-T4: the three solvers of Table 4 on the same calibration problem.
+func BenchmarkTable4GD(b *testing.B) {
+	p := benchProblem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := solver.GD(p, solver.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4SCG(b *testing.B) {
+	p := benchProblem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := solver.SCG(p, solver.DefaultOptions(), rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4SCGRS(b *testing.B) {
+	p := benchProblem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := solver.SCGRS(p, solver.DefaultOptions(), rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E-T3: the full calibration + pass-ratio evaluation behind Table 3.
+func BenchmarkTable3PassRatio(b *testing.B) {
+	g := benchDesign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := core.Calibrate(g, sta.DefaultConfig(), core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Evaluate("mgba"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E-T2 / E-T5: the two closure flows behind Tables 2 and 5.
+func BenchmarkTable2ClosureGBA(b *testing.B) {
+	benchClosure(b, closure.TimerGBA)
+}
+
+func BenchmarkTable2ClosureMGBA(b *testing.B) {
+	benchClosure(b, closure.TimerMGBA)
+}
+
+func benchClosure(b *testing.B, timer closure.TimerKind) {
+	b.Helper()
+	cfg := gen.Suite()[2]
+	cfg.Gates, cfg.FFs = cfg.Gates/2, cfg.FFs/2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d, err := gen.Generate(cfg) // fresh design: Optimize mutates it
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := closure.Optimize(d, closure.DefaultOptions(timer)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: Eq. (11) norm-proportional vs uniform row sampling inside SCG.
+func BenchmarkSCGRowProbabilityNorm(b *testing.B) {
+	benchSCGSampling(b, false)
+}
+
+func BenchmarkSCGRowProbabilityUniform(b *testing.B) {
+	benchSCGSampling(b, true)
+}
+
+func benchSCGSampling(b *testing.B, uniform bool) {
+	b.Helper()
+	p := benchProblem(b)
+	opt := solver.DefaultOptions()
+	opt.UniformRowSampling = uniform
+	var obj float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := solver.SCG(p, opt, rng.New(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		obj += st.Objective
+	}
+	b.ReportMetric(obj/float64(b.N), "objective/op")
+}
+
+// Ablation: Algorithm 1's doubling schedule vs one oversized sample.
+func BenchmarkDoublingVsOneShot(b *testing.B) {
+	p := benchProblem(b)
+	b.Run("doubling", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := solver.SCGRS(p, solver.DefaultOptions(), rng.New(uint64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("oneshot", func(b *testing.B) {
+		opt := solver.DefaultOptions()
+		opt.MinRows = p.A.Rows() // first round solves the full system
+		for i := 0; i < b.N; i++ {
+			if _, _, err := solver.SCGRS(p, opt, rng.New(uint64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Ablation: penalty weight of Eq. (6) vs solve cost.
+func BenchmarkPenaltySweep(b *testing.B) {
+	base := benchProblem(b)
+	for _, pen := range []float64{0, 10, 100, 1000} {
+		p := *base
+		p.Penalty = pen
+		b.Run(penaltyName(pen), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := solver.SCGRS(&p, solver.DefaultOptions(), rng.New(uint64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func penaltyName(p float64) string {
+	switch p {
+	case 0:
+		return "w0"
+	case 10:
+		return "w10"
+	case 100:
+		return "w100"
+	default:
+		return "w1000"
+	}
+}
+
+// Ablation: incremental timing update vs full re-analysis after a resize —
+// the mechanism that makes the closure loop affordable (§3.4).
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	g := benchDesign(b)
+	cfg := sta.DefaultConfig()
+	r := sta.Analyze(g, cfg)
+	// Pick a combinational gate with an upsize available.
+	var target int = -1
+	for _, v := range g.Topo {
+		in := g.D.Instances[v]
+		if !in.IsFF() && g.D.Lib.Upsize(in.Cell) != nil {
+			target = v
+			break
+		}
+	}
+	if target < 0 {
+		b.Fatal("no resizable gate")
+	}
+	inst := g.D.Instances[target]
+	up := g.D.Lib.Upsize(inst.Cell)
+	down := inst.Cell
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if i%2 == 0 {
+				g.D.Resize(inst, up)
+			} else {
+				g.D.Resize(inst, down)
+			}
+			r.Update([]int{target})
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if i%2 == 0 {
+				g.D.Resize(inst, up)
+			} else {
+				g.D.Resize(inst, down)
+			}
+			r = sta.Analyze(g, cfg)
+		}
+	})
+}

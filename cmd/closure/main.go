@@ -1,0 +1,93 @@
+// Command closure runs the post-route timing-closure optimization flow on
+// one synthetic design, with either original GBA or calibrated mGBA as the
+// embedded timer:
+//
+//	closure -design D3 -timer gba
+//	closure -design D3 -timer mgba
+//	closure -design D8 -timer both   # side-by-side QoR comparison
+//
+// The "both" mode regenerates the identical design for each flow and prints
+// a Table-2-style comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mgba/internal/closure"
+	"mgba/internal/gen"
+	"mgba/internal/report"
+)
+
+func main() {
+	design := flag.String("design", "D3", "design to optimize: toy or D1..D10")
+	timer := flag.String("timer", "both", "embedded timer: gba, mgba, or both")
+	seed := flag.Uint64("seed", 0, "override the design seed (0 keeps the preset)")
+	flag.Parse()
+
+	cfg, err := findConfig(*design)
+	if err != nil {
+		fail(err)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	var kinds []closure.TimerKind
+	switch strings.ToLower(*timer) {
+	case "gba":
+		kinds = []closure.TimerKind{closure.TimerGBA}
+	case "mgba":
+		kinds = []closure.TimerKind{closure.TimerMGBA}
+	case "both":
+		kinds = []closure.TimerKind{closure.TimerGBA, closure.TimerMGBA}
+	default:
+		fail(fmt.Errorf("unknown timer %q", *timer))
+	}
+
+	t := report.New(fmt.Sprintf("timing closure on %s", cfg.Name),
+		"timer", "upsized", "downsized", "buffers+", "viol left",
+		"signoff WNS", "signoff TNS", "area", "leakage", "runtime", "calib time")
+	for _, kind := range kinds {
+		d, err := gen.Generate(cfg)
+		if err != nil {
+			fail(err)
+		}
+		res, err := closure.Optimize(d, closure.DefaultOptions(kind))
+		if err != nil {
+			fail(err)
+		}
+		t.AddRow(kind.String(),
+			fmt.Sprintf("%d", res.Upsized),
+			fmt.Sprintf("%d", res.Downsized),
+			fmt.Sprintf("%d", res.BuffersAdded),
+			fmt.Sprintf("%d", res.ViolatedEndpoints),
+			report.F(res.SignoffWNS, 1),
+			report.F(res.SignoffTNS, 1),
+			report.F(res.Area, 1),
+			report.F(res.Leakage, 1),
+			res.Elapsed.Round(1e6).String(),
+			res.CalibElapsed.Round(1e6).String())
+	}
+	t.AddNote("signoff numbers are PBA-measured; a less pessimistic timer needs fewer fixes")
+	fmt.Print(t.String())
+}
+
+func findConfig(name string) (gen.Config, error) {
+	if strings.EqualFold(name, "toy") {
+		return gen.Toy(), nil
+	}
+	for _, cfg := range gen.Suite() {
+		if strings.EqualFold(cfg.Name, name) {
+			return cfg, nil
+		}
+	}
+	return gen.Config{}, fmt.Errorf("unknown design %q (toy, D1..D10)", name)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "closure:", err)
+	os.Exit(1)
+}

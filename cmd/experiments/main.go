@@ -1,0 +1,135 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the synthetic design suite:
+//
+//	experiments -run all            # everything (several minutes)
+//	experiments -run table3,table4  # specific artifacts
+//	experiments -quick              # scaled-down suite for a fast pass
+//
+// Artifacts: table1, fig2, sec32, fig3, fig4, table2, table3, table4,
+// table5. Output is plain text; -csv writes each table additionally as CSV
+// into the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mgba/internal/expt"
+	"mgba/internal/report"
+)
+
+func main() {
+	runList := flag.String("run", "all", "comma-separated artifacts to regenerate, or 'all'")
+	quick := flag.Bool("quick", false, "use a scaled-down design suite")
+	csvDir := flag.String("csv", "", "directory to also write tables as CSV")
+	quiet := flag.Bool("q", false, "suppress progress logging")
+	flag.Parse()
+
+	var progress = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	env := expt.NewEnv(progress, *quick)
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*runList, ",") {
+		want[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	emit := func(name string, t *report.Table) {
+		fmt.Println(t.String())
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, name+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fail(err)
+			}
+			if err := t.CSV(f); err != nil {
+				fail(err)
+			}
+			f.Close()
+		}
+		ran++
+	}
+
+	if all || want["table1"] {
+		emit("table1", expt.Table1(env))
+	}
+	if all || want["fig2"] {
+		t, err := expt.Fig2(env)
+		if err != nil {
+			fail(err)
+		}
+		emit("fig2", t)
+	}
+	if all || want["sec32"] {
+		t, err := expt.Sec32(env)
+		if err != nil {
+			fail(err)
+		}
+		emit("sec32", t)
+	}
+	if all || want["fig3"] {
+		s, _, err := expt.Fig3(env)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(s)
+		ran++
+	}
+	if all || want["fig4"] {
+		t, err := expt.Fig4(env)
+		if err != nil {
+			fail(err)
+		}
+		emit("fig4", t)
+	}
+	if all || want["table4"] {
+		t, _, err := expt.Table4(env)
+		if err != nil {
+			fail(err)
+		}
+		emit("table4", t)
+	}
+	if all || want["table4x"] {
+		t, err := expt.Table4Scaling(env)
+		if err != nil {
+			fail(err)
+		}
+		emit("table4x", t)
+	}
+	if all || want["table3"] {
+		t, _, err := expt.Table3(env)
+		if err != nil {
+			fail(err)
+		}
+		emit("table3", t)
+	}
+	if all || want["table2"] {
+		t, _, err := expt.Table2(env)
+		if err != nil {
+			fail(err)
+		}
+		emit("table2", t)
+	}
+	if all || want["table5"] {
+		t, err := expt.Table5(env)
+		if err != nil {
+			fail(err)
+		}
+		emit("table5", t)
+	}
+	if ran == 0 {
+		fail(fmt.Errorf("nothing matched -run=%q; artifacts: table1 fig2 sec32 fig3 fig4 table2 table3 table4 table4x table5 all", *runList))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package mgba is a from-scratch reproduction of "A General Graph Based
+// Pessimism Reduction Framework for Design Optimization of Timing Closure"
+// (Peng et al., DAC 2018): a modified graph-based static timing analysis
+// (mGBA) that fits per-gate weighting factors so fast graph-based slacks
+// match golden path-based slacks on the critical paths, embedded into a
+// post-route timing-closure optimization flow.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory), with runnable binaries under cmd/ and worked examples under
+// examples/. The benchmark harness in bench_test.go regenerates every
+// table and figure of the paper's evaluation; cmd/experiments prints them.
+package mgba

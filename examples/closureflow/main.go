@@ -1,0 +1,60 @@
+// Closureflow runs the paper's §3.4 experiment end-to-end on one design:
+// the same post-route timing-closure optimization twice, once with original
+// GBA embedded and once with calibrated mGBA, then compares the final
+// quality of results — the comparison behind Tables 2 and 5.
+//
+//	go run ./examples/closureflow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mgba/internal/closure"
+	"mgba/internal/gen"
+)
+
+func main() {
+	cfg := gen.Suite()[7] // D8: the heavily reconvergent (most pessimistic) design
+	fmt.Printf("optimizing %s twice from the identical start (seed %d)\n\n", cfg.Name, cfg.Seed)
+
+	results := map[closure.TimerKind]*closure.Result{}
+	for _, timer := range []closure.TimerKind{closure.TimerGBA, closure.TimerMGBA} {
+		d, err := gen.Generate(cfg) // same seed -> identical design
+		if err != nil {
+			log.Fatal(err)
+		}
+		before := d.Stats()
+		res, err := closure.Optimize(d, closure.DefaultOptions(timer))
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[timer] = res
+		fmt.Printf("%s flow:\n", timer)
+		fmt.Printf("  transforms: %d upsized, %d downsized, %d buffers\n",
+			res.Upsized, res.Downsized, res.BuffersAdded)
+		fmt.Printf("  area    %.1f -> %.1f um^2\n", before.Area, res.Area)
+		fmt.Printf("  leakage %.1f -> %.1f nW\n", before.Leakage, res.Leakage)
+		fmt.Printf("  signoff (PBA): WNS %.1f ps, TNS %.1f ps, %d endpoints left violating (timer view)\n",
+			res.SignoffWNS, res.SignoffTNS, res.ViolatedEndpoints)
+		fmt.Printf("  runtime %v", res.Elapsed.Round(1e6))
+		if timer == closure.TimerMGBA {
+			fmt.Printf(" (of which %v calibrating mGBA over %d calibrations)",
+				res.CalibElapsed.Round(1e6), res.Calibrations)
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+
+	gba, mgba := results[closure.TimerGBA], results[closure.TimerMGBA]
+	impr := func(a, b float64) float64 {
+		if a == 0 {
+			return 0
+		}
+		return (a - b) / a * 100
+	}
+	fmt.Println("mGBA flow vs GBA flow (positive = mGBA better, the paper's Table 2 convention):")
+	fmt.Printf("  area    %+.2f%%\n", impr(gba.Area, mgba.Area))
+	fmt.Printf("  leakage %+.2f%%\n", impr(gba.Leakage, mgba.Leakage))
+	fmt.Printf("  upsizes %+.2f%% fewer fixes\n", impr(float64(gba.Upsized), float64(mgba.Upsized)))
+}

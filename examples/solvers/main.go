@@ -1,0 +1,56 @@
+// Solvers compares the three optimization solvers of §3.3 on one design's
+// calibration problem: conventional gradient descent, the stochastic
+// conjugate gradient of Algorithm 2, and Algorithm 1's uniform row sampling
+// stacked on top — the comparison behind Table 4.
+//
+//	go run ./examples/solvers
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mgba/internal/core"
+	"mgba/internal/gen"
+	"mgba/internal/graph"
+	"mgba/internal/sta"
+)
+
+func main() {
+	cfg := gen.Suite()[1] // D2: the largest suite design
+	d, err := gen.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := graph.Build(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("design %s: %s\n\n", d.Name, d.Stats())
+
+	methods := []core.Method{core.MethodGD, core.MethodSCG, core.MethodSCGRS}
+	var gdTime float64
+	fmt.Println("solver      paths   mse(1e-3)   pass(%)   iterations   rows   time        speedup")
+	for _, method := range methods {
+		opt := core.DefaultOptions()
+		opt.Method = method
+		m, err := core.Calibrate(g, sta.DefaultConfig(), opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mt, err := m.Evaluate("mgba")
+		if err != nil {
+			log.Fatal(err)
+		}
+		secs := m.Stats.Elapsed.Seconds()
+		if method == core.MethodGD {
+			gdTime = secs
+		}
+		fmt.Printf("%-10s  %5d   %9.3f   %7.2f   %10d   %4d   %-9v   %.2fx\n",
+			method, mt.Paths, mt.MSE*1e3, mt.PassRatio*100,
+			m.Stats.Iters, m.Stats.RowsUsed, m.Stats.Elapsed.Round(1e5), gdTime/secs)
+	}
+	fmt.Println("\nThe paper's Table 4 reports the same ordering on its industrial designs:")
+	fmt.Println("similar accuracy for all three, SCG 2.71x over GD, SCG+RS 13.82x over GD")
+	fmt.Println("(the row-sampling speedup grows with the path count; see EXPERIMENTS.md).")
+}

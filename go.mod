@@ -1,0 +1,3 @@
+module mgba
+
+go 1.22

@@ -1,0 +1,204 @@
+// Package aocv implements Advanced On-Chip Variation derating tables:
+// per-gate delay penalty factors looked up by path cell depth and by the
+// distance between the path endpoints, as in Table 1 of the paper.
+//
+// Two tables exist per technology node: a late table (factors >= 1, applied
+// to launch-clock and data-path delays in setup analysis) and an early
+// table (factors <= 1, applied to the capture clock path). Late factors
+// shrink toward 1 as depth grows (statistical variation cancellation) and
+// grow with distance (spatial correlation loss); early factors mirror that
+// behaviour below 1.
+package aocv
+
+import (
+	"fmt"
+	"math"
+)
+
+// Table is a depth x distance derating lookup with bilinear interpolation
+// inside the grid and clamping outside it, which is how industrial timers
+// consume foundry AOCV tables.
+type Table struct {
+	Depths    []float64   // ascending cell-depth breakpoints
+	Distances []float64   // ascending endpoint-distance breakpoints (um)
+	Values    [][]float64 // Values[di][de] for Distances[di], Depths[de]
+}
+
+// NewTable validates and wraps the given grid. Breakpoints must be strictly
+// ascending and the value matrix must match the breakpoint dimensions.
+func NewTable(depths, distances []float64, values [][]float64) (*Table, error) {
+	if len(depths) == 0 || len(distances) == 0 {
+		return nil, fmt.Errorf("aocv: empty breakpoint axis")
+	}
+	for i := 1; i < len(depths); i++ {
+		if depths[i] <= depths[i-1] {
+			return nil, fmt.Errorf("aocv: depth breakpoints not ascending at %d", i)
+		}
+	}
+	for i := 1; i < len(distances); i++ {
+		if distances[i] <= distances[i-1] {
+			return nil, fmt.Errorf("aocv: distance breakpoints not ascending at %d", i)
+		}
+	}
+	if len(values) != len(distances) {
+		return nil, fmt.Errorf("aocv: %d value rows for %d distances", len(values), len(distances))
+	}
+	for i, row := range values {
+		if len(row) != len(depths) {
+			return nil, fmt.Errorf("aocv: row %d has %d values for %d depths", i, len(row), len(depths))
+		}
+	}
+	return &Table{Depths: depths, Distances: distances, Values: values}, nil
+}
+
+// Lookup returns the derating factor for the given cell depth and endpoint
+// distance, bilinearly interpolated and clamped to the table boundary.
+func (t *Table) Lookup(depth, distance float64) float64 {
+	de0, de1, fde := bracket(t.Depths, depth)
+	di0, di1, fdi := bracket(t.Distances, distance)
+	v00 := t.Values[di0][de0]
+	v01 := t.Values[di0][de1]
+	v10 := t.Values[di1][de0]
+	v11 := t.Values[di1][de1]
+	lo := v00*(1-fde) + v01*fde
+	hi := v10*(1-fde) + v11*fde
+	return lo*(1-fdi) + hi*fdi
+}
+
+// bracket locates x within ascending breakpoints xs, returning the two
+// surrounding indices and the interpolation fraction, with clamping.
+func bracket(xs []float64, x float64) (i0, i1 int, frac float64) {
+	n := len(xs)
+	if x <= xs[0] {
+		return 0, 0, 0
+	}
+	if x >= xs[n-1] {
+		return n - 1, n - 1, 0
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if xs[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, hi, (x - xs[lo]) / (xs[hi] - xs[lo])
+}
+
+// MonotoneLate reports whether the table behaves like a late AOCV table:
+// values >= 1 everywhere, non-increasing along depth, non-decreasing along
+// distance. Used by validation and property tests.
+func (t *Table) MonotoneLate() bool {
+	for di, row := range t.Values {
+		for de, v := range row {
+			if v < 1 {
+				return false
+			}
+			if de > 0 && row[de] > row[de-1] {
+				return false
+			}
+			if di > 0 && v < t.Values[di-1][de] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MonotoneEarly reports whether the table behaves like an early AOCV table:
+// values <= 1, non-decreasing along depth, non-increasing along distance.
+func (t *Table) MonotoneEarly() bool {
+	for di, row := range t.Values {
+		for de, v := range row {
+			if v > 1 {
+				return false
+			}
+			if de > 0 && row[de] < row[de-1] {
+				return false
+			}
+			if di > 0 && v > t.Values[di-1][de] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Set bundles the late and early tables a timer needs for setup analysis.
+type Set struct {
+	Late  *Table
+	Early *Table
+}
+
+// sigma0 returns the single-stage relative variation for a node; smaller
+// nodes vary more, which is what makes GBA pessimism grow as nodes shrink.
+func sigma0(node int) float64 {
+	switch {
+	case node >= 65:
+		return 0.05
+	case node >= 40:
+		return 0.065
+	case node >= 28:
+		return 0.08
+	default:
+		return 0.11
+	}
+}
+
+// Default synthesizes the AOCV table set for a technology node. The late
+// factor at depth n and distance D is modelled as
+//
+//	1 + 3*sigma0(node)*(1 + D/1500) / sqrt(n)
+//
+// the textbook stage-count cancellation (1/sqrt(n)) with a linear spatial
+// term, quantized onto a breakpoint grid shaped like the paper's Table 1.
+func Default(node int) *Set {
+	depths := []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+	distances := []float64{0.5, 1.0, 1.5, 2.5, 5, 10, 25, 50, 100, 200, 400, 800}
+	s0 := sigma0(node)
+	late := make([][]float64, len(distances))
+	early := make([][]float64, len(distances))
+	for di, D := range distances {
+		late[di] = make([]float64, len(depths))
+		early[di] = make([]float64, len(depths))
+		for de, n := range depths {
+			spread := 3 * s0 * (1 + D/1500) / math.Sqrt(n)
+			late[di][de] = 1 + spread
+			e := 1 - spread
+			if e < 0.5 {
+				e = 0.5
+			}
+			early[di][de] = e
+		}
+	}
+	lt, err := NewTable(depths, distances, late)
+	if err != nil {
+		panic(err) // generated grid is valid by construction
+	}
+	et, err := NewTable(depths, distances, early)
+	if err != nil {
+		panic(err)
+	}
+	return &Set{Late: lt, Early: et}
+}
+
+// PaperTable1 returns the exact example lookup table printed as Table 1 of
+// the paper (late derates; distances in nm converted to um). It drives the
+// Fig. 1/2 worked example and its regression test.
+func PaperTable1() *Table {
+	t, err := NewTable(
+		[]float64{3, 4, 5, 6},
+		[]float64{0.5, 1.0, 1.5}, // 500 nm, 1000 nm, 1500 nm
+		[][]float64{
+			{1.30, 1.25, 1.20, 1.15},
+			{1.32, 1.27, 1.23, 1.18},
+			{1.35, 1.31, 1.28, 1.25},
+		},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

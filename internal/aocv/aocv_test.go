@@ -1,0 +1,187 @@
+package aocv
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTableValidation(t *testing.T) {
+	ok := [][]float64{{1.3, 1.2}, {1.35, 1.25}}
+	if _, err := NewTable([]float64{3, 4}, []float64{1, 2}, ok); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	cases := []struct {
+		name          string
+		depths, dists []float64
+		values        [][]float64
+	}{
+		{"empty depths", nil, []float64{1}, [][]float64{{}}},
+		{"empty dists", []float64{1}, nil, nil},
+		{"non-ascending depths", []float64{3, 3}, []float64{1, 2}, ok},
+		{"non-ascending dists", []float64{3, 4}, []float64{2, 1}, ok},
+		{"row count mismatch", []float64{3, 4}, []float64{1, 2}, [][]float64{{1.3, 1.2}}},
+		{"col count mismatch", []float64{3, 4}, []float64{1, 2}, [][]float64{{1.3}, {1.35, 1.25}}},
+	}
+	for _, c := range cases {
+		if _, err := NewTable(c.depths, c.dists, c.values); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestPaperTable1Exact(t *testing.T) {
+	tab := PaperTable1()
+	// Exact grid points from Table 1 of the paper.
+	cases := []struct {
+		depth, dist, want float64
+	}{
+		{3, 0.5, 1.30}, {4, 0.5, 1.25}, {5, 0.5, 1.20}, {6, 0.5, 1.15},
+		{3, 1.0, 1.32}, {6, 1.0, 1.18},
+		{3, 1.5, 1.35}, {4, 1.5, 1.31}, {5, 1.5, 1.28}, {6, 1.5, 1.25},
+	}
+	for _, c := range cases {
+		if got := tab.Lookup(c.depth, c.dist); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Lookup(%v,%v) = %v, want %v", c.depth, c.dist, got, c.want)
+		}
+	}
+}
+
+func TestLookupClamping(t *testing.T) {
+	tab := PaperTable1()
+	if got := tab.Lookup(1, 0.5); got != 1.30 {
+		t.Errorf("below-range depth = %v, want clamp to 1.30", got)
+	}
+	if got := tab.Lookup(100, 0.5); got != 1.15 {
+		t.Errorf("above-range depth = %v, want clamp to 1.15", got)
+	}
+	if got := tab.Lookup(3, 0.1); got != 1.30 {
+		t.Errorf("below-range dist = %v, want 1.30", got)
+	}
+	if got := tab.Lookup(6, 99); got != 1.25 {
+		t.Errorf("above-range dist = %v, want 1.25", got)
+	}
+}
+
+func TestLookupInterpolation(t *testing.T) {
+	tab := PaperTable1()
+	// Midpoint between depth 3 (1.30) and 4 (1.25) at 500nm.
+	if got := tab.Lookup(3.5, 0.5); math.Abs(got-1.275) > 1e-12 {
+		t.Errorf("depth midpoint = %v, want 1.275", got)
+	}
+	// Midpoint between 500nm (1.30) and 1000nm (1.32) at depth 3.
+	if got := tab.Lookup(3, 0.75); math.Abs(got-1.31) > 1e-12 {
+		t.Errorf("distance midpoint = %v, want 1.31", got)
+	}
+	// Bilinear center of the depth 3-4 / dist 0.5-1.0 patch.
+	want := (1.30 + 1.25 + 1.32 + 1.27) / 4
+	if got := tab.Lookup(3.5, 0.75); math.Abs(got-want) > 1e-12 {
+		t.Errorf("bilinear center = %v, want %v", got, want)
+	}
+}
+
+func TestLookupMonotoneProperty(t *testing.T) {
+	set := Default(16)
+	f := func(dRaw, distRaw uint16) bool {
+		depth := 1 + float64(dRaw%640)/10
+		dist := float64(distRaw%8000) / 10
+		l := set.Late.Lookup(depth, dist)
+		// Deeper paths never derate more.
+		if set.Late.Lookup(depth+1, dist) > l+1e-12 {
+			return false
+		}
+		// Longer distance never derates less.
+		if set.Late.Lookup(depth, dist+1) < l-1e-12 {
+			return false
+		}
+		e := set.Early.Lookup(depth, dist)
+		return l >= 1 && e <= 1 && e > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultTablesWellFormed(t *testing.T) {
+	for _, node := range []int{65, 40, 28, 16} {
+		set := Default(node)
+		if !set.Late.MonotoneLate() {
+			t.Errorf("node %d: late table not monotone-late", node)
+		}
+		if !set.Early.MonotoneEarly() {
+			t.Errorf("node %d: early table not monotone-early", node)
+		}
+	}
+}
+
+func TestSmallerNodesVaryMore(t *testing.T) {
+	d65 := Default(65).Late.Lookup(4, 10)
+	d16 := Default(16).Late.Lookup(4, 10)
+	if d16 <= d65 {
+		t.Fatalf("16nm late derate %v should exceed 65nm %v", d16, d65)
+	}
+}
+
+func TestDepthCancellation(t *testing.T) {
+	// The paper's premise: deep paths approach derate 1 (Table 1 trend).
+	set := Default(28)
+	shallow := set.Late.Lookup(2, 5)
+	deep := set.Late.Lookup(64, 5)
+	if deep >= shallow {
+		t.Fatalf("deep derate %v should be below shallow %v", deep, shallow)
+	}
+	if deep > 1.10 {
+		t.Fatalf("derate at depth 64 = %v, want close to 1", deep)
+	}
+}
+
+func TestEarlyFloor(t *testing.T) {
+	// Early derates must never go non-positive even at extreme settings.
+	set := Default(16)
+	if v := set.Early.Lookup(1, 800); v < 0.5-1e-12 {
+		t.Fatalf("early derate %v below floor", v)
+	}
+}
+
+func TestMonotoneCheckers(t *testing.T) {
+	bad, err := NewTable([]float64{3, 4}, []float64{1}, [][]float64{{1.2, 1.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.MonotoneLate() {
+		t.Fatal("increasing-along-depth table passed MonotoneLate")
+	}
+	sub, err := NewTable([]float64{3, 4}, []float64{1}, [][]float64{{0.9, 0.95}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.MonotoneEarly() {
+		t.Fatal("valid early table failed MonotoneEarly")
+	}
+	if sub.MonotoneLate() {
+		t.Fatal("sub-unity table passed MonotoneLate")
+	}
+}
+
+func TestBracketEdges(t *testing.T) {
+	xs := []float64{1, 2, 4}
+	if i0, i1, f := bracket(xs, 0.5); i0 != 0 || i1 != 0 || f != 0 {
+		t.Fatalf("below range: %d %d %v", i0, i1, f)
+	}
+	if i0, i1, f := bracket(xs, 9); i0 != 2 || i1 != 2 || f != 0 {
+		t.Fatalf("above range: %d %d %v", i0, i1, f)
+	}
+	if i0, i1, f := bracket(xs, 3); i0 != 1 || i1 != 2 || math.Abs(f-0.5) > 1e-12 {
+		t.Fatalf("interior: %d %d %v", i0, i1, f)
+	}
+	if i0, i1, f := bracket(xs, 2); i0 != 1 || i1 != 2 || f != 0 {
+		t.Fatalf("exact breakpoint: %d %d %v", i0, i1, f)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	set := Default(16)
+	for i := 0; i < b.N; i++ {
+		_ = set.Late.Lookup(float64(i%60)+1, float64(i%500))
+	}
+}

@@ -1,0 +1,274 @@
+// Package cells models a synthetic standard-cell library: logic functions
+// at several drive strengths with linear delay, output-slew, input
+// capacitance, area and leakage models.
+//
+// The timing model is the classic linear (RC-like) approximation
+//
+//	delay = Intrinsic + DriveRes*LoadCap + SlewSens*InputSlew
+//	oslew = SlewIntrinsic + SlewRes*LoadCap
+//
+// which is all the pessimism-reduction framework needs: GBA/PBA pessimism
+// in the paper comes from AOCV derating, worst-slew propagation and CRPR —
+// not from the detail of the delay model itself. Units are picoseconds,
+// femtofarads, square micrometres, and nanowatts.
+package cells
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind identifies a logic function, independent of drive strength.
+type Kind int
+
+// The logic functions of the synthetic library.
+const (
+	Inv Kind = iota
+	Buf
+	Nand2
+	Nor2
+	And2
+	Or2
+	Xor2
+	Aoi21
+	Oai21
+	Mux2
+	DFF    // D flip-flop: CK->Q arc plus setup/hold at D
+	ClkBuf // clock-tree buffer
+	numKinds
+)
+
+var kindNames = [...]string{
+	Inv: "INV", Buf: "BUF", Nand2: "NAND2", Nor2: "NOR2", And2: "AND2",
+	Or2: "OR2", Xor2: "XOR2", Aoi21: "AOI21", Oai21: "OAI21", Mux2: "MUX2",
+	DFF: "DFF", ClkBuf: "CLKBUF",
+}
+
+// String returns the library name of the kind, e.g. "NAND2".
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Inputs returns the number of data inputs of the kind.
+func (k Kind) Inputs() int {
+	switch k {
+	case Inv, Buf, ClkBuf:
+		return 1
+	case Aoi21, Oai21, Mux2:
+		return 3
+	case DFF:
+		return 1 // the D pin; CK is handled separately
+	default:
+		return 2
+	}
+}
+
+// IsSequential reports whether the kind is a flip-flop.
+func (k Kind) IsSequential() bool { return k == DFF }
+
+// Cell is one library cell: a (Kind, Drive) pair with its characterized
+// parameters.
+type Cell struct {
+	Name  string // e.g. "NAND2_X2"
+	Kind  Kind
+	Drive int // drive strength: 1, 2, 4, 8, ...
+
+	Intrinsic float64 // ps, fixed part of the delay
+	DriveRes  float64 // ps/fF, load-dependent part
+	SlewSens  float64 // ps of extra delay per ps of input slew
+
+	SlewIntrinsic float64 // ps, fixed part of the output transition
+	SlewRes       float64 // ps/fF, load-dependent part of the transition
+	SlewProp      float64 // ps of extra output transition per ps of input transition
+
+	InputCap float64 // fF per input pin
+	Area     float64 // um^2
+	Leakage  float64 // nW
+
+	// Sequential-only parameters (zero for combinational cells).
+	Setup    float64 // ps, setup time at D
+	Hold     float64 // ps, hold time at D
+	ClkToQ   float64 // ps, intrinsic CK->Q delay (DriveRes still applies)
+	ClockCap float64 // fF at the CK pin
+}
+
+// Delay evaluates the cell delay for a given output load and input slew.
+func (c *Cell) Delay(loadCap, inputSlew float64) float64 {
+	base := c.Intrinsic
+	if c.Kind == DFF {
+		base = c.ClkToQ
+	}
+	return base + c.DriveRes*loadCap + c.SlewSens*inputSlew
+}
+
+// OutputSlew evaluates the output transition time for a given load and
+// input transition. The input-slew term is what makes slew propagate along
+// paths — and what makes GBA's worst-slew merging a pessimism source.
+func (c *Cell) OutputSlew(loadCap, inputSlew float64) float64 {
+	return c.SlewIntrinsic + c.SlewRes*loadCap + c.SlewProp*inputSlew
+}
+
+// Library is an immutable set of cells indexed by name and by (kind, drive).
+type Library struct {
+	Node    int // nominal technology node in nm (65, 40, 28, 16, ...)
+	byName  map[string]*Cell
+	byKind  map[Kind][]*Cell // sorted by ascending drive
+	ordered []*Cell
+}
+
+// Cells returns all cells in a stable order.
+func (l *Library) Cells() []*Cell { return l.ordered }
+
+// ByName returns the named cell, or nil when absent.
+func (l *Library) ByName(name string) *Cell { return l.byName[name] }
+
+// Variants returns every drive strength of kind, sorted ascending by drive.
+func (l *Library) Variants(kind Kind) []*Cell { return l.byKind[kind] }
+
+// Pick returns the cell of the given kind at exactly the given drive, or an
+// error naming what is missing.
+func (l *Library) Pick(kind Kind, drive int) (*Cell, error) {
+	for _, c := range l.byKind[kind] {
+		if c.Drive == drive {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("cells: no %v at drive X%d", kind, drive)
+}
+
+// Upsize returns the next stronger variant of c, or nil when c is already
+// the strongest. Upsizing is the primary timing fix of the closure flow.
+func (l *Library) Upsize(c *Cell) *Cell {
+	vs := l.byKind[c.Kind]
+	for i, v := range vs {
+		if v == c && i+1 < len(vs) {
+			return vs[i+1]
+		}
+	}
+	return nil
+}
+
+// Downsize returns the next weaker variant of c, or nil when c is already
+// the weakest. Downsizing recovers area/leakage on paths with slack.
+func (l *Library) Downsize(c *Cell) *Cell {
+	vs := l.byKind[c.Kind]
+	for i, v := range vs {
+		if v == c && i > 0 {
+			return vs[i-1]
+		}
+	}
+	return nil
+}
+
+// nodeScale returns the delay scale factor of a technology node relative to
+// the 28 nm reference: smaller nodes are faster but proportionally more
+// variation-sensitive, which the AOCV tables express separately.
+func nodeScale(node int) float64 {
+	switch {
+	case node >= 65:
+		return 1.8
+	case node >= 40:
+		return 1.3
+	case node >= 28:
+		return 1.0
+	default: // 16 nm and below
+		return 0.7
+	}
+}
+
+// New synthesizes a library for the given technology node with the given
+// drive strengths (e.g. 1,2,4,8). It returns an error for an empty drive
+// list or non-positive drives.
+func New(node int, drives ...int) (*Library, error) {
+	if len(drives) == 0 {
+		return nil, fmt.Errorf("cells: no drive strengths given")
+	}
+	ds := append([]int(nil), drives...)
+	sort.Ints(ds)
+	if ds[0] <= 0 {
+		return nil, fmt.Errorf("cells: non-positive drive strength %d", ds[0])
+	}
+	s := nodeScale(node)
+	lib := &Library{
+		Node:   node,
+		byName: make(map[string]*Cell),
+		byKind: make(map[Kind][]*Cell),
+	}
+	// Per-kind base parameters at drive X1 on the 28 nm reference node.
+	type base struct {
+		intrinsic, driveRes, slewSens, inCap, area, leak float64
+	}
+	bases := map[Kind]base{
+		Inv:    {12, 4.0, 0.030, 1.0, 0.5, 2},
+		Buf:    {20, 3.6, 0.026, 1.1, 0.8, 3},
+		Nand2:  {16, 4.6, 0.038, 1.2, 0.9, 4},
+		Nor2:   {18, 5.0, 0.042, 1.2, 0.9, 4},
+		And2:   {24, 4.4, 0.038, 1.2, 1.2, 5},
+		Or2:    {26, 4.8, 0.042, 1.2, 1.2, 5},
+		Xor2:   {34, 5.6, 0.050, 1.6, 1.8, 8},
+		Aoi21:  {22, 5.2, 0.046, 1.3, 1.3, 6},
+		Oai21:  {23, 5.3, 0.046, 1.3, 1.3, 6},
+		Mux2:   {30, 5.4, 0.046, 1.5, 1.7, 7},
+		DFF:    {0, 4.2, 0.022, 1.4, 4.5, 14},
+		ClkBuf: {18, 3.0, 0.018, 1.3, 1.0, 6},
+	}
+	for kind := Kind(0); kind < numKinds; kind++ {
+		b := bases[kind]
+		for _, d := range ds {
+			fd := float64(d)
+			c := &Cell{
+				Name:  fmt.Sprintf("%v_X%d", kind, d),
+				Kind:  kind,
+				Drive: d,
+				// Stronger drive: slightly lower intrinsic, much lower
+				// resistance, higher input cap/area/leakage.
+				Intrinsic:     s * b.intrinsic * (1 - 0.05*log2(fd)),
+				DriveRes:      s * b.driveRes / fd,
+				SlewSens:      b.slewSens,
+				SlewIntrinsic: s * (8 + b.intrinsic*0.25),
+				SlewRes:       s * 2.8 / fd,
+				SlewProp:      0.06,
+				InputCap:      b.inCap * (1 + 0.8*(fd-1)),
+				Area:          b.area * (1 + 0.9*(fd-1)),
+				Leakage:       b.leak * fd,
+			}
+			if kind == DFF {
+				c.ClkToQ = s * 55 * (1 - 0.05*log2(fd))
+				c.Setup = s * 28
+				c.Hold = s * 6
+				c.ClockCap = 1.2
+				c.Intrinsic = c.ClkToQ
+			}
+			lib.byName[c.Name] = c
+			lib.byKind[kind] = append(lib.byKind[kind], c)
+			lib.ordered = append(lib.ordered, c)
+		}
+	}
+	return lib, nil
+}
+
+// Default returns the library used throughout the experiments: the given
+// node with drives X1..X8. It panics only on programmer error (it cannot
+// fail for valid nodes).
+func Default(node int) *Library {
+	lib, err := New(node, 1, 2, 4, 8)
+	if err != nil {
+		panic(err)
+	}
+	return lib
+}
+
+func log2(x float64) float64 {
+	// Tiny local log2 for drive scaling; drives are small powers of two,
+	// so an iterative halving loop is exact for them and close enough
+	// otherwise.
+	n := 0.0
+	for x >= 2 {
+		x /= 2
+		n++
+	}
+	return n + (x - 1) // linear remainder in [1,2)
+}

@@ -1,0 +1,210 @@
+package cells
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if Nand2.String() != "NAND2" {
+		t.Fatalf("String = %q", Nand2.String())
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatalf("out-of-range String = %q", Kind(99).String())
+	}
+}
+
+func TestKindInputs(t *testing.T) {
+	cases := map[Kind]int{Inv: 1, Buf: 1, ClkBuf: 1, DFF: 1, Nand2: 2, Mux2: 3, Aoi21: 3}
+	for k, want := range cases {
+		if got := k.Inputs(); got != want {
+			t.Errorf("%v.Inputs() = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestIsSequential(t *testing.T) {
+	if !DFF.IsSequential() {
+		t.Fatal("DFF must be sequential")
+	}
+	if Inv.IsSequential() {
+		t.Fatal("INV must not be sequential")
+	}
+}
+
+func TestNewRejectsBadDrives(t *testing.T) {
+	if _, err := New(28); err == nil {
+		t.Fatal("empty drive list accepted")
+	}
+	if _, err := New(28, 0, 2); err == nil {
+		t.Fatal("zero drive accepted")
+	}
+	if _, err := New(28, -1); err == nil {
+		t.Fatal("negative drive accepted")
+	}
+}
+
+func TestDefaultComplete(t *testing.T) {
+	lib := Default(28)
+	if len(lib.Cells()) != int(numKinds)*4 {
+		t.Fatalf("cell count = %d, want %d", len(lib.Cells()), int(numKinds)*4)
+	}
+	for kind := Kind(0); kind < numKinds; kind++ {
+		vs := lib.Variants(kind)
+		if len(vs) != 4 {
+			t.Fatalf("%v has %d variants", kind, len(vs))
+		}
+		for i := 1; i < len(vs); i++ {
+			if vs[i].Drive <= vs[i-1].Drive {
+				t.Fatalf("%v variants not sorted by drive", kind)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	lib := Default(28)
+	c := lib.ByName("NAND2_X4")
+	if c == nil || c.Kind != Nand2 || c.Drive != 4 {
+		t.Fatalf("ByName(NAND2_X4) = %+v", c)
+	}
+	if lib.ByName("NOPE") != nil {
+		t.Fatal("unknown name should return nil")
+	}
+}
+
+func TestPick(t *testing.T) {
+	lib := Default(28)
+	c, err := lib.Pick(Inv, 2)
+	if err != nil || c.Name != "INV_X2" {
+		t.Fatalf("Pick = %v, %v", c, err)
+	}
+	if _, err := lib.Pick(Inv, 3); err == nil {
+		t.Fatal("Pick of missing drive should error")
+	}
+}
+
+func TestUpsizeDownsizeChain(t *testing.T) {
+	lib := Default(28)
+	c, _ := lib.Pick(Buf, 1)
+	up := lib.Upsize(c)
+	if up == nil || up.Drive != 2 {
+		t.Fatalf("Upsize X1 = %+v", up)
+	}
+	if lib.Downsize(up) != c {
+		t.Fatal("Downsize(Upsize(c)) != c")
+	}
+	strongest, _ := lib.Pick(Buf, 8)
+	if lib.Upsize(strongest) != nil {
+		t.Fatal("Upsize of strongest must be nil")
+	}
+	if lib.Downsize(c) != nil {
+		t.Fatal("Downsize of weakest must be nil")
+	}
+}
+
+func TestUpsizeForeignCell(t *testing.T) {
+	lib := Default(28)
+	other := Default(16)
+	c, _ := other.Pick(Inv, 1)
+	if lib.Upsize(c) != nil {
+		t.Fatal("Upsize of a cell from another library must be nil")
+	}
+}
+
+// Monotonicity properties the closure flow relies on: a stronger drive has
+// lower delay at equal load, but more area and leakage.
+func TestDriveMonotonicity(t *testing.T) {
+	lib := Default(28)
+	for kind := Kind(0); kind < numKinds; kind++ {
+		vs := lib.Variants(kind)
+		for i := 1; i < len(vs); i++ {
+			weak, strong := vs[i-1], vs[i]
+			const load, slew = 20.0, 40.0
+			if strong.Delay(load, slew) >= weak.Delay(load, slew) {
+				t.Errorf("%v: stronger drive not faster at load %v", kind, load)
+			}
+			if strong.Area <= weak.Area {
+				t.Errorf("%v: stronger drive not larger", kind)
+			}
+			if strong.Leakage <= weak.Leakage {
+				t.Errorf("%v: stronger drive not leakier", kind)
+			}
+			if strong.OutputSlew(load, 0) >= weak.OutputSlew(load, 0) {
+				t.Errorf("%v: stronger drive not sharper slew", kind)
+			}
+		}
+	}
+}
+
+func TestDelayIncreasesWithLoadAndSlew(t *testing.T) {
+	lib := Default(28)
+	f := func(loadRaw, slewRaw uint16) bool {
+		load := float64(loadRaw) / 100
+		slew := float64(slewRaw) / 100
+		for _, c := range lib.Cells() {
+			if c.Delay(load+1, slew) <= c.Delay(load, slew) {
+				return false
+			}
+			if c.Delay(load, slew+1) < c.Delay(load, slew) {
+				return false
+			}
+			if c.Delay(load, slew) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeScaling(t *testing.T) {
+	old := Default(65)
+	nw := Default(16)
+	c65, _ := old.Pick(Nand2, 2)
+	c16, _ := nw.Pick(Nand2, 2)
+	if c16.Delay(10, 20) >= c65.Delay(10, 20) {
+		t.Fatal("16nm should be faster than 65nm")
+	}
+}
+
+func TestDFFParameters(t *testing.T) {
+	lib := Default(28)
+	ff, _ := lib.Pick(DFF, 1)
+	if ff.Setup <= 0 || ff.Hold <= 0 || ff.ClkToQ <= 0 || ff.ClockCap <= 0 {
+		t.Fatalf("DFF missing sequential parameters: %+v", ff)
+	}
+	// DFF delay uses the CK->Q arc.
+	if ff.Delay(0, 0) != ff.ClkToQ {
+		t.Fatalf("DFF zero-load delay = %v, want ClkToQ %v", ff.Delay(0, 0), ff.ClkToQ)
+	}
+}
+
+func TestCombinationalHasNoSequentialParams(t *testing.T) {
+	lib := Default(28)
+	inv, _ := lib.Pick(Inv, 1)
+	if inv.Setup != 0 || inv.Hold != 0 || inv.ClkToQ != 0 {
+		t.Fatalf("INV carries sequential params: %+v", inv)
+	}
+}
+
+func TestCellNamesUnique(t *testing.T) {
+	lib := Default(28)
+	seen := map[string]bool{}
+	for _, c := range lib.Cells() {
+		if seen[c.Name] {
+			t.Fatalf("duplicate cell name %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}
+
+func TestLog2(t *testing.T) {
+	for x, want := range map[float64]float64{1: 0, 2: 1, 4: 2, 8: 3} {
+		if got := log2(x); got != want {
+			t.Fatalf("log2(%v) = %v, want %v", x, got, want)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package cells
+
+import "testing"
+
+func TestOutputSlewPropagatesInputSlew(t *testing.T) {
+	lib := Default(28)
+	for _, c := range lib.Cells() {
+		if c.SlewProp <= 0 {
+			t.Fatalf("%s has no slew propagation coefficient", c.Name)
+		}
+		if c.OutputSlew(10, 50) <= c.OutputSlew(10, 0) {
+			t.Fatalf("%s: output slew not increasing in input slew", c.Name)
+		}
+	}
+}
+
+func TestOutputSlewPositive(t *testing.T) {
+	lib := Default(16)
+	for _, c := range lib.Cells() {
+		if c.OutputSlew(0, 0) <= 0 {
+			t.Fatalf("%s: non-positive zero-load output slew", c.Name)
+		}
+	}
+}

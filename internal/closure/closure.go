@@ -1,0 +1,597 @@
+// Package closure implements the post-route timing-closure optimization
+// framework of the paper's §3.4 (the left half of Fig. 5): a greedy
+// worst-endpoint-first loop of gate upsizing and buffer insertion with
+// incremental timing updates, followed by an area/leakage recovery pass
+// that downsizes gates with slack to spare.
+//
+// The framework is timer-agnostic: it runs against original GBA or against
+// mGBA (GBA with calibrated per-gate weighting factors, recalibrated
+// whenever the netlist structure changes). Because mGBA sees less
+// pessimism, the mGBA-embedded flow stops fixing earlier, fixes fewer
+// endpoints, recovers more area, and finishes faster — the effects
+// reported in Tables 2 and 5.
+package closure
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mgba/internal/cells"
+	"mgba/internal/core"
+	"mgba/internal/graph"
+	"mgba/internal/netlist"
+	"mgba/internal/pba"
+	"mgba/internal/sta"
+)
+
+// TimerKind selects the timing engine embedded in the flow.
+type TimerKind int
+
+// The two flow variants compared by Tables 2 and 5.
+const (
+	TimerGBA  TimerKind = iota // original graph-based analysis
+	TimerMGBA                  // modified GBA with calibrated weights
+)
+
+func (k TimerKind) String() string {
+	if k == TimerMGBA {
+		return "mGBA"
+	}
+	return "GBA"
+}
+
+// Options controls one optimization run.
+type Options struct {
+	Timer TimerKind
+	STA   sta.Config   // base analysis features (weights are managed here)
+	Core  core.Options // mGBA calibration settings (TimerMGBA only)
+
+	MaxTransforms     int     // total accepted-transform budget
+	MaxBuffers        int     // buffer insertions allowed (graph rebuilds)
+	WireDelayForBuf   float64 // buffer nets with at least this wire delay, ps
+	RecalibrateEvery  int     // mGBA: recalibrate after this many transforms
+	RecoveryMargin    float64 // downsizing keeps endpoint slack above this, ps
+	MaxViolatedAccept int     // stop when this few endpoints remain violated
+}
+
+// DefaultOptions returns a balanced configuration for the experiment suite.
+// The embedded calibration uses a faster solver profile than a standalone
+// fit: it starts the row-sampling schedule higher and accepts a slightly
+// looser tolerance, because it will be refreshed several times anyway.
+func DefaultOptions(timer TimerKind) Options {
+	coreOpt := core.DefaultOptions()
+	coreOpt.Solver.MinRows = 512
+	coreOpt.Solver.MaxIters = 1500
+	return Options{
+		Timer:             timer,
+		STA:               sta.DefaultConfig(),
+		Core:              coreOpt,
+		MaxTransforms:     4000,
+		MaxBuffers:        60,
+		WireDelayForBuf:   15,
+		RecalibrateEvery:  150,
+		RecoveryMargin:    5,
+		MaxViolatedAccept: 0,
+	}
+}
+
+// Result summarizes one optimization run.
+type Result struct {
+	Timer TimerKind
+
+	// Final QoR, measured both by the embedded timer and by PBA sign-off.
+	TimerWNS, TimerTNS     float64
+	SignoffWNS, SignoffTNS float64
+	ViolatedEndpoints      int // by the embedded timer
+
+	Area    float64
+	Leakage float64
+	Buffers int
+
+	Upsized, Downsized, BuffersAdded int
+	Transforms                       int // accepted transforms in total
+	Calibrations                     int
+	Validations                      int // GBA flow: PBA validation passes
+
+	Elapsed         time.Duration // whole flow
+	CalibElapsed    time.Duration // time inside mGBA calibration (Table 5 split)
+	ValidateElapsed time.Duration // GBA flow: PBA validation of violators
+}
+
+// flow carries the mutable optimization state.
+type flow struct {
+	d   *netlist.Design
+	opt Options
+
+	g       *graph.Graph
+	r       *sta.Result
+	weights []float64 // nil for GBA
+
+	res        *Result
+	transforms int // transforms since the last recalibration
+}
+
+// Optimize runs the timing-closure flow on the design in place and returns
+// the final QoR. The design is mutated (resized cells, inserted buffers).
+func Optimize(d *netlist.Design, opt Options) (*Result, error) {
+	if opt.STA.Weights != nil {
+		return nil, fmt.Errorf("closure: STA config must not pre-set weights")
+	}
+	if opt.MaxTransforms < 0 || opt.MaxBuffers < 0 {
+		return nil, fmt.Errorf("closure: negative budgets")
+	}
+	start := time.Now()
+	f := &flow{d: d, opt: opt, res: &Result{Timer: opt.Timer}}
+	if err := f.rebuild(); err != nil {
+		return nil, err
+	}
+	// Repair in rounds: each round fixes what its timing view can fix,
+	// then the view is refreshed and the remaining violators retried.
+	//
+	// The two flows refresh differently, mirroring practice (§2.2 of the
+	// paper): the GBA flow must subject its remaining violating endpoints
+	// to a PBA validation pass — the very bottleneck the paper calls out,
+	// whose cost grows with GBA's pessimism — while the mGBA flow simply
+	// recalibrates its weights, which are PBA-accurate by construction.
+	for round := 0; round < 3; round++ {
+		if err := f.fixViolations(); err != nil {
+			return nil, err
+		}
+		if f.opt.Timer == TimerGBA {
+			if f.validateViolators() <= f.opt.MaxViolatedAccept {
+				break // PBA waives the residual GBA violations
+			}
+			continue // real violations remain: retry the repair loop
+		}
+		if f.violatedCount() <= f.opt.MaxViolatedAccept {
+			break
+		}
+		if round == 2 {
+			break
+		}
+		if err := f.calibrate(); err != nil {
+			return nil, err
+		}
+	}
+	if err := f.recoverArea(); err != nil {
+		return nil, err
+	}
+	// Recovery under a slightly stale view can overreach: refresh and run
+	// one final repair pass so the flow exits at its own timing closure.
+	// Skipped when nothing changed since the last calibration.
+	if f.opt.Timer == TimerMGBA && f.transforms > 0 {
+		if err := f.calibrate(); err != nil {
+			return nil, err
+		}
+		if err := f.fixViolations(); err != nil {
+			return nil, err
+		}
+	}
+	f.finish()
+	f.res.Elapsed = time.Since(start)
+	return f.res, nil
+}
+
+// rebuild reconstructs the timing graph (needed after connectivity edits)
+// and re-times the design, recalibrating mGBA weights when applicable.
+func (f *flow) rebuild() error {
+	g, err := graph.Build(f.d)
+	if err != nil {
+		return err
+	}
+	f.g = g
+	return f.calibrate()
+}
+
+// refresh rebuilds the graph and re-times with the *existing* mGBA weights
+// (padded with 1.0 for instances created since the last calibration). The
+// buffer-insertion trial loop uses it: a full recalibration per candidate
+// buffer would dwarf the cost of the transform being evaluated.
+func (f *flow) refresh() error {
+	g, err := graph.Build(f.d)
+	if err != nil {
+		return err
+	}
+	f.g = g
+	cfg := f.opt.STA
+	if f.opt.Timer == TimerMGBA && f.weights != nil {
+		for len(f.weights) < len(f.d.Instances) {
+			f.weights = append(f.weights, 1)
+		}
+		cfg.Weights = f.weights
+	}
+	f.r = sta.Analyze(g, cfg)
+	return nil
+}
+
+// calibrate refreshes the mGBA weights (or simply re-analyzes under GBA).
+func (f *flow) calibrate() error {
+	if f.opt.Timer == TimerGBA {
+		f.r = sta.Analyze(f.g, f.opt.STA)
+		return nil
+	}
+	t0 := time.Now()
+	opt := f.opt.Core
+	if f.weights != nil {
+		// Recalibration: the netlist changed only incrementally, so the
+		// previous weights warm-start the solver.
+		opt.WarmWeights = f.weights
+	}
+	model, err := core.Calibrate(f.g, f.opt.STA, opt)
+	if err != nil {
+		return err
+	}
+	f.res.Calibrations++
+	f.res.CalibElapsed += time.Since(t0)
+	f.weights = model.Weights
+	f.r = model.MGBA
+	f.transforms = 0
+	return nil
+}
+
+// maybeRecalibrate refreshes stale mGBA weights on cadence.
+func (f *flow) maybeRecalibrate() error {
+	if f.opt.Timer != TimerMGBA || f.opt.RecalibrateEvery <= 0 {
+		return nil
+	}
+	if f.transforms < f.opt.RecalibrateEvery {
+		return nil
+	}
+	return f.calibrate()
+}
+
+// worstViolatingEndpoint returns the D.FFs position with the most negative
+// timer slack not in skip, or -1.
+func (f *flow) worstViolatingEndpoint(skip map[int]bool) int {
+	worst, worstSlack := -1, 0.0
+	for fi, s := range f.r.Slack {
+		if skip[fi] {
+			continue
+		}
+		if s < worstSlack {
+			worst, worstSlack = fi, s
+		}
+	}
+	return worst
+}
+
+// tracePath walks the worst timer path into endpoint fi by following
+// maximal arrivals backward, returning the instance IDs from launch FF to
+// last combinational gate.
+func (f *flow) tracePath(fi int) []int {
+	d := f.d
+	ffID := d.FFs[fi]
+	var rev []int
+	cur, ok := f.worstFanin(ffID)
+	for ok {
+		rev = append(rev, cur)
+		if d.Instances[cur].IsFF() {
+			break
+		}
+		cur, ok = f.worstFanin(cur)
+	}
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev
+}
+
+func (f *flow) worstFanin(v int) (int, bool) {
+	best, bestAt := -1, math.Inf(-1)
+	for _, e := range f.g.Fanin[v] {
+		at := f.r.ArrivalOut[e.From] + f.r.WireDelay[e.From]
+		if at > bestAt {
+			best, bestAt = e.From, at
+		}
+	}
+	return best, best >= 0
+}
+
+// fixViolations is the main repair loop: pick the worst violating
+// endpoint, repair its worst path with an upsize or a buffer, accept the
+// transform only if the endpoint improves, and iterate.
+func (f *flow) fixViolations() error {
+	skip := make(map[int]bool)
+	for f.res.Transforms < f.opt.MaxTransforms {
+		fi := f.worstViolatingEndpoint(skip)
+		if fi < 0 {
+			break // timing closed (or every violator exhausted)
+		}
+		if f.violatedCount() <= f.opt.MaxViolatedAccept {
+			break
+		}
+		improved, err := f.repairEndpoint(fi)
+		if err != nil {
+			return err
+		}
+		if !improved {
+			skip[fi] = true
+			continue
+		}
+		if err := f.maybeRecalibrate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateViolators subjects every timer-violating endpoint to PBA
+// path validation — the GBA flow's obligatory reality check — and returns
+// how many endpoints truly violate. Its cost is proportional to the number
+// of violating endpoints, which is exactly where GBA pessimism hurts.
+func (f *flow) validateViolators() int {
+	t0 := time.Now()
+	f.res.Validations++
+	an := pba.NewAnalyzer(f.r)
+	real := 0
+	for fi, s := range f.r.Slack {
+		if s >= 0 {
+			continue
+		}
+		worst := math.Inf(1)
+		for _, p := range an.KWorst(fi, 10, nil) {
+			if ps := an.Retime(p).Slack; ps < worst {
+				worst = ps
+			}
+		}
+		if !math.IsInf(worst, 1) && worst < 0 {
+			real++
+		}
+	}
+	f.res.ValidateElapsed += time.Since(t0)
+	return real
+}
+
+func (f *flow) violatedCount() int {
+	n := 0
+	for _, s := range f.r.Slack {
+		if s < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// repairEndpoint attempts one transform on the endpoint's worst path.
+func (f *flow) repairEndpoint(fi int) (bool, error) {
+	path := f.tracePath(fi)
+	if len(path) == 0 {
+		return false, nil
+	}
+	// First choice: upsize the path gate with the largest derated delay
+	// that still has headroom. Try candidates in decreasing delay order.
+	type cand struct {
+		id    int
+		delay float64
+	}
+	var cands []cand
+	for _, v := range path {
+		if f.d.Lib.Upsize(f.d.Instances[v].Cell) != nil {
+			cands = append(cands, cand{v, f.r.CellDelay[v]})
+		}
+	}
+	for len(cands) > 0 {
+		best := 0
+		for i := range cands {
+			if cands[i].delay > cands[best].delay {
+				best = i
+			}
+		}
+		id := cands[best].id
+		cands = append(cands[:best], cands[best+1:]...)
+		if ok := f.tryResize(fi, id, true); ok {
+			f.res.Upsized++
+			f.res.Transforms++
+			f.transforms++
+			return true, nil
+		}
+	}
+	// Second choice: buffer the path net with the largest wire delay.
+	if f.res.BuffersAdded < f.opt.MaxBuffers {
+		bestNet, bestWD := -1, f.opt.WireDelayForBuf
+		for _, v := range path {
+			out := f.d.Instances[v].Output
+			if out < 0 {
+				continue
+			}
+			if wd := f.d.Nets[out].WireDelay; wd >= bestWD {
+				bestNet, bestWD = out, wd
+			}
+		}
+		if bestNet >= 0 {
+			if ok, err := f.tryBuffer(fi, bestNet); err != nil {
+				return false, err
+			} else if ok {
+				f.res.BuffersAdded++
+				f.res.Transforms++
+				f.transforms++
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// tryResize applies a resize (up=true grows the drive) and keeps it only
+// when the target endpoint's slack improves without making the design's
+// worst slack worse.
+func (f *flow) tryResize(fi, id int, up bool) bool {
+	inst := f.d.Instances[id]
+	from := inst.Cell
+	var to *cells.Cell
+	if up {
+		to = f.d.Lib.Upsize(from)
+	} else {
+		to = f.d.Lib.Downsize(from)
+	}
+	if to == nil {
+		return false
+	}
+	before := f.r.Slack[fi]
+	beforeWNS := f.r.WNS
+	if err := f.d.Resize(inst, to); err != nil {
+		return false
+	}
+	mod := f.modifiedSet(id)
+	f.r.Update(mod)
+	// Repair accepts any move that helps the target endpoint without
+	// hurting the design's worst slack. A strict TNS guard would paralyze
+	// repair inside tightly-coupled cones, where upsizing one gate always
+	// taxes a sibling path slightly.
+	if f.r.Slack[fi] > before+1e-9 && f.r.WNS >= beforeWNS-1e-9 {
+		return true
+	}
+	// Revert.
+	if err := f.d.Resize(inst, from); err == nil {
+		f.r.Update(mod)
+	}
+	return false
+}
+
+// modifiedSet returns the instances whose timing must be re-evaluated
+// after instance id changed cell: the instance itself plus the drivers of
+// its input nets (their loads changed).
+func (f *flow) modifiedSet(id int) []int {
+	inst := f.d.Instances[id]
+	mod := []int{id}
+	for _, nid := range inst.Inputs {
+		if drv := f.d.Nets[nid].Driver; drv >= 0 && !f.g.IsClock(drv) {
+			mod = append(mod, drv)
+		}
+	}
+	return mod
+}
+
+// tryBuffer inserts a buffer on the net and keeps it only when the target
+// endpoint improves. Buffer insertion changes connectivity, so the graph
+// is rebuilt (and mGBA recalibrated) either way.
+func (f *flow) tryBuffer(fi, net int) (bool, error) {
+	buf, err := f.d.Lib.Pick(cells.Buf, 4)
+	if err != nil {
+		return false, err
+	}
+	before := f.r.Slack[fi]
+	beforeTNS := f.r.TNS
+	b, err := f.d.InsertBuffer(net, buf, "")
+	if err != nil {
+		return false, nil // un-bufferable net: not an error, just no fix
+	}
+	if err := f.refresh(); err != nil {
+		return false, err
+	}
+	if f.r.Slack[fi] > before+1e-9 && f.r.TNS >= beforeTNS-1e-9 {
+		return true, nil
+	}
+	// Rejected: unwind the insertion and restore the timing state.
+	if err := f.d.RemoveBuffer(b); err != nil {
+		return false, err
+	}
+	if err := f.refresh(); err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
+// recoverArea downsizes gates whose paths have slack to spare — the phase
+// where a less pessimistic timer directly buys area and leakage.
+func (f *flow) recoverArea() error {
+	for _, v := range f.g.Topo {
+		if f.res.Transforms >= f.opt.MaxTransforms {
+			break
+		}
+		inst := f.d.Instances[v]
+		if inst.IsFF() || f.g.IsClock(v) {
+			continue
+		}
+		slack := f.r.InstanceSlack(v)
+		if math.IsInf(slack, 1) || slack < f.opt.RecoveryMargin {
+			continue
+		}
+		if f.tryDownsize(v) {
+			f.res.Downsized++
+			f.res.Transforms++
+			f.transforms++
+			if err := f.maybeRecalibrate(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// tryDownsize shrinks a gate and keeps the change only if the design's
+// worst slack stays above the recovery margin's floor (no new violations).
+func (f *flow) tryDownsize(id int) bool {
+	inst := f.d.Instances[id]
+	from := inst.Cell
+	to := f.d.Lib.Downsize(from)
+	if to == nil {
+		return false
+	}
+	beforeWNS := f.r.WNS
+	beforeTNS := f.r.TNS
+	if err := f.d.Resize(inst, to); err != nil {
+		return false
+	}
+	mod := f.modifiedSet(id)
+	f.r.Update(mod)
+	// Keep when no violating endpoint got worse and no new violation
+	// appeared.
+	if f.r.WNS >= beforeWNS-1e-9 && f.r.TNS >= beforeTNS-1e-9 {
+		return true
+	}
+	if err := f.d.Resize(inst, from); err == nil {
+		f.r.Update(mod)
+	}
+	return false
+}
+
+// finish records the final QoR, including a PBA sign-off measurement so
+// that GBA-flow and mGBA-flow results are compared on equal footing.
+func (f *flow) finish() {
+	f.res.TimerWNS = f.r.WNS
+	f.res.TimerTNS = f.r.TNS
+	f.res.ViolatedEndpoints = f.violatedCount()
+	f.res.Area = f.d.Area()
+	f.res.Leakage = f.d.Leakage()
+	f.res.Buffers = f.d.BufferCount()
+
+	f.res.SignoffWNS, f.res.SignoffTNS = Signoff(f.g, f.opt.STA)
+}
+
+// Signoff measures WNS/TNS with PBA: for every endpoint, the worst PBA
+// slack among its worst GBA paths. This is the golden yardstick the paper
+// uses for its QoR tables (PBA "sign-off stage" timing).
+func Signoff(g *graph.Graph, cfg sta.Config) (wns, tns float64) {
+	cfg.Weights = nil
+	r := sta.Analyze(g, cfg)
+	an := pba.NewAnalyzer(r)
+	for fi, ffID := range g.D.FFs {
+		if len(g.Fanin[ffID]) == 0 {
+			continue
+		}
+		worst := math.Inf(1)
+		// The PBA-worst path is among the GBA-worst few: GBA ordering is
+		// a conservative bound on the PBA ordering.
+		for _, p := range an.KWorst(fi, 10, nil) {
+			if s := an.Retime(p).Slack; s < worst {
+				worst = s
+			}
+		}
+		// The endpoint's PBA slack is the slack of its PBA-worst path,
+		// i.e. the minimum over paths of the per-path slack. KWorst
+		// returns GBA-worst-first, so taking the min over the first few
+		// is the standard sign-off approximation.
+		if math.IsInf(worst, 1) {
+			continue
+		}
+		if worst < 0 {
+			tns += worst
+			if worst < wns {
+				wns = worst
+			}
+		}
+	}
+	return wns, tns
+}

@@ -1,0 +1,419 @@
+// Package core implements the paper's contribution: the modified
+// graph-based analysis (mGBA) slack model of §3.1 and the calibration flow
+// of §3.4 that fits a per-gate weighting factor vector so GBA path slacks
+// match golden PBA slacks on the selected critical paths.
+//
+// Calibration pipeline (the right-hand side of the paper's Fig. 5):
+//
+//	GBA analyze -> per-endpoint top-k' violated path selection (§3.2)
+//	-> PBA retiming of the selected paths (golden targets)
+//	-> assemble the sparse system of Eq. (9) in correction space
+//	-> solve with GD / SCG / SCG+RS (§3.3) -> per-gate weights w = 1 + dx
+//	-> re-run GBA with weighted delays (the updated timing graph).
+//
+// The fitted path slack never exceeds the PBA slack by more than the
+// epsilon tolerance of Eq. (5), enforced through the quadratic penalty of
+// Eq. (6).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mgba/internal/graph"
+	"mgba/internal/num"
+	"mgba/internal/pathsel"
+	"mgba/internal/pba"
+	"mgba/internal/rng"
+	"mgba/internal/solver"
+	"mgba/internal/sparse"
+	"mgba/internal/sta"
+)
+
+// Method selects the optimization solver for the calibration fit.
+type Method int
+
+// The solver methods compared in Table 4, plus the exact reference.
+const (
+	MethodGD    Method = iota // gradient descent, no row selection
+	MethodSCG                 // Algorithm 2, no row selection
+	MethodSCGRS               // Algorithm 1 + Algorithm 2 (the paper's choice)
+	MethodFull                // active-set CGNR reference (tiny cases only)
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodGD:
+		return "GD+w/oRS"
+	case MethodSCG:
+		return "SCG+w/oRS"
+	case MethodSCGRS:
+		return "SCG+RS"
+	case MethodFull:
+		return "full"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options parameterizes a calibration. DefaultOptions matches the paper's
+// settings (k' = 20, epsilon-guarded constraints, SCG+RS solver).
+type Options struct {
+	K              int     // k': worst paths kept per endpoint (20)
+	MaxPaths       int     // m' cap across all endpoints; <=0 means no cap
+	CapPerEndpoint int     // safety cap for violated-path enumeration
+	Epsilon        float64 // eps of Eq. (5): relative optimism tolerance
+	Penalty        float64 // w of Eq. (6)
+	Method         Method
+	Solver         solver.Options
+	Seed           uint64
+
+	// MinWeight/MaxWeight clamp the fitted weights; a weight outside this
+	// band would mean the fit wandered into physically meaningless
+	// territory (negative or wildly inflated delays).
+	MinWeight, MaxWeight float64
+
+	// WarmWeights, when set, seeds the solver with a previous calibration's
+	// per-instance weights (indexed by instance ID). The closure flow uses
+	// it to make mid-flow recalibrations cheap: the netlist changed only
+	// incrementally, so the old weights are near-optimal already.
+	WarmWeights []float64
+}
+
+// DefaultOptions returns the paper's calibration parameters.
+func DefaultOptions() Options {
+	return Options{
+		K:              20,
+		MaxPaths:       5_000_000,
+		CapPerEndpoint: 2000,
+		Epsilon:        0.02,
+		Penalty:        50,
+		Method:         MethodSCGRS,
+		Solver:         solver.DefaultOptions(),
+		Seed:           1,
+		MinWeight:      0.1,
+		MaxWeight:      2.0,
+	}
+}
+
+// Model is a fitted mGBA model for one design state.
+type Model struct {
+	G   *graph.Graph
+	Cfg sta.Config // the GBA config calibrated against (Weights == nil)
+	Opt Options
+
+	GBA       *sta.Result        // baseline GBA analysis
+	Selection *pathsel.Selection // calibration paths
+	Timings   []*pba.Timing      // golden PBA retiming per selected path
+
+	Problem    *solver.Problem // Eq. (9) system in correction space
+	Columns    []int           // column -> instance ID
+	Correction []float64       // solved dx per column
+	Weights    []float64       // per instance ID: 1 + dx (1 off-path)
+	Stats      solver.Stats
+
+	MGBA *sta.Result // re-analysis with the fitted weights
+}
+
+// Calibrate runs the full mGBA calibration pipeline on a design's timing
+// graph under the given GBA configuration, selecting calibration paths
+// with the per-endpoint top-k' scheme of §3.2.
+func Calibrate(g *graph.Graph, cfg sta.Config, opt Options) (*Model, error) {
+	return calibrate(g, cfg, opt, nil)
+}
+
+// CalibrateOnSelection runs the same pipeline against an explicit path
+// selection instead of the built-in per-endpoint scheme; the §3.2 study
+// uses it to compare selection schemes under identical fitting.
+func CalibrateOnSelection(g *graph.Graph, cfg sta.Config, opt Options, sel *pathsel.Selection) (*Model, error) {
+	if sel == nil {
+		return nil, fmt.Errorf("core: nil selection")
+	}
+	return calibrate(g, cfg, opt, sel)
+}
+
+func calibrate(g *graph.Graph, cfg sta.Config, opt Options, sel *pathsel.Selection) (*Model, error) {
+	if cfg.Weights != nil {
+		return nil, fmt.Errorf("core: calibration config must not carry weights")
+	}
+	if opt.K < 1 {
+		return nil, fmt.Errorf("core: K must be >= 1")
+	}
+	if opt.Epsilon < 0 {
+		return nil, fmt.Errorf("core: negative epsilon")
+	}
+	if opt.MinWeight <= 0 || opt.MaxWeight < opt.MinWeight {
+		return nil, fmt.Errorf("core: bad weight clamp [%v,%v]", opt.MinWeight, opt.MaxWeight)
+	}
+	m := &Model{G: g, Cfg: cfg, Opt: opt}
+	m.GBA = sta.Analyze(g, cfg)
+	an := pba.NewAnalyzer(m.GBA)
+	if sel != nil {
+		m.Selection = sel
+	} else {
+		m.Selection = pathsel.PerEndpointTopK(an, opt.K, opt.MaxPaths)
+	}
+	m.Weights = identity(len(g.D.Instances))
+	if len(m.Selection.Paths) == 0 {
+		// Nothing violates: mGBA degenerates to GBA with unit weights.
+		m.MGBA = m.GBA
+		return m, nil
+	}
+	m.Timings = make([]*pba.Timing, len(m.Selection.Paths))
+	for i, p := range m.Selection.Paths {
+		m.Timings[i] = an.Retime(p)
+	}
+	if err := m.assemble(); err != nil {
+		return nil, err
+	}
+	if err := m.solve(); err != nil {
+		return nil, err
+	}
+	wcfg := cfg
+	wcfg.Weights = m.Weights
+	m.MGBA = sta.Analyze(g, wcfg)
+	return m, nil
+}
+
+func identity(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// assemble builds the sparse system of Eq. (9) in correction space: row p
+// has entries a_pj = CellDelay_j (the GBA derated delay of every cell on
+// the path), target b_p = PBA cell sum - CRPR credit - GBA cell sum, and
+// guard eps*|s_pba| (Eq. 5's tolerance).
+func (m *Model) assemble() error {
+	cols := map[int]int{}
+	for _, p := range m.Selection.Paths {
+		for _, c := range p.Cells {
+			if _, ok := cols[c]; !ok {
+				cols[c] = len(m.Columns)
+				m.Columns = append(m.Columns, c)
+			}
+		}
+	}
+	b := sparse.NewBuilder(len(m.Columns))
+	targets := make([]float64, len(m.Selection.Paths))
+	guards := make([]float64, len(m.Selection.Paths))
+	for i, p := range m.Selection.Paths {
+		tm := m.Timings[i]
+		idx := make([]int, len(p.Cells))
+		val := make([]float64, len(p.Cells))
+		var gbaSum float64
+		for k, c := range p.Cells {
+			idx[k] = cols[c]
+			val[k] = m.GBA.CellDelay[c]
+			gbaSum += val[k]
+		}
+		if err := b.AddRow(idx, val); err != nil {
+			return err
+		}
+		// Fit the *delay correction*: the mGBA path delay should drop by
+		// exactly the pessimism gap — the GBA cell sum minus the PBA cell
+		// sum, minus whatever CRPR credit PBA grants beyond the
+		// conservative credit GBA already applied at this endpoint.
+		crprExtra := tm.CRPR - m.GBA.GBACRPR[m.G.FFIndex(p.Capture)]
+		targets[i] = (tm.CellSum - crprExtra) - gbaSum
+		guards[i] = m.Opt.Epsilon * math.Abs(tm.Slack)
+	}
+	m.Problem = &solver.Problem{
+		A:       b.Build(),
+		B:       targets,
+		Guard:   guards,
+		Penalty: m.Opt.Penalty,
+	}
+	return m.Problem.Validate()
+}
+
+func (m *Model) solve() error {
+	r := rng.New(m.Opt.Seed)
+	if m.Opt.WarmWeights != nil {
+		x0 := make([]float64, len(m.Columns))
+		for k, c := range m.Columns {
+			if c < len(m.Opt.WarmWeights) && m.Opt.WarmWeights[c] > 0 {
+				x0[k] = m.Opt.WarmWeights[c] - 1
+			}
+		}
+		m.Opt.Solver.X0 = x0
+	}
+	var err error
+	switch m.Opt.Method {
+	case MethodGD:
+		m.Correction, m.Stats, err = solver.GD(m.Problem, m.Opt.Solver)
+	case MethodSCG:
+		m.Correction, m.Stats, err = solver.SCG(m.Problem, m.Opt.Solver, r)
+	case MethodSCGRS:
+		m.Correction, m.Stats, err = solver.SCGRS(m.Problem, m.Opt.Solver, r)
+	case MethodFull:
+		m.Correction, m.Stats, err = solver.FullSolve(m.Problem, 12, 500, 1e-10)
+	default:
+		return fmt.Errorf("core: unknown method %v", m.Opt.Method)
+	}
+	if err != nil {
+		return err
+	}
+	for k, c := range m.Columns {
+		w := 1 + m.Correction[k]
+		if w < m.Opt.MinWeight {
+			w = m.Opt.MinWeight
+		}
+		if w > m.Opt.MaxWeight {
+			w = m.Opt.MaxWeight
+		}
+		m.Weights[c] = w
+	}
+	return nil
+}
+
+// PathSlacks returns, for every selected path, the slack under the given
+// model: "gba" (unit weights), "mgba" (fitted weights), or "pba" (golden).
+func (m *Model) PathSlacks(kind string) ([]float64, error) {
+	out := make([]float64, len(m.Selection.Paths))
+	switch kind {
+	case "pba":
+		for i, tm := range m.Timings {
+			out[i] = tm.Slack
+		}
+	case "gba":
+		for i, p := range m.Selection.Paths {
+			out[i] = p.GBASlack
+		}
+	case "mgba":
+		if m.Problem == nil {
+			return nil, fmt.Errorf("core: no fitted problem")
+		}
+		// s_mgba(p) = s_gba(p) - (A dx)_p: the correction shifts the path
+		// delay, and delay shifts map one-to-one onto slack shifts.
+		ax := m.Problem.A.MulVec(nil, m.clampedCorrection())
+		for i, p := range m.Selection.Paths {
+			out[i] = p.GBASlack - ax[i]
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown slack kind %q", kind)
+	}
+	return out, nil
+}
+
+// clampedCorrection returns the correction vector consistent with the
+// clamped weights actually applied to the graph.
+func (m *Model) clampedCorrection() []float64 {
+	dx := make([]float64, len(m.Columns))
+	for k, c := range m.Columns {
+		dx[k] = m.Weights[c] - 1
+	}
+	return dx
+}
+
+// Metrics bundles the accuracy measures the paper reports.
+type Metrics struct {
+	Paths     int
+	MSE       float64 // Eq. (12): ||s_model - s_pba||^2 / ||s_pba||^2
+	Phi       float64 // Eq. (10): ||s_model - s_pba|| / ||s_pba||
+	PassRatio float64 // Table 3 criterion: within 5% relative or 5 ps absolute
+	Optimism  int     // paths whose model slack exceeds s_pba + eps*|s_pba|
+}
+
+// PassTolerances of Table 3: a path passes when its slack error is within
+// 5 % relative or 5 ps absolute of golden PBA.
+const (
+	PassRelTol = 0.05
+	PassAbsTol = 5.0
+)
+
+// Evaluate computes the accuracy metrics of a model slack vector against
+// golden PBA over the selected paths. kind is "gba" or "mgba".
+func (m *Model) Evaluate(kind string) (Metrics, error) {
+	model, err := m.PathSlacks(kind)
+	if err != nil {
+		return Metrics{}, err
+	}
+	golden, err := m.PathSlacks("pba")
+	if err != nil {
+		return Metrics{}, err
+	}
+	return Compare(model, golden, m.Opt.Epsilon), nil
+}
+
+// Compare computes the paper's accuracy metrics between a model slack
+// vector and golden slacks.
+func Compare(model, golden []float64, epsilon float64) Metrics {
+	if len(model) != len(golden) {
+		panic("core: slack vector length mismatch")
+	}
+	mt := Metrics{Paths: len(model)}
+	if len(model) == 0 {
+		return mt
+	}
+	diff := make([]float64, len(model))
+	num.Sub(diff, model, golden)
+	gn := num.Norm2(golden)
+	dn := num.Norm2(diff)
+	if gn > 0 {
+		mt.Phi = dn / gn
+		mt.MSE = (dn * dn) / (gn * gn)
+	}
+	pass := 0
+	for i := range model {
+		e := math.Abs(model[i] - golden[i])
+		if e <= PassAbsTol || e <= PassRelTol*math.Abs(golden[i]) {
+			pass++
+		}
+		if model[i] > golden[i]+epsilon*math.Abs(golden[i])+1e-9 {
+			mt.Optimism++
+		}
+	}
+	mt.PassRatio = float64(pass) / float64(len(model))
+	return mt
+}
+
+// PathSlackWithWeights evaluates the mGBA slack of an arbitrary path under
+// a per-instance weight vector, against the baseline (unit-weight) GBA
+// analysis r. Used to judge a fit on paths outside its training selection,
+// as the §3.2 study does ("the measurement is always with 8444 violated
+// timing paths").
+func PathSlackWithWeights(r *sta.Result, an *pba.Analyzer, p *pba.Path, weights []float64) float64 {
+	var sum, wires float64
+	for _, c := range p.Cells {
+		w := 1.0
+		if weights != nil {
+			w = weights[c]
+		}
+		sum += r.CellDelay[c] * w
+		wires += r.WireDelay[c]
+	}
+	launchIdx := r.G.FFIndex(p.Launch)
+	captureIdx := r.G.FFIndex(p.Capture)
+	return an.Budget(captureIdx) + r.GBACRPR[captureIdx] - (r.ClockLate[launchIdx] + sum + wires)
+}
+
+// FullCorrection returns the correction of every data instance (launch
+// arcs and combinational gates; clock buffers excluded): the x* vector of
+// the paper, with exact zeros for gates off every selected path. This is
+// the population Fig. 3 bins.
+func (m *Model) FullCorrection() []float64 {
+	var out []float64
+	for _, in := range m.G.D.Instances {
+		if m.G.IsClock(in.ID) {
+			continue
+		}
+		out = append(out, m.Weights[in.ID]-1)
+	}
+	return out
+}
+
+// CorrectionHistogram bins the fitted corrections for Fig. 3 (the sparsity
+// plot): the fraction of entries inside [-width, width] is its headline.
+func (m *Model) CorrectionHistogram(width float64, bins int) *num.Histogram {
+	return num.NewHistogram(m.FullCorrection(), -width, width, bins)
+}
+
+// SparsityFraction returns the fraction of corrections within [-tol, tol],
+// the "95.9% of entries near zero" statistic of Fig. 3.
+func (m *Model) SparsityFraction(tol float64) float64 {
+	return num.FractionWithin(m.FullCorrection(), -tol, tol)
+}

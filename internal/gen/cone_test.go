@@ -1,0 +1,165 @@
+package gen
+
+import (
+	"testing"
+
+	"mgba/internal/graph"
+	"mgba/internal/pba"
+	"mgba/internal/sta"
+)
+
+func coneCfg() Config {
+	cfg := Toy() // Toy is cone mode
+	cfg.Gates, cfg.FFs = 500, 60
+	cfg.Name = "cone-test"
+	return cfg
+}
+
+func TestConeModeValidDesign(t *testing.T) {
+	d, err := Generate(coneCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := graph.Build(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConeModeDeterministic(t *testing.T) {
+	a, err := Generate(coneCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(coneCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Instances) != len(b.Instances) || a.ClockPeriod != b.ClockPeriod {
+		t.Fatal("cone mode not deterministic")
+	}
+}
+
+func TestConeModeEveryEndpointDriven(t *testing.T) {
+	d, err := Generate(coneCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ffID := range d.FFs {
+		ff := d.Instances[ffID]
+		if d.Nets[ff.Inputs[0]].Driver < 0 {
+			t.Fatalf("FF %s D pin undriven", ff.Name)
+		}
+	}
+}
+
+func TestConeModeDepthsClustered(t *testing.T) {
+	cfg := coneCfg()
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sta.Analyze(g, sta.DefaultConfig())
+	an := pba.NewAnalyzer(r)
+	// Worst-path depths should cluster within the configured band (the
+	// generator clusters cone depths near MaxLevel, modulo joins/shares).
+	deep := 0
+	total := 0
+	for fi, ffID := range d.FFs {
+		if len(g.Fanin[ffID]) == 0 {
+			continue
+		}
+		p := an.WorstPath(fi)
+		if p == nil {
+			continue
+		}
+		total++
+		if p.NumGates() >= cfg.MaxLevel-3 {
+			deep++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no constrained endpoints")
+	}
+	if frac := float64(deep) / float64(total); frac < 0.5 {
+		t.Fatalf("only %.0f%% of worst paths near the depth band", frac*100)
+	}
+}
+
+func TestConeModeMultiplicity(t *testing.T) {
+	// The defining property of the cone regime: endpoints own many more
+	// violated paths than the per-endpoint top-k' selection keeps.
+	d, err := Generate(coneCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sta.Analyze(g, sta.DefaultConfig())
+	an := pba.NewAnalyzer(r)
+	many := 0
+	for fi := range d.FFs {
+		if len(an.KWorst(fi, 60, nil)) >= 50 {
+			many++
+		}
+	}
+	if many < 5 {
+		t.Fatalf("only %d endpoints with >=50 paths; cone reconvergence too weak", many)
+	}
+}
+
+func TestConeModeShareValidation(t *testing.T) {
+	cfg := coneCfg()
+	cfg.ShareP = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("ShareP > 1 accepted")
+	}
+	cfg = coneCfg()
+	cfg.JoinP = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative JoinP accepted")
+	}
+}
+
+func TestDepthCapLimitsViolationDepth(t *testing.T) {
+	base := coneCfg()
+	base.DepthCap = 0
+	capped := coneCfg()
+	capped.DepthCap = 0.05
+	dBase, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dCapped, err := Generate(capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The capped design must not have a shorter period than the uncapped
+	// one (the floor can only raise it).
+	if dCapped.ClockPeriod < dBase.ClockPeriod-1e-9 {
+		t.Fatalf("depth cap lowered the period: %v vs %v", dCapped.ClockPeriod, dBase.ClockPeriod)
+	}
+}
+
+func TestSeaAndConeSuiteMix(t *testing.T) {
+	suite := Suite()
+	cones, seas := 0, 0
+	for _, cfg := range suite {
+		if cfg.ConeMode {
+			cones++
+		} else {
+			seas++
+		}
+	}
+	if cones == 0 || seas == 0 {
+		t.Fatalf("suite must mix styles: %d cone, %d sea", cones, seas)
+	}
+}

@@ -1,0 +1,658 @@
+// Package gen synthesizes placed register-to-register designs that stand
+// in for the paper's proprietary industrial test cases D1-D10.
+//
+// The generator controls exactly the properties the pessimism mechanisms
+// feed on:
+//
+//   - a wide logic-depth distribution (shallow joins into deep cones make
+//     GBA's worst-depth AOCV lookup pessimistic, as in Fig. 2);
+//   - reconvergent fanout and multi-input merges (worst-slew pessimism);
+//   - spatial placement spread (distance-dependent derating and wire delay);
+//   - a multi-level clock tree with distinct branches (CRPR pessimism);
+//   - a clock period tuned so a controlled fraction of endpoints violate,
+//     which is the population the closure flow and the mGBA fit work on.
+//
+// Everything is reproducible from Config.Seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mgba/internal/aocv"
+	"mgba/internal/cells"
+	"mgba/internal/graph"
+	"mgba/internal/netlist"
+	"mgba/internal/rng"
+	"mgba/internal/sta"
+)
+
+// Config parameterizes one synthetic design.
+type Config struct {
+	Name string
+	Seed uint64
+	Node int // technology node in nm
+
+	Gates int // combinational gate count
+	FFs   int // flip-flop count
+
+	MaxLevel    int     // upper bound on assigned logic levels
+	LongEdgeP   float64 // probability an input reaches far back in levels
+	AreaPerGate float64 // um^2 of die area per gate (sets the die size)
+
+	// ViolateFrac is the fraction of endpoints that should have negative
+	// GBA setup slack after period tuning.
+	ViolateFrac float64
+
+	// EndpointLevelBias is the probability that a flip-flop D pin attaches
+	// in the top third of the logic levels (cone outputs). The remainder
+	// attach at arbitrary levels, creating shallow endpoints. Zero defaults
+	// to 0.95. Ignored in cone mode.
+	EndpointLevelBias float64
+
+	// DepthCap bounds how deep the bulk of the violations may be, as a
+	// fraction of the 95th-percentile required period (see sta.TunePeriod).
+	// Zero disables the cap. Cone designs use a small cap so violations
+	// stay within gate-sizing reach; sea-of-gates designs leave it off.
+	DepthCap float64
+
+	// ConeMode switches the logic style: instead of one global
+	// level-structured sea of gates, every endpoint receives its own small
+	// reconvergent logic cone (datapath-like structure). Cones multiply
+	// path counts through few gates — the regime of the paper's §3.2
+	// study. ShareP is the probability a cone input borrows a signal from
+	// an earlier cone; JoinP the probability a register output joins a
+	// cone at a deep level (the shallow-join pessimism of Fig. 2).
+	ConeMode bool
+	ShareP   float64
+	JoinP    float64
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Gates < 1:
+		return fmt.Errorf("gen: need at least one gate")
+	case c.FFs < 2:
+		return fmt.Errorf("gen: need at least two flip-flops")
+	case c.MaxLevel < 1:
+		return fmt.Errorf("gen: MaxLevel must be >= 1")
+	case c.LongEdgeP < 0 || c.LongEdgeP > 1:
+		return fmt.Errorf("gen: LongEdgeP outside [0,1]")
+	case c.AreaPerGate <= 0:
+		return fmt.Errorf("gen: AreaPerGate must be positive")
+	case c.ViolateFrac < 0 || c.ViolateFrac >= 1:
+		return fmt.Errorf("gen: ViolateFrac outside [0,1)")
+	case c.ShareP < 0 || c.ShareP > 1:
+		return fmt.Errorf("gen: ShareP outside [0,1]")
+	case c.JoinP < 0 || c.JoinP > 1:
+		return fmt.Errorf("gen: JoinP outside [0,1]")
+	}
+	return nil
+}
+
+// Generate builds, places, wires, validates and period-tunes a design.
+func Generate(cfg Config) (*netlist.Design, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed)
+	lib := cells.Default(cfg.Node)
+	d := netlist.New(cfg.Name, cfg.Node, lib, aocv.Default(cfg.Node), 1)
+
+	die := math.Sqrt(float64(cfg.Gates+cfg.FFs) * cfg.AreaPerGate)
+
+	clkNets, err := buildClockTree(d, r, die, cfg.FFs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Place flip-flops and create their Q nets; D nets are wired at the end.
+	ffCell, err := lib.Pick(cells.DFF, 1)
+	if err != nil {
+		return nil, err
+	}
+	type ffRec struct {
+		id   int
+		dNet int
+	}
+	ffs := make([]ffRec, cfg.FFs)
+	qNets := make([]int, cfg.FFs)
+	for i := range ffs {
+		x, y := r.Float64()*die, r.Float64()*die
+		dNet := d.AddNet()
+		qNet := d.AddNet()
+		clk := clkNets.nearest(x, y)
+		ff, err := d.AddFF(ffCell, x, y, dNet, qNet, clk)
+		if err != nil {
+			return nil, err
+		}
+		ffs[i] = ffRec{id: ff.ID, dNet: dNet}
+		qNets[i] = qNet
+	}
+
+	if cfg.ConeMode {
+		ffIDs := make([]int, len(ffs))
+		dNets := make([]int, len(ffs))
+		for i := range ffs {
+			ffIDs[i] = ffs[i].id
+			dNets[i] = ffs[i].dNet
+		}
+		if err := generateCones(cfg, d, r, lib, die, ffIDs, dNets, qNets); err != nil {
+			return nil, err
+		}
+		return finishDesign(cfg, d)
+	}
+
+	// driverRec tracks candidate input sources per logic level.
+	type driverRec struct {
+		net     int
+		x, y    float64
+		fanouts int
+	}
+	levels := make([][]driverRec, cfg.MaxLevel+1)
+	for i, q := range qNets {
+		ff := d.Instances[ffs[i].id]
+		levels[0] = append(levels[0], driverRec{net: q, x: ff.X, y: ff.Y})
+	}
+
+	// pick chooses an input driver for a gate at the given level and
+	// position: sample a handful of candidates from a level window and take
+	// the spatially closest, preferring drivers that still have no fanout.
+	pick := func(level int, x, y float64) *driverRec {
+		var best *driverRec
+		bestScore := math.Inf(1)
+		for try := 0; try < 12; try++ {
+			// Mostly strict level discipline (stride 1): the minimum depth
+			// through a gate then tracks its level, keeping GBA's
+			// worst-depth lookup honest for most of the logic. Long edges
+			// (enable-like signals from any earlier level) are the
+			// controlled source of depth pessimism.
+			var l int
+			switch {
+			case r.Float64() < cfg.LongEdgeP:
+				l = r.Intn(level)
+			case level >= 2 && r.Float64() < 0.05:
+				l = level - 2
+			default:
+				l = level - 1
+			}
+			if len(levels[l]) == 0 {
+				continue
+			}
+			c := &levels[l][r.Intn(len(levels[l]))]
+			score := math.Hypot(c.x-x, c.y-y)
+			if c.fanouts == 0 {
+				score *= 0.25 // strongly prefer absorbing dangling outputs
+			}
+			if score < bestScore {
+				bestScore = score
+				best = c
+			}
+		}
+		return best
+	}
+
+	kinds1 := []cells.Kind{cells.Inv, cells.Buf}
+	kinds2 := []cells.Kind{cells.Nand2, cells.Nor2, cells.And2, cells.Or2, cells.Xor2}
+	kinds3 := []cells.Kind{cells.Aoi21, cells.Oai21, cells.Mux2}
+
+	// Assign levels up front and create gates in ascending level order, so
+	// every gate finds genuinely lower-level drivers and the fallback to a
+	// register output (a depth-1 shortcut) stays a rare event instead of a
+	// systematic one.
+	levelsOf := make([]int, cfg.Gates)
+	for i := range levelsOf {
+		levelsOf[i] = 1 + r.Intn(cfg.MaxLevel)
+	}
+	sort.Ints(levelsOf)
+	for i := 0; i < cfg.Gates; i++ {
+		level := levelsOf[i]
+		x, y := r.Float64()*die, r.Float64()*die
+
+		var kind cells.Kind
+		switch p := r.Float64(); {
+		case p < 0.30:
+			kind = kinds1[r.Intn(len(kinds1))]
+		case p < 0.88:
+			kind = kinds2[r.Intn(len(kinds2))]
+		default:
+			kind = kinds3[r.Intn(len(kinds3))]
+		}
+		// Everything starts at minimum drive: the input to a post-route
+		// flow is already area-optimized, so area/leakage differences
+		// between the flows come from over-fixing, not from recovering a
+		// pre-existing slack pool.
+		cell, err := lib.Pick(kind, 1)
+		if err != nil {
+			return nil, err
+		}
+		ins := make([]int, kind.Inputs())
+		ok := true
+		for p := range ins {
+			c := pick(level, x, y)
+			if c == nil {
+				ok = false
+				break
+			}
+			c.fanouts++
+			ins[p] = c.net
+		}
+		if !ok {
+			// No candidates below this level yet (possible very early with
+			// tiny configs): fall back to an FF output.
+			q := qNets[r.Intn(len(qNets))]
+			for p := range ins {
+				ins[p] = q
+			}
+		}
+		out := d.AddNet()
+		g, err := d.AddGate(cell, x, y, ins, out)
+		if err != nil {
+			return nil, err
+		}
+		levels[level] = append(levels[level], driverRec{net: out, x: g.X, y: g.Y})
+	}
+
+	// Wire every FF's D pin, preferring dangling outputs and spatial
+	// proximity. Candidate levels are biased toward the top of the cone:
+	// real endpoints collect the outputs of their logic cones, and an
+	// endpoint attached deep inside a cone would collapse the minimum
+	// suffix depth (and thus the GBA AOCV depth) of everything above it,
+	// inflating pessimism far beyond realistic netlists. A minority of
+	// endpoints still attach at arbitrary levels — those are the shallow
+	// paths that make worst-depth pessimism interesting (Fig. 2).
+	bias := cfg.EndpointLevelBias
+	if bias == 0 {
+		bias = 0.95
+	}
+	for i := range ffs {
+		ff := d.Instances[ffs[i].id]
+		var best *driverRec
+		bestScore := math.Inf(1)
+		for try := 0; try < 24; try++ {
+			var l int
+			if r.Float64() < bias {
+				span := cfg.MaxLevel / 3
+				if span < 1 {
+					span = 1
+				}
+				l = cfg.MaxLevel - r.Intn(span)
+			} else {
+				l = 1 + r.Intn(cfg.MaxLevel)
+			}
+			if len(levels[l]) == 0 {
+				continue
+			}
+			c := &levels[l][r.Intn(len(levels[l]))]
+			score := math.Hypot(c.x-ff.X, c.y-ff.Y)
+			if c.fanouts == 0 {
+				score *= 0.1
+			}
+			if score < bestScore {
+				bestScore = score
+				best = c
+			}
+		}
+		if best == nil {
+			// Degenerate tiny config: feed from another FF's Q.
+			best = &levels[0][r.Intn(len(levels[0]))]
+		}
+		best.fanouts++
+		src := best.net
+		// Rewire the placeholder D net: detach the FF from it and connect
+		// the FF as a sink of src instead.
+		old := d.Nets[ffs[i].dNet]
+		for k, s := range old.Sinks {
+			if s == ff.ID {
+				old.Sinks = append(old.Sinks[:k], old.Sinks[k+1:]...)
+				break
+			}
+		}
+		ff.Inputs[0] = src
+		d.Nets[src].Sinks = append(d.Nets[src].Sinks, ff.ID)
+	}
+
+	return finishDesign(cfg, d)
+}
+
+// finishDesign derives wire parasitics, validates, and tunes the clock
+// period to the configured violation pressure.
+func finishDesign(cfg Config, d *netlist.Design) (*netlist.Design, error) {
+	d.AutoWire()
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: generated design invalid: %w", err)
+	}
+	g, err := graph.Build(d)
+	if err != nil {
+		return nil, fmt.Errorf("gen: %w", err)
+	}
+	period, err := sta.TunePeriod(g, sta.DefaultConfig(), cfg.ViolateFrac, cfg.DepthCap)
+	if err != nil {
+		return nil, err
+	}
+	d.ClockPeriod = period
+	return d, nil
+}
+
+// coneDriver is an input candidate while building a cone.
+type coneDriver struct {
+	net     int
+	x, y    float64
+	fanouts int
+}
+
+// generateCones builds one small reconvergent cone per endpoint until the
+// gate budget runs out. Cones have strict level discipline internally, so
+// each gate's minimum depth tracks its level; pessimism enters through
+// JoinP register joins and ShareP cross-cone borrowing.
+func generateCones(cfg Config, d *netlist.Design, r *rng.Rand, lib *cells.Library,
+	die float64, ffIDs, dNets, qNets []int) error {
+
+	kinds2 := []cells.Kind{cells.Nand2, cells.Nor2, cells.And2, cells.Or2, cells.Xor2}
+	rewireD := func(i int, srcNet int) {
+		ff := d.Instances[ffIDs[i]]
+		old := d.Nets[dNets[i]]
+		for k, sk := range old.Sinks {
+			if sk == ff.ID {
+				old.Sinks = append(old.Sinks[:k], old.Sinks[k+1:]...)
+				break
+			}
+		}
+		ff.Inputs[0] = srcNet
+		d.Nets[srcNet].Sinks = append(d.Nets[srcNet].Sinks, ff.ID)
+	}
+
+	// Gates from completed cones, available for cross-cone sharing.
+	var shared []coneDriver
+	launchUse := make([]int, len(qNets))
+	budget := cfg.Gates
+	avg := cfg.Gates/len(ffIDs) + 1
+	order := r.Perm(len(ffIDs))
+	fedBy := make([]int, len(ffIDs)) // net feeding each endpoint, -1 pending
+	for i := range fedBy {
+		fedBy[i] = -1
+	}
+	for _, ei := range order {
+		if budget <= 0 {
+			break
+		}
+		ep := d.Instances[ffIDs[ei]]
+		size := 2 + r.Intn(2*avg)
+		if size > budget {
+			size = budget
+		}
+		// Cone depths cluster near MaxLevel, the way synthesis balances
+		// paths against the clock target; multiplicity still varies through
+		// cone width. A clustered delay distribution is what lets many
+		// endpoints violate *shallowly* after period tuning.
+		depth := cfg.MaxLevel - r.Intn(3)
+		if depth < 2 {
+			depth = 2
+		}
+		if depth > size {
+			depth = size
+		}
+		// Launch registers: prefer nearby, lightly-used ones. Die-wide or
+		// heavily-shared launches would carry enormous wire loads and a
+		// collapsed minimum launched depth, drowning every other pessimism
+		// source in the FF arc.
+		nLaunch := 2 + r.Intn(3)
+		var l0 []coneDriver
+		for t := 0; t < nLaunch; t++ {
+			bestLi, bestScore := 0, math.Inf(1)
+			for try := 0; try < 8; try++ {
+				li := r.Intn(len(qNets))
+				lf := d.Instances[ffIDs[li]]
+				score := (1 + math.Hypot(lf.X-ep.X, lf.Y-ep.Y)) * float64(1+launchUse[li])
+				if score < bestScore {
+					bestScore, bestLi = score, li
+				}
+			}
+			launchUse[bestLi]++
+			lf := d.Instances[ffIDs[bestLi]]
+			l0 = append(l0, coneDriver{net: qNets[bestLi], x: lf.X, y: lf.Y})
+		}
+		levels := make([][]coneDriver, depth+1)
+		levels[0] = l0
+		// One gate per level first (guarantees full depth), remainder
+		// spread randomly.
+		levelOf := make([]int, size)
+		for k := 0; k < size; k++ {
+			if k < depth {
+				levelOf[k] = k + 1
+			} else {
+				levelOf[k] = 1 + r.Intn(depth)
+			}
+		}
+		sort.Ints(levelOf)
+		pick := func(l int) *coneDriver {
+			// Prefer dangling outputs of the previous level for internal
+			// reconvergence without depth spread.
+			pool := levels[l-1]
+			if len(pool) == 0 {
+				pool = levels[0]
+			}
+			best := &pool[r.Intn(len(pool))]
+			for t := 0; t < 4; t++ {
+				c := &pool[r.Intn(len(pool))]
+				if c.fanouts < best.fanouts {
+					best = c
+				}
+			}
+			return best
+		}
+		for k := 0; k < size; k++ {
+			l := levelOf[k]
+			var kind cells.Kind
+			if r.Float64() < 0.45 {
+				kind = cells.Inv
+			} else {
+				kind = kinds2[r.Intn(len(kinds2))]
+			}
+			cell, err := lib.Pick(kind, 1)
+			if err != nil {
+				return err
+			}
+			// Place along the launch-to-endpoint span with jitter.
+			frac := float64(l) / float64(depth+1)
+			lx := levels[0][0].x
+			ly := levels[0][0].y
+			x := lx + (ep.X-lx)*frac + (r.Float64()-0.5)*die*0.05
+			y := ly + (ep.Y-ly)*frac + (r.Float64()-0.5)*die*0.05
+			ins := make([]int, kind.Inputs())
+			for pin := range ins {
+				switch {
+				case r.Float64() < cfg.JoinP:
+					// A register joins the cone at this depth (Fig. 2).
+					ins[pin] = qNets[r.Intn(len(qNets))]
+				case len(shared) > 0 && r.Float64() < cfg.ShareP:
+					c := &shared[r.Intn(len(shared))]
+					c.fanouts++
+					ins[pin] = c.net
+				default:
+					c := pick(l)
+					c.fanouts++
+					ins[pin] = c.net
+				}
+			}
+			out := d.AddNet()
+			g, err := d.AddGate(cell, x, y, ins, out)
+			if err != nil {
+				return err
+			}
+			levels[l] = append(levels[l], coneDriver{net: out, x: g.X, y: g.Y})
+			budget--
+		}
+		// The endpoint consumes a top-level gate; remaining cone gates
+		// become sharable drivers.
+		top := &levels[depth][r.Intn(len(levels[depth]))]
+		top.fanouts++
+		rewireD(ei, top.net)
+		fedBy[ei] = top.net
+		for l := 1; l <= depth; l++ {
+			shared = append(shared, levels[l]...)
+		}
+	}
+	// Endpoints left without a cone (budget exhausted): feed from a shared
+	// gate, or from another register when no logic exists at all.
+	for ei, fed := range fedBy {
+		if fed >= 0 {
+			continue
+		}
+		if len(shared) > 0 {
+			c := &shared[r.Intn(len(shared))]
+			c.fanouts++
+			rewireD(ei, c.net)
+		} else {
+			rewireD(ei, qNets[(ei+1)%len(qNets)])
+		}
+	}
+	return nil
+}
+
+// clockNets locates the leaf clock nets for nearest-leaf FF hookup.
+type clockNets struct {
+	nets []int
+	xs   []float64
+	ys   []float64
+}
+
+func (c *clockNets) nearest(x, y float64) int {
+	best, bestD := c.nets[0], math.Inf(1)
+	for i, n := range c.nets {
+		dd := math.Hypot(c.xs[i]-x, c.ys[i]-y)
+		if dd < bestD {
+			bestD = dd
+			best = n
+		}
+	}
+	return best
+}
+
+// buildClockTree creates a three-level tree — root buffer, four quadrant
+// buffers, and a grid of leaf buffers — and returns the leaf nets.
+func buildClockTree(d *netlist.Design, r *rng.Rand, die float64, nFFs int) (*clockNets, error) {
+	root := d.AddNet()
+	if err := d.SetClockRoot(root); err != nil {
+		return nil, err
+	}
+	cb, err := d.Lib.Pick(cells.ClkBuf, 4)
+	if err != nil {
+		return nil, err
+	}
+	cbLeaf, err := d.Lib.Pick(cells.ClkBuf, 2)
+	if err != nil {
+		return nil, err
+	}
+	// Root repeater chain at the die center: realistic clock trees are
+	// many buffers deep, which both tempers per-buffer AOCV derates (depth
+	// cancellation) and creates a deep shared prefix for CRPR.
+	cur := root
+	for i := 0; i < 3; i++ {
+		next := d.AddNet()
+		if _, err := d.AddGate(cb, die/2, die/2, []int{cur}, next); err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	rootOut := cur
+	leaves := &clockNets{}
+	gridN := int(math.Max(1, math.Round(math.Sqrt(float64(nFFs)/8))))
+	for qx := 0; qx < 2; qx++ {
+		for qy := 0; qy < 2; qy++ {
+			quadX := (float64(qx)*2 + 1) * die / 4
+			quadY := (float64(qy)*2 + 1) * die / 4
+			// Two-buffer spine per quadrant.
+			quadIn := d.AddNet()
+			if _, err := d.AddGate(cb, (die/2+quadX)/2, (die/2+quadY)/2, []int{rootOut}, quadIn); err != nil {
+				return nil, err
+			}
+			quadOut := d.AddNet()
+			if _, err := d.AddGate(cb, quadX, quadY, []int{quadIn}, quadOut); err != nil {
+				return nil, err
+			}
+			for gx := 0; gx < gridN; gx++ {
+				for gy := 0; gy < gridN; gy++ {
+					lx := (float64(qx) + (float64(gx)+0.5)/float64(gridN)) * die / 2
+					ly := (float64(qy) + (float64(gy)+0.5)/float64(gridN)) * die / 2
+					leafOut := d.AddNet()
+					if _, err := d.AddGate(cbLeaf, lx, ly, []int{quadOut}, leafOut); err != nil {
+						return nil, err
+					}
+					leaves.nets = append(leaves.nets, leafOut)
+					leaves.xs = append(leaves.xs, lx)
+					leaves.ys = append(leaves.ys, ly)
+				}
+			}
+		}
+	}
+	return leaves, nil
+}
+
+// Toy returns the small design of the paper's §3.2 study: about 1.4k
+// variables and several thousand violated paths.
+func Toy() Config {
+	return Config{
+		Name:        "toy",
+		Seed:        12001,
+		Node:        28,
+		Gates:       1400,
+		FFs:         150,
+		MaxLevel:    8,
+		AreaPerGate: 30,
+		ViolateFrac: 0.40,
+		ConeMode:    true,
+		JoinP:       0.05,
+		ShareP:      0.03,
+	}
+}
+
+// Suite returns the ten designs standing in for the paper's D1-D10.
+//
+// Technology node, size, logic style and reconvergence pressure vary the
+// way the paper's population does: its GBA pass ratios range from 92.4%
+// (D1) down to 0.12% (D8), so the stand-ins span clean datapath-style
+// cone designs (high GBA pass) through heavily reconvergent sea-of-gates
+// designs (near-zero GBA pass).
+func Suite() []Config {
+	type spec struct {
+		node, gates, ffs, maxLevel int
+		cone                       bool
+		joinP, shareP, longP       float64
+		violate                    float64
+	}
+	base := []spec{
+		{65, 1500, 170, 6, true, 0.00, 0.00, 0, 0.30},  // D1: clean, old node
+		{40, 6000, 650, 10, true, 0.05, 0.04, 0, 0.50}, // D2: large datapath
+		{28, 3000, 330, 8, true, 0.02, 0.02, 0, 0.40},  // D3
+		{28, 2800, 310, 6, true, 0.00, 0.01, 0, 0.40},  // D4: near-clean
+		{40, 2000, 230, 8, true, 0.02, 0.02, 0, 0.35},  // D5
+		{28, 3600, 390, 12, true, 0.08, 0.06, 0, 0.45}, // D6: deeper, joins
+		{16, 3200, 350, 10, true, 0.12, 0.08, 0, 0.45}, // D7: advanced node
+		{16, 5200, 540, 38, false, 0, 0, 0.20, 0.55},   // D8: reconvergent sea (paper D8: 0.12% pass)
+		{16, 4600, 480, 14, true, 0.20, 0.15, 0, 0.50}, // D9: heavy joins
+		{28, 4200, 440, 30, false, 0, 0, 0.05, 0.45},   // D10: moderate sea
+	}
+	depthCaps := []float64{0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0, 0.05, 0}
+	out := make([]Config, len(base))
+	for i, b := range base {
+		out[i] = Config{
+			Name:        fmt.Sprintf("D%d", i+1),
+			Seed:        uint64(41000 + 13*i),
+			Node:        b.node,
+			Gates:       b.gates,
+			FFs:         b.ffs,
+			MaxLevel:    b.maxLevel,
+			LongEdgeP:   b.longP,
+			AreaPerGate: 30,
+			ViolateFrac: b.violate,
+			ConeMode:    b.cone,
+			JoinP:       b.joinP,
+			ShareP:      b.shareP,
+			DepthCap:    depthCaps[i],
+		}
+	}
+	return out
+}

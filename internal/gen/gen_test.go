@@ -1,0 +1,219 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"mgba/internal/graph"
+	"mgba/internal/sta"
+)
+
+func TestConfigValidate(t *testing.T) {
+	ok := Toy()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("Toy invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Gates = 0 },
+		func(c *Config) { c.FFs = 1 },
+		func(c *Config) { c.MaxLevel = 0 },
+		func(c *Config) { c.LongEdgeP = 1.5 },
+		func(c *Config) { c.AreaPerGate = 0 },
+		func(c *Config) { c.ViolateFrac = 1 },
+		func(c *Config) { c.ViolateFrac = -0.1 },
+	}
+	for i, mutate := range bad {
+		c := Toy()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestGenerateToy(t *testing.T) {
+	d, err := Generate(Toy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.FFs) != Toy().FFs {
+		t.Fatalf("FFs = %d, want %d", len(d.FFs), Toy().FFs)
+	}
+	// Instance count = gates + FFs + clock tree.
+	comb := 0
+	for _, in := range d.Instances {
+		if !in.IsFF() && in.Cell.Kind.String() != "CLKBUF" {
+			comb++
+		}
+	}
+	if comb != Toy().Gates {
+		t.Fatalf("comb gates = %d, want %d", comb, Toy().Gates)
+	}
+	if d.ClockPeriod <= 0 {
+		t.Fatalf("period = %v", d.ClockPeriod)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Toy()
+	cfg.Gates, cfg.FFs = 300, 40
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Instances) != len(b.Instances) || a.ClockPeriod != b.ClockPeriod {
+		t.Fatal("same seed produced different designs")
+	}
+	for i := range a.Instances {
+		ia, ib := a.Instances[i], b.Instances[i]
+		if ia.Cell.Name != ib.Cell.Name || ia.X != ib.X || ia.Output != ib.Output {
+			t.Fatalf("instance %d differs", i)
+		}
+	}
+}
+
+func TestSeedChangesDesign(t *testing.T) {
+	cfg := Toy()
+	cfg.Gates, cfg.FFs = 300, 40
+	a, _ := Generate(cfg)
+	cfg.Seed++
+	b, _ := Generate(cfg)
+	same := true
+	for i := range a.Instances {
+		if i >= len(b.Instances) || a.Instances[i].X != b.Instances[i].X {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical placements")
+	}
+}
+
+func TestViolationFractionRoughlyMet(t *testing.T) {
+	cfg := Toy()
+	cfg.Gates, cfg.FFs = 800, 120
+	cfg.ViolateFrac = 0.4
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sta.Analyze(g, sta.DefaultConfig())
+	constrained := 0
+	for fi, s := range r.Slack {
+		if !math.IsInf(s, 1) {
+			constrained++
+		}
+		_ = fi
+	}
+	frac := float64(len(r.ViolatingEndpoints())) / float64(constrained)
+	if frac < 0.2 || frac > 0.6 {
+		t.Fatalf("violating fraction = %v, want near 0.4", frac)
+	}
+}
+
+func TestDepthDiversity(t *testing.T) {
+	// The generator must produce a wide GBA depth spread — that is what
+	// makes AOCV pessimism interesting.
+	d, err := Generate(Toy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := g.ComputeDepths()
+	minD, maxD := 1<<30, 0
+	for _, v := range g.Topo {
+		if d.Instances[v].IsFF() {
+			continue
+		}
+		if dp.GBA[v] < minD {
+			minD = dp.GBA[v]
+		}
+		if dp.GBA[v] > maxD {
+			maxD = dp.GBA[v]
+		}
+	}
+	if maxD-minD < 5 {
+		t.Fatalf("depth spread [%d,%d] too narrow", minD, maxD)
+	}
+}
+
+func TestMostGatesOnPaths(t *testing.T) {
+	// Dangling logic is wasted: the generator should keep it rare.
+	d, err := Generate(Toy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dangling := 0
+	comb := 0
+	for _, in := range d.Instances {
+		if in.IsFF() || in.Cell.Kind.String() == "CLKBUF" {
+			continue
+		}
+		comb++
+		if len(d.Nets[in.Output].Sinks) == 0 {
+			dangling++
+		}
+	}
+	if frac := float64(dangling) / float64(comb); frac > 0.25 {
+		t.Fatalf("dangling gate fraction = %v", frac)
+	}
+}
+
+func TestSuiteShapes(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 10 {
+		t.Fatalf("suite size = %d", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, cfg := range suite {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+		if seen[cfg.Name] {
+			t.Errorf("duplicate name %s", cfg.Name)
+		}
+		seen[cfg.Name] = true
+	}
+}
+
+func TestGenerateSmallSuiteMember(t *testing.T) {
+	cfg := Suite()[0]
+	cfg.Gates, cfg.FFs = 500, 60 // shrink for test speed
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := graph.Build(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateTinyConfig(t *testing.T) {
+	// Degenerate-but-legal configs must still produce valid designs.
+	cfg := Config{
+		Name: "tiny", Seed: 1, Node: 28, Gates: 5, FFs: 2,
+		MaxLevel: 2, LongEdgeP: 0, AreaPerGate: 30, ViolateFrac: 0,
+	}
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

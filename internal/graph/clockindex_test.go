@@ -1,0 +1,108 @@
+package graph_test
+
+import (
+	"testing"
+
+	"mgba/internal/gen"
+	"mgba/internal/graph"
+)
+
+func coneGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	cfg := gen.Toy()
+	cfg.Gates, cfg.FFs = 400, 60
+	cfg.Name = "clockindex"
+	d, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestClockIndexLeafGrouping(t *testing.T) {
+	g := coneGraph(t)
+	ci := g.ClockIndex()
+	if len(ci.LeafOfFF) != len(g.D.FFs) {
+		t.Fatalf("LeafOfFF size %d, want %d", len(ci.LeafOfFF), len(g.D.FFs))
+	}
+	// FFs sharing a clock net must share a leaf id and hence a chain.
+	byNet := map[int]int{}
+	for fi, ffID := range g.D.FFs {
+		net := g.D.Instances[ffID].Clock
+		if prev, ok := byNet[net]; ok {
+			if ci.LeafOfFF[fi] != prev {
+				t.Fatalf("FFs on net %d got leaves %d and %d", net, prev, ci.LeafOfFF[fi])
+			}
+		} else {
+			byNet[net] = ci.LeafOfFF[fi]
+		}
+	}
+	if len(ci.Chains) != len(byNet) {
+		t.Fatalf("chains %d, distinct clock nets %d", len(ci.Chains), len(byNet))
+	}
+}
+
+func TestClockIndexCommonSymmetricAndBounded(t *testing.T) {
+	g := coneGraph(t)
+	ci := g.ClockIndex()
+	n := len(ci.Chains)
+	for a := 0; a < n; a++ {
+		if ci.Common[a][a] != len(ci.Chains[a]) {
+			t.Fatalf("self common %d != chain length %d", ci.Common[a][a], len(ci.Chains[a]))
+		}
+		for b := 0; b < n; b++ {
+			if ci.Common[a][b] != ci.Common[b][a] {
+				t.Fatal("common prefix not symmetric")
+			}
+			if ci.Common[a][b] > len(ci.Chains[a]) || ci.Common[a][b] > len(ci.Chains[b]) {
+				t.Fatal("common prefix exceeds a chain length")
+			}
+		}
+	}
+}
+
+func TestClockIndexMatchesCommonClockDepth(t *testing.T) {
+	g := coneGraph(t)
+	ci := g.ClockIndex()
+	for fi := range g.D.FFs {
+		for fj := range g.D.FFs {
+			if fi > 8 || fj > 8 {
+				break // spot check a few pairs
+			}
+			want := g.CommonClockDepth(fi, fj)
+			got := ci.Common[ci.LeafOfFF[fi]][ci.LeafOfFF[fj]]
+			if got != want {
+				t.Fatalf("pair (%d,%d): index common %d, chain walk %d", fi, fj, got, want)
+			}
+		}
+	}
+}
+
+func TestClockIndexLaunchLeavesSound(t *testing.T) {
+	g := coneGraph(t)
+	ci := g.ClockIndex()
+	// Every endpoint with data fanin must have at least one launch leaf,
+	// and every reported leaf id must be valid.
+	for fi, ffID := range g.D.FFs {
+		leaves := ci.LaunchLeaves[fi]
+		if len(g.Fanin[ffID]) > 0 && len(leaves) == 0 {
+			t.Fatalf("endpoint %d has fanin but no launch leaves", fi)
+		}
+		for _, leaf := range leaves {
+			if leaf < 0 || leaf >= len(ci.Chains) {
+				t.Fatalf("endpoint %d: leaf id %d out of range", fi, leaf)
+			}
+		}
+	}
+}
+
+func TestClockIndexCached(t *testing.T) {
+	g := coneGraph(t)
+	if g.ClockIndex() != g.ClockIndex() {
+		t.Fatal("ClockIndex not memoized")
+	}
+}

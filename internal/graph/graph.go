@@ -1,0 +1,518 @@
+// Package graph derives the timing graph of a design: data-edge adjacency,
+// topological order, clock-tree chains, and the two worst-casing DPs that
+// feed graph-based AOCV derating — minimum cell depth through each gate and
+// the conservative launch/capture bounding boxes that bound the endpoint
+// distance of any path through a gate.
+//
+// The graph is purely structural; delay numbers live in internal/sta and
+// internal/pba, which both consume this package.
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"mgba/internal/cells"
+	"mgba/internal/netlist"
+)
+
+// Edge is one data arc from the output of instance From to input pin Pin of
+// instance To, across net Net. Arcs into a flip-flop's D pin are the path
+// endpoints; arcs out of a flip-flop's Q pin are the path startpoints.
+type Edge struct {
+	From, To, Net, Pin int
+}
+
+// Graph is the structural timing graph of one design. It becomes stale when
+// the design's connectivity changes (buffer insertion); rebuild it then.
+// Gate resizing does not change the structure.
+type Graph struct {
+	D *netlist.Design
+
+	Fanout [][]Edge // data edges leaving each instance's output
+	Fanin  [][]Edge // data edges entering each instance's input pins
+	Topo   []int    // data instances (FFs + combinational) in topological order
+
+	// ClockChain[i] lists, for D.FFs[i], the clock-buffer instance IDs from
+	// the clock root down to the FF's CK pin (root-most first).
+	ClockChain [][]int
+
+	ffIndex    map[int]int // instance ID -> index into D.FFs
+	isClock    []bool      // instance is part of the clock tree
+	clockIndex *ClockIndex // lazy CRPR reachability index
+}
+
+// Build constructs the graph and validates the data DAG. The design should
+// already pass netlist.Validate; Build re-detects combinational cycles via
+// its topological sort and rejects clock buffers used as data drivers.
+func Build(d *netlist.Design) (*Graph, error) {
+	n := len(d.Instances)
+	g := &Graph{
+		D:       d,
+		Fanout:  make([][]Edge, n),
+		Fanin:   make([][]Edge, n),
+		ffIndex: make(map[int]int, len(d.FFs)),
+		isClock: make([]bool, n),
+	}
+	for i, ff := range d.FFs {
+		g.ffIndex[ff] = i
+	}
+	for _, in := range d.Instances {
+		if !in.Dead && in.Cell.Kind == cells.ClkBuf {
+			g.isClock[in.ID] = true
+		}
+	}
+	// Data edges: for every non-clock instance with an output, connect to
+	// every sink pin fed by the output net (skipping CK pins).
+	for _, in := range d.Instances {
+		if in.Dead || g.isClock[in.ID] || in.Output < 0 {
+			continue
+		}
+		net := d.Nets[in.Output]
+		for _, s := range net.Sinks {
+			sink := d.Instances[s]
+			if sink.Clock == net.ID && sink.IsFF() {
+				continue // CK pin, not a data arc
+			}
+			if g.isClock[s] {
+				return nil, fmt.Errorf("graph: data net %d drives clock buffer %s", net.ID, sink.Name)
+			}
+			for pin, inNet := range sink.Inputs {
+				if inNet == net.ID {
+					e := Edge{From: in.ID, To: s, Net: net.ID, Pin: pin}
+					g.Fanout[in.ID] = append(g.Fanout[in.ID], e)
+					g.Fanin[s] = append(g.Fanin[s], e)
+				}
+			}
+		}
+	}
+	// Reject clock buffers reading from data cells.
+	for _, in := range d.Instances {
+		if in.Dead || !g.isClock[in.ID] {
+			continue
+		}
+		src := d.Nets[in.Inputs[0]]
+		if src.Driver >= 0 && !g.isClock[src.Driver] {
+			return nil, fmt.Errorf("graph: clock buffer %s driven by data cell", in.Name)
+		}
+	}
+	if err := g.topoSort(); err != nil {
+		return nil, err
+	}
+	if err := g.buildClockChains(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// topoSort orders data instances with Kahn's algorithm. Edges into a
+// flip-flop do not count toward its in-degree: registers are path breaks.
+func (g *Graph) topoSort() error {
+	d := g.D
+	indeg := make([]int, len(d.Instances))
+	nData := 0
+	for _, in := range d.Instances {
+		if in.Dead || g.isClock[in.ID] {
+			continue
+		}
+		nData++
+		if in.IsFF() {
+			continue // sources regardless of D-pin fanin
+		}
+		indeg[in.ID] = len(g.Fanin[in.ID])
+	}
+	queue := make([]int, 0, nData)
+	for _, in := range d.Instances {
+		if !in.Dead && !g.isClock[in.ID] && indeg[in.ID] == 0 {
+			queue = append(queue, in.ID)
+		}
+	}
+	g.Topo = g.Topo[:0]
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		g.Topo = append(g.Topo, v)
+		for _, e := range g.Fanout[v] {
+			if d.Instances[e.To].IsFF() {
+				continue
+			}
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(g.Topo) != nData {
+		return fmt.Errorf("graph: combinational cycle (%d of %d ordered)", len(g.Topo), nData)
+	}
+	return nil
+}
+
+func (g *Graph) buildClockChains() error {
+	d := g.D
+	g.ClockChain = make([][]int, len(d.FFs))
+	for i, ffID := range d.FFs {
+		var chain []int
+		net := d.Instances[ffID].Clock
+		for steps := 0; net != d.ClockRoot; steps++ {
+			if steps > len(d.Instances) {
+				return fmt.Errorf("graph: clock cycle at FF %s", d.Instances[ffID].Name)
+			}
+			drv := d.Nets[net].Driver
+			if drv < 0 {
+				return fmt.Errorf("graph: FF %s clock dangles at net %d", d.Instances[ffID].Name, net)
+			}
+			chain = append(chain, drv)
+			net = d.Instances[drv].Inputs[0]
+		}
+		// Reverse to root-first order.
+		for l, r := 0, len(chain)-1; l < r; l, r = l+1, r-1 {
+			chain[l], chain[r] = chain[r], chain[l]
+		}
+		g.ClockChain[i] = chain
+	}
+	return nil
+}
+
+// FFIndex returns the D.FFs position of an FF instance ID, or -1.
+func (g *Graph) FFIndex(instID int) int {
+	if i, ok := g.ffIndex[instID]; ok {
+		return i
+	}
+	return -1
+}
+
+// IsClock reports whether the instance belongs to the clock tree.
+func (g *Graph) IsClock(instID int) bool { return g.isClock[instID] }
+
+// Endpoints returns the instance IDs of flip-flops whose D pin is driven by
+// a data arc — the timing endpoints.
+func (g *Graph) Endpoints() []int {
+	var out []int
+	for _, ff := range g.D.FFs {
+		if len(g.Fanin[ff]) > 0 {
+			out = append(out, ff)
+		}
+	}
+	return out
+}
+
+// CommonClockDepth returns the number of shared clock buffers on the root
+// prefix of the launch and capture FFs' clock chains — the quantity CRPR
+// credits. Both arguments are positions into D.FFs.
+func (g *Graph) CommonClockDepth(launchIdx, captureIdx int) int {
+	a, b := g.ClockChain[launchIdx], g.ClockChain[captureIdx]
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+// ClockIndex supports clock-reconvergence pessimism analysis: it groups
+// flip-flops by clock leaf (the net feeding their CK pins — FFs on one
+// leaf share the entire clock chain), knows the shared-prefix length of
+// every leaf pair, and records which launch leaves reach each endpoint.
+// GBA uses it to apply the industry-standard *conservative* CRPR credit:
+// the smallest credit over every launch leaf that can reach the endpoint.
+type ClockIndex struct {
+	LeafOfFF []int   // per D.FFs position: dense leaf id
+	Chains   [][]int // per leaf id: clock-buffer chain, root first
+	Common   [][]int // per leaf pair: shared prefix length
+
+	// LaunchLeaves[fi] lists the distinct leaf ids of launch FFs with a
+	// data path into endpoint fi (a D.FFs position).
+	LaunchLeaves [][]int
+}
+
+// ClockIndex computes (and caches) the clock index; it depends only on
+// structure, so one index serves any number of timing analyses.
+func (g *Graph) ClockIndex() *ClockIndex {
+	if g.clockIndex != nil {
+		return g.clockIndex
+	}
+	d := g.D
+	ci := &ClockIndex{LeafOfFF: make([]int, len(d.FFs))}
+	leafID := map[int]int{} // clock net -> dense id
+	for fi, ffID := range d.FFs {
+		net := d.Instances[ffID].Clock
+		id, ok := leafID[net]
+		if !ok {
+			id = len(ci.Chains)
+			leafID[net] = id
+			ci.Chains = append(ci.Chains, g.ClockChain[fi])
+		}
+		ci.LeafOfFF[fi] = id
+	}
+	nl := len(ci.Chains)
+	ci.Common = make([][]int, nl)
+	for a := 0; a < nl; a++ {
+		ci.Common[a] = make([]int, nl)
+		for b := 0; b < nl; b++ {
+			n := 0
+			for n < len(ci.Chains[a]) && n < len(ci.Chains[b]) && ci.Chains[a][n] == ci.Chains[b][n] {
+				n++
+			}
+			ci.Common[a][b] = n
+		}
+	}
+	// Launch-leaf reachability over the data graph, as bitsets.
+	words := (nl + 63) / 64
+	masks := make([][]uint64, len(d.Instances))
+	for i := range masks {
+		masks[i] = make([]uint64, words)
+	}
+	orInto := func(dst, src []uint64) {
+		for w := range dst {
+			dst[w] |= src[w]
+		}
+	}
+	for _, v := range g.Topo {
+		in := d.Instances[v]
+		if in.IsFF() {
+			leaf := ci.LeafOfFF[g.ffIndex[v]]
+			masks[v][leaf/64] |= 1 << (uint(leaf) % 64)
+			continue
+		}
+		for _, e := range g.Fanin[v] {
+			orInto(masks[v], masks[e.From])
+		}
+	}
+	ci.LaunchLeaves = make([][]int, len(d.FFs))
+	for fi, ffID := range d.FFs {
+		acc := make([]uint64, words)
+		for _, e := range g.Fanin[ffID] {
+			orInto(acc, masks[e.From])
+		}
+		for leaf := 0; leaf < nl; leaf++ {
+			if acc[leaf/64]&(1<<(uint(leaf)%64)) != 0 {
+				ci.LaunchLeaves[fi] = append(ci.LaunchLeaves[fi], leaf)
+			}
+		}
+	}
+	g.clockIndex = ci
+	return ci
+}
+
+// Depths holds the worst-casing cell-depth DP results used by GBA AOCV
+// lookups. All counts are over combinational data gates only.
+type Depths struct {
+	// MinPrefix[v]: fewest combinational gates on any launch-to-v path,
+	// counting v itself (combinational v only; 0 for FFs).
+	MinPrefix []int
+	// MinSuffix[v]: fewest combinational gates on any v-to-endpoint path,
+	// counting v itself (0 for FFs).
+	MinSuffix []int
+	// GBA[v]: the worst (minimum) cell depth GBA assumes for instance v:
+	// MinPrefix+MinSuffix-1 for combinational gates; for a flip-flop, the
+	// minimum depth among the paths its Q pin launches.
+	GBA []int
+}
+
+const unreachable = math.MaxInt32
+
+// ComputeDepths runs the forward/backward minimum-depth DPs. Gates on no
+// complete register-to-register path get GBA depth 1 (maximum derate),
+// which is what a conservative timer assumes for unconstrained logic.
+func (g *Graph) ComputeDepths() *Depths {
+	d := g.D
+	n := len(d.Instances)
+	dp := &Depths{
+		MinPrefix: make([]int, n),
+		MinSuffix: make([]int, n),
+		GBA:       make([]int, n),
+	}
+	for i := range dp.MinPrefix {
+		dp.MinPrefix[i] = unreachable
+		dp.MinSuffix[i] = unreachable
+	}
+	// Forward: topological order guarantees fanins are final.
+	for _, v := range g.Topo {
+		in := d.Instances[v]
+		if in.IsFF() {
+			dp.MinPrefix[v] = 0
+			continue
+		}
+		best := unreachable
+		for _, e := range g.Fanin[v] {
+			var cand int
+			if d.Instances[e.From].IsFF() {
+				cand = 1
+			} else if dp.MinPrefix[e.From] != unreachable {
+				cand = dp.MinPrefix[e.From] + 1
+			} else {
+				continue
+			}
+			if cand < best {
+				best = cand
+			}
+		}
+		dp.MinPrefix[v] = best
+	}
+	// Backward.
+	for i := len(g.Topo) - 1; i >= 0; i-- {
+		v := g.Topo[i]
+		in := d.Instances[v]
+		if in.IsFF() {
+			dp.MinSuffix[v] = 0
+			continue
+		}
+		best := unreachable
+		for _, e := range g.Fanout[v] {
+			var cand int
+			if d.Instances[e.To].IsFF() {
+				cand = 1
+			} else if dp.MinSuffix[e.To] != unreachable {
+				cand = dp.MinSuffix[e.To] + 1
+			} else {
+				continue
+			}
+			if cand < best {
+				best = cand
+			}
+		}
+		dp.MinSuffix[v] = best
+	}
+	for _, v := range g.Topo {
+		in := d.Instances[v]
+		if in.IsFF() {
+			// Launch arc: worst depth among launched paths.
+			best := unreachable
+			for _, e := range g.Fanout[v] {
+				var cand int
+				if d.Instances[e.To].IsFF() {
+					cand = 1 // direct FF-to-FF transfer: shallowest possible
+				} else if dp.MinSuffix[e.To] != unreachable {
+					cand = dp.MinSuffix[e.To]
+				} else {
+					continue
+				}
+				if cand < best {
+					best = cand
+				}
+			}
+			if best == unreachable {
+				best = 1
+			}
+			dp.GBA[v] = best
+			continue
+		}
+		pre, suf := dp.MinPrefix[v], dp.MinSuffix[v]
+		if pre == unreachable || suf == unreachable {
+			dp.GBA[v] = 1
+		} else {
+			dp.GBA[v] = pre + suf - 1
+		}
+	}
+	return dp
+}
+
+// BBox is an axis-aligned placement bounding box; Empty boxes have not
+// absorbed any point yet.
+type BBox struct {
+	MinX, MinY, MaxX, MaxY float64
+	Empty                  bool
+}
+
+func emptyBox() BBox { return BBox{Empty: true} }
+
+func (b *BBox) addPoint(x, y float64) {
+	if b.Empty {
+		b.MinX, b.MinY = x, y
+		b.MaxX, b.MaxY = x, y
+		b.Empty = false
+		return
+	}
+	if x < b.MinX {
+		b.MinX = x
+	}
+	if x > b.MaxX {
+		b.MaxX = x
+	}
+	if y < b.MinY {
+		b.MinY = y
+	}
+	if y > b.MaxY {
+		b.MaxY = y
+	}
+}
+
+func (b *BBox) union(o BBox) {
+	if o.Empty {
+		return
+	}
+	b.addPoint(o.MinX, o.MinY)
+	b.addPoint(o.MaxX, o.MaxY)
+}
+
+// MaxDistance returns the largest possible distance between a point of a
+// and a point of b — the conservative endpoint distance GBA feeds to the
+// AOCV table. It returns 0 when either box is empty.
+func MaxDistance(a, b BBox) float64 {
+	if a.Empty || b.Empty {
+		return 0
+	}
+	dx := math.Max(math.Abs(a.MaxX-b.MinX), math.Abs(b.MaxX-a.MinX))
+	dy := math.Max(math.Abs(a.MaxY-b.MinY), math.Abs(b.MaxY-a.MinY))
+	return math.Hypot(dx, dy)
+}
+
+// Boxes holds the conservative launch/capture bounding boxes per instance.
+type Boxes struct {
+	Launch  []BBox // placements of launch FFs that reach this instance
+	Capture []BBox // placements of capture FFs this instance reaches
+	// GBADistance[v] bounds the endpoint distance of any path through v.
+	GBADistance []float64
+}
+
+// ComputeBoxes runs the forward/backward reachable-FF bounding-box DPs and
+// derives the conservative per-gate AOCV distance.
+func (g *Graph) ComputeBoxes() *Boxes {
+	d := g.D
+	n := len(d.Instances)
+	bx := &Boxes{
+		Launch:      make([]BBox, n),
+		Capture:     make([]BBox, n),
+		GBADistance: make([]float64, n),
+	}
+	for i := range bx.Launch {
+		bx.Launch[i] = emptyBox()
+		bx.Capture[i] = emptyBox()
+	}
+	for _, v := range g.Topo {
+		in := d.Instances[v]
+		if in.IsFF() {
+			bx.Launch[v].addPoint(in.X, in.Y)
+			continue
+		}
+		for _, e := range g.Fanin[v] {
+			bx.Launch[v].union(bx.Launch[e.From])
+		}
+	}
+	// FFs are sources of the topological order, so a plain reverse sweep
+	// would read their capture boxes before initialization: seed them
+	// first, then sweep the combinational gates, then widen the launch
+	// FFs' boxes over their (now final) fanout.
+	for _, ffID := range d.FFs {
+		in := d.Instances[ffID]
+		bx.Capture[ffID].addPoint(in.X, in.Y)
+	}
+	for i := len(g.Topo) - 1; i >= 0; i-- {
+		v := g.Topo[i]
+		if d.Instances[v].IsFF() {
+			continue
+		}
+		for _, e := range g.Fanout[v] {
+			bx.Capture[v].union(bx.Capture[e.To])
+		}
+	}
+	for _, ffID := range d.FFs {
+		for _, e := range g.Fanout[ffID] {
+			bx.Capture[ffID].union(bx.Capture[e.To])
+		}
+	}
+	for _, v := range g.Topo {
+		bx.GBADistance[v] = MaxDistance(bx.Launch[v], bx.Capture[v])
+	}
+	return bx
+}

@@ -1,0 +1,249 @@
+package graph_test
+
+import (
+	"testing"
+
+	"mgba/internal/aocv"
+	"mgba/internal/cells"
+	"mgba/internal/fixtures"
+	"mgba/internal/graph"
+	"mgba/internal/netlist"
+)
+
+func fig2(t *testing.T) (*netlist.Design, *fixtures.Fig2Info, *graph.Graph) {
+	t.Helper()
+	d, info, _, err := fixtures.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, info, g
+}
+
+func TestBuildFig2(t *testing.T) {
+	d, info, g := fig2(t)
+	// All 12 instances are data instances (no clock buffers here).
+	if len(g.Topo) != len(d.Instances) {
+		t.Fatalf("topo covers %d of %d", len(g.Topo), len(d.Instances))
+	}
+	// g4 must have two fanins (g3 and h).
+	if n := len(g.Fanin[info.Gates[3]]); n != 2 {
+		t.Fatalf("g4 fanin = %d, want 2", n)
+	}
+	// g4 fans out to g5 and k.
+	if n := len(g.Fanout[info.Gates[3]]); n != 2 {
+		t.Fatalf("g4 fanout = %d, want 2", n)
+	}
+}
+
+func TestTopoOrderRespected(t *testing.T) {
+	_, _, g := fig2(t)
+	pos := make(map[int]int, len(g.Topo))
+	for i, v := range g.Topo {
+		pos[v] = i
+	}
+	for v, edges := range g.Fanout {
+		for _, e := range edges {
+			if g.D.Instances[e.To].IsFF() {
+				continue
+			}
+			if pos[e.From] >= pos[e.To] {
+				t.Fatalf("edge %d->%d violates topo order", v, e.To)
+			}
+		}
+	}
+}
+
+func TestEndpoints(t *testing.T) {
+	_, _, g := fig2(t)
+	eps := g.Endpoints()
+	if len(eps) != 4 { // all four FFs have driven D pins in the fixture
+		t.Fatalf("endpoints = %v", eps)
+	}
+}
+
+func TestFFIndex(t *testing.T) {
+	d, info, g := fig2(t)
+	if g.FFIndex(info.FF1) != 0 {
+		t.Fatalf("FFIndex(FF1) = %d", g.FFIndex(info.FF1))
+	}
+	if g.FFIndex(info.Gates[0]) != -1 {
+		t.Fatal("combinational gate has an FF index")
+	}
+	_ = d
+}
+
+// The heart of the fixture: GBA worst depths along the main path must be
+// exactly 5, 5, 5, 3, 4, 4 — the depths behind Eq. (3) of the paper.
+func TestFig2GBADepths(t *testing.T) {
+	_, info, g := fig2(t)
+	dp := g.ComputeDepths()
+	want := [6]int{5, 5, 5, 3, 4, 4}
+	for i, id := range info.Gates {
+		if dp.GBA[id] != want[i] {
+			t.Errorf("g%d GBA depth = %d, want %d", i+1, dp.GBA[id], want[i])
+		}
+	}
+}
+
+func TestFig2PrefixSuffix(t *testing.T) {
+	_, info, g := fig2(t)
+	dp := g.ComputeDepths()
+	// Prefixes along the main path: 1,2,3 then the FF2 shortcut makes g4's
+	// prefix 2, so 2,3,4 follow.
+	wantPre := [6]int{1, 2, 3, 2, 3, 4}
+	wantSuf := [6]int{5, 4, 3, 2, 2, 1}
+	for i, id := range info.Gates {
+		if dp.MinPrefix[id] != wantPre[i] {
+			t.Errorf("g%d MinPrefix = %d, want %d", i+1, dp.MinPrefix[id], wantPre[i])
+		}
+		if dp.MinSuffix[id] != wantSuf[i] {
+			t.Errorf("g%d MinSuffix = %d, want %d", i+1, dp.MinSuffix[id], wantSuf[i])
+		}
+	}
+}
+
+func TestGBADepthNeverExceedsPathDepth(t *testing.T) {
+	// On a pure chain, every gate lies on exactly one path, so the GBA
+	// depth must equal the path depth n.
+	d, ids, err := fixtures.Chain(7, 10, 28, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := g.ComputeDepths()
+	for _, id := range ids {
+		if dp.GBA[id] != 7 {
+			t.Fatalf("chain gate depth = %d, want 7", dp.GBA[id])
+		}
+	}
+}
+
+func TestFig2GBADistance(t *testing.T) {
+	_, info, g := fig2(t)
+	bx := g.ComputeBoxes()
+	// Launch FFs at x=0, captures at x=0.5: every main gate's conservative
+	// distance is 0.5 um.
+	for i, id := range info.Gates {
+		if got := bx.GBADistance[id]; got < 0.5-1e-12 || got > 0.5+1e-12 {
+			t.Errorf("g%d GBA distance = %v, want 0.5", i+1, got)
+		}
+	}
+}
+
+func TestMaxDistance(t *testing.T) {
+	a := graph.BBox{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	b := graph.BBox{MinX: 3, MinY: 0, MaxX: 4, MaxY: 2}
+	if got := graph.MaxDistance(a, b); got < 4.47 || got > 4.48 {
+		t.Fatalf("MaxDistance = %v, want ~sqrt(20)", got)
+	}
+	if graph.MaxDistance(a, graph.BBox{Empty: true}) != 0 {
+		t.Fatal("empty box distance != 0")
+	}
+}
+
+func TestClockChainsAndCommonDepth(t *testing.T) {
+	lib := cells.Default(28)
+	d := netlist.New("ct", 28, lib, aocv.Default(28), 1000)
+	clkRoot := d.AddNet()
+	d.SetClockRoot(clkRoot)
+	cb, _ := lib.Pick(cells.ClkBuf, 2)
+	// Root buffer feeding two leaf buffers.
+	nRoot := d.AddNet()
+	rootBuf, _ := d.AddGate(cb, 0, 0, []int{clkRoot}, nRoot)
+	nA, nB := d.AddNet(), d.AddNet()
+	bufA, _ := d.AddGate(cb, -5, 0, []int{nRoot}, nA)
+	bufB, _ := d.AddGate(cb, 5, 0, []int{nRoot}, nB)
+	ffc, _ := lib.Pick(cells.DFF, 1)
+	inv, _ := lib.Pick(cells.Inv, 1)
+	q0, mid, q1 := d.AddNet(), d.AddNet(), d.AddNet()
+	d.AddFF(ffc, -5, 1, q1, q0, nA)
+	d.AddGate(inv, 0, 1, []int{q0}, mid)
+	d.AddFF(ffc, 5, 1, mid, q1, nB)
+	d.AutoWire()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.ClockChain[0]) != 2 || g.ClockChain[0][0] != rootBuf.ID || g.ClockChain[0][1] != bufA.ID {
+		t.Fatalf("chain0 = %v", g.ClockChain[0])
+	}
+	if len(g.ClockChain[1]) != 2 || g.ClockChain[1][1] != bufB.ID {
+		t.Fatalf("chain1 = %v", g.ClockChain[1])
+	}
+	if got := g.CommonClockDepth(0, 1); got != 1 {
+		t.Fatalf("CommonClockDepth = %d, want 1 (shared root buffer)", got)
+	}
+	if got := g.CommonClockDepth(0, 0); got != 2 {
+		t.Fatalf("self CommonClockDepth = %d, want 2", got)
+	}
+	if !g.IsClock(rootBuf.ID) || g.IsClock(g.D.FFs[0]) {
+		t.Fatal("IsClock misclassifies")
+	}
+}
+
+func TestBuildRejectsDataIntoClockBuf(t *testing.T) {
+	lib := cells.Default(28)
+	d := netlist.New("bad", 28, lib, aocv.Default(28), 1000)
+	clk := d.AddNet()
+	d.SetClockRoot(clk)
+	inv, _ := lib.Pick(cells.Inv, 1)
+	cb, _ := lib.Pick(cells.ClkBuf, 1)
+	a, b, c := d.AddNet(), d.AddNet(), d.AddNet()
+	d.AddGate(inv, 0, 0, []int{a}, b)
+	d.AddGate(cb, 0, 0, []int{b}, c) // clock buffer fed by a data inverter
+	ffc, _ := lib.Pick(cells.DFF, 1)
+	q := d.AddNet()
+	d.AddFF(ffc, 0, 0, q, a, clk)
+	d.Nets[q].Driver = -1 // leave q as a pseudo-driven net for this test
+	d.Nets[q].Driver = d.FFs[0]
+	if _, err := graph.Build(d); err == nil {
+		t.Fatal("clock buffer on data net accepted")
+	}
+}
+
+func TestBuildDetectsCycle(t *testing.T) {
+	lib := cells.Default(28)
+	d := netlist.New("cyc", 28, lib, aocv.Default(28), 1000)
+	clk := d.AddNet()
+	d.SetClockRoot(clk)
+	inv, _ := lib.Pick(cells.Inv, 1)
+	a, b := d.AddNet(), d.AddNet()
+	d.AddGate(inv, 0, 0, []int{a}, b)
+	d.AddGate(inv, 0, 0, []int{b}, a)
+	ffc, _ := lib.Pick(cells.DFF, 1)
+	q := d.AddNet()
+	d.AddFF(ffc, 0, 0, a, q, clk)
+	if _, err := graph.Build(d); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestDepthsOnDirectFFToFF(t *testing.T) {
+	// Two FFs connected Q->D with no logic: the launch arc depth is 1.
+	lib := cells.Default(28)
+	d := netlist.New("ff2ff", 28, lib, aocv.Default(28), 1000)
+	clk := d.AddNet()
+	d.SetClockRoot(clk)
+	ffc, _ := lib.Pick(cells.DFF, 1)
+	q0, q1 := d.AddNet(), d.AddNet()
+	ff0, _ := d.AddFF(ffc, 0, 0, q1, q0, clk)
+	d.AddFF(ffc, 1, 0, q0, q1, clk)
+	g, err := graph.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := g.ComputeDepths()
+	if dp.GBA[ff0.ID] != 1 {
+		t.Fatalf("direct FF-FF launch depth = %d, want 1", dp.GBA[ff0.ID])
+	}
+}

@@ -1,0 +1,174 @@
+// Package netio persists designs to a versioned JSON format and loads them
+// back, so generated test cases can be archived, diffed and shared. Cell
+// and derate libraries are reconstructed from the design's technology node
+// (the library is synthesized deterministically), so the format stores
+// cell *names*, not characterization data.
+package netio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mgba/internal/aocv"
+	"mgba/internal/cells"
+	"mgba/internal/netlist"
+)
+
+// FormatVersion identifies the on-disk schema.
+const FormatVersion = 1
+
+type fileDesign struct {
+	Version     int     `json:"version"`
+	Name        string  `json:"name"`
+	Node        int     `json:"node"`
+	ClockPeriod float64 `json:"clock_period_ps"`
+	ClockRoot   int     `json:"clock_root"`
+
+	Instances []fileInstance `json:"instances"`
+	Nets      []fileNet      `json:"nets"`
+	FFs       []int          `json:"ffs"`
+}
+
+type fileInstance struct {
+	Name   string  `json:"name"`
+	Cell   string  `json:"cell"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Inputs []int   `json:"inputs,omitempty"`
+	Output int     `json:"output"`
+	Clock  int     `json:"clock"`
+	Dead   bool    `json:"dead,omitempty"`
+}
+
+type fileNet struct {
+	Driver    int     `json:"driver"`
+	Sinks     []int   `json:"sinks,omitempty"`
+	WireCap   float64 `json:"wire_cap_ff"`
+	WireDelay float64 `json:"wire_delay_ps"`
+}
+
+// Save writes the design as indented JSON.
+func Save(w io.Writer, d *netlist.Design) error {
+	fd := fileDesign{
+		Version:     FormatVersion,
+		Name:        d.Name,
+		Node:        d.Node,
+		ClockPeriod: d.ClockPeriod,
+		ClockRoot:   d.ClockRoot,
+		FFs:         d.FFs,
+	}
+	for _, in := range d.Instances {
+		fd.Instances = append(fd.Instances, fileInstance{
+			Name:   in.Name,
+			Cell:   in.Cell.Name,
+			X:      in.X,
+			Y:      in.Y,
+			Inputs: in.Inputs,
+			Output: in.Output,
+			Clock:  in.Clock,
+			Dead:   in.Dead,
+		})
+	}
+	for _, n := range d.Nets {
+		fd.Nets = append(fd.Nets, fileNet{
+			Driver:    n.Driver,
+			Sinks:     n.Sinks,
+			WireCap:   n.WireCap,
+			WireDelay: n.WireDelay,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(fd)
+}
+
+// Load reads a design saved by Save and revalidates it. The standard-cell
+// library and AOCV tables are resynthesized from the stored node.
+func Load(r io.Reader) (*netlist.Design, error) {
+	var fd fileDesign
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&fd); err != nil {
+		return nil, fmt.Errorf("netio: %w", err)
+	}
+	if fd.Version != FormatVersion {
+		return nil, fmt.Errorf("netio: unsupported format version %d (want %d)", fd.Version, FormatVersion)
+	}
+	lib := cells.Default(fd.Node)
+	d := netlist.New(fd.Name, fd.Node, lib, aocv.Default(fd.Node), fd.ClockPeriod)
+	for i, fi := range fd.Instances {
+		cell := lib.ByName(fi.Cell)
+		if cell == nil {
+			return nil, fmt.Errorf("netio: instance %d references unknown cell %q", i, fi.Cell)
+		}
+		in := &netlist.Instance{
+			ID:     i,
+			Name:   fi.Name,
+			Cell:   cell,
+			X:      fi.X,
+			Y:      fi.Y,
+			Inputs: fi.Inputs,
+			Output: fi.Output,
+			Clock:  fi.Clock,
+			Dead:   fi.Dead,
+		}
+		d.Instances = append(d.Instances, in)
+	}
+	for i, fn := range fd.Nets {
+		d.Nets = append(d.Nets, &netlist.Net{
+			ID:        i,
+			Driver:    fn.Driver,
+			Sinks:     fn.Sinks,
+			WireCap:   fn.WireCap,
+			WireDelay: fn.WireDelay,
+		})
+	}
+	d.FFs = fd.FFs
+	d.ClockRoot = fd.ClockRoot
+	if err := checkRefs(d); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("netio: loaded design invalid: %w", err)
+	}
+	return d, nil
+}
+
+// checkRefs bounds-checks every cross-reference before Validate walks them.
+func checkRefs(d *netlist.Design) error {
+	nI, nN := len(d.Instances), len(d.Nets)
+	netOK := func(id int) bool { return id >= -1 && id < nN }
+	instOK := func(id int) bool { return id >= -1 && id < nI }
+	for i, in := range d.Instances {
+		if !netOK(in.Output) || !netOK(in.Clock) {
+			return fmt.Errorf("netio: instance %d has out-of-range net reference", i)
+		}
+		for _, nid := range in.Inputs {
+			if nid < 0 || nid >= nN {
+				return fmt.Errorf("netio: instance %d input net %d out of range", i, nid)
+			}
+		}
+	}
+	for i, n := range d.Nets {
+		if !instOK(n.Driver) {
+			return fmt.Errorf("netio: net %d driver out of range", i)
+		}
+		for _, s := range n.Sinks {
+			if s < 0 || s >= nI {
+				return fmt.Errorf("netio: net %d sink %d out of range", i, s)
+			}
+		}
+	}
+	for _, ff := range d.FFs {
+		if ff < 0 || ff >= nI {
+			return fmt.Errorf("netio: FF id %d out of range", ff)
+		}
+		if !d.Instances[ff].IsFF() {
+			return fmt.Errorf("netio: instance %d listed as FF but is %s", ff, d.Instances[ff].Cell.Name)
+		}
+	}
+	if d.ClockRoot < -1 || d.ClockRoot >= nN {
+		return fmt.Errorf("netio: clock root %d out of range", d.ClockRoot)
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package netio_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"mgba/internal/gen"
+	"mgba/internal/graph"
+	"mgba/internal/netio"
+	"mgba/internal/sta"
+)
+
+func genDesign(t *testing.T) ([]byte, *sta.Result) {
+	t.Helper()
+	cfg := gen.Toy()
+	cfg.Gates, cfg.FFs = 300, 40
+	cfg.Name = "netio-test"
+	d, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sta.Analyze(g, sta.DefaultConfig())
+	var buf bytes.Buffer
+	if err := netio.Save(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), r
+}
+
+func TestRoundTripPreservesTiming(t *testing.T) {
+	blob, orig := genDesign(t)
+	d2, err := netio.Load(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := graph.Build(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := sta.Analyze(g2, sta.DefaultConfig())
+	if len(r2.Slack) != len(orig.Slack) {
+		t.Fatalf("endpoint counts differ: %d vs %d", len(r2.Slack), len(orig.Slack))
+	}
+	for fi := range orig.Slack {
+		a, b := orig.Slack[fi], r2.Slack[fi]
+		if math.IsInf(a, 1) && math.IsInf(b, 1) {
+			continue
+		}
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("endpoint %d slack drifted: %v vs %v", fi, a, b)
+		}
+	}
+	if math.Abs(orig.TNS-r2.TNS) > 1e-9 {
+		t.Fatalf("TNS drifted: %v vs %v", orig.TNS, r2.TNS)
+	}
+}
+
+func TestRoundTripIdempotent(t *testing.T) {
+	blob, _ := genDesign(t)
+	d2, err := netio.Load(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := netio.Save(&buf2, d2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, buf2.Bytes()) {
+		t.Fatal("save -> load -> save is not byte-identical")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := netio.Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	blob, _ := genDesign(t)
+	bad := bytes.Replace(blob, []byte("\"version\": 1"), []byte("\"version\": 99"), 1)
+	if bytes.Equal(bad, blob) {
+		t.Fatal("version field not found in blob")
+	}
+	if _, err := netio.Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+func TestLoadRejectsUnknownCell(t *testing.T) {
+	blob, _ := genDesign(t)
+	bad := bytes.Replace(blob, []byte("\"DFF_X1\""), []byte("\"BOGUS_X9\""), 1)
+	if _, err := netio.Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("unknown cell accepted")
+	}
+}
+
+func TestLoadRejectsDanglingReferences(t *testing.T) {
+	blob, _ := genDesign(t)
+	// Point an output at a non-existent net.
+	bad := bytes.Replace(blob, []byte("\"output\": 1,"), []byte("\"output\": 99999,"), 1)
+	if bytes.Equal(bad, blob) {
+		t.Skip("no matching output field to corrupt")
+	}
+	if _, err := netio.Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("dangling net reference accepted")
+	}
+}
+
+func TestSaveStreams(t *testing.T) {
+	blob, _ := genDesign(t)
+	if len(blob) < 1000 {
+		t.Fatalf("implausibly small blob: %d bytes", len(blob))
+	}
+	if !strings.Contains(string(blob), "\"clock_period_ps\"") {
+		t.Fatal("missing clock period field")
+	}
+}

@@ -1,0 +1,356 @@
+package netlist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mgba/internal/aocv"
+	"mgba/internal/cells"
+)
+
+// tiny builds a 2-FF design: FF0 -Q-> INV -> FF1.D with a root-driven clock.
+func tiny(t *testing.T) (*Design, *Instance, *Instance, *Instance) {
+	t.Helper()
+	lib := cells.Default(28)
+	d := New("tiny", 28, lib, aocv.Default(28), 1000)
+	clk := d.AddNet()
+	if err := d.SetClockRoot(clk); err != nil {
+		t.Fatal(err)
+	}
+	q0 := d.AddNet()
+	mid := d.AddNet()
+	d0 := d.AddNet() // FF0 D input (undriven; tied off via clock root exception not needed)
+	ffCell, _ := lib.Pick(cells.DFF, 1)
+	invCell, _ := lib.Pick(cells.Inv, 1)
+	// FF0's D is fed by the inverter's output? No — keep a self-loop-free
+	// shape: FF1's Q feeds back to FF0's D so all nets are driven.
+	q1 := d.AddNet()
+	ff0, err := d.AddFF(ffCell, 0, 0, q1, q0, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := d.AddGate(invCell, 5, 0, []int{q0}, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff1, err := d.AddFF(ffCell, 10, 0, mid, q1, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = d0
+	d.AutoWire()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d, ff0, inv, ff1
+}
+
+func TestTinyBuilds(t *testing.T) {
+	d, ff0, inv, ff1 := tiny(t)
+	if len(d.FFs) != 2 {
+		t.Fatalf("FFs = %d", len(d.FFs))
+	}
+	if !ff0.IsFF() || !ff1.IsFF() || inv.IsFF() {
+		t.Fatal("IsFF misclassifies")
+	}
+	if d.Nets[inv.Output].Driver != inv.ID {
+		t.Fatal("driver not registered")
+	}
+	if len(d.Nets[ff0.Output].Sinks) != 1 || d.Nets[ff0.Output].Sinks[0] != inv.ID {
+		t.Fatal("sink not registered")
+	}
+}
+
+func TestAddGateArity(t *testing.T) {
+	lib := cells.Default(28)
+	d := New("x", 28, lib, aocv.Default(28), 1000)
+	n0, n1 := d.AddNet(), d.AddNet()
+	nand, _ := lib.Pick(cells.Nand2, 1)
+	if _, err := d.AddGate(nand, 0, 0, []int{n0}, n1); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+}
+
+func TestAddGateRejectsSequential(t *testing.T) {
+	lib := cells.Default(28)
+	d := New("x", 28, lib, aocv.Default(28), 1000)
+	n0, n1 := d.AddNet(), d.AddNet()
+	ff, _ := lib.Pick(cells.DFF, 1)
+	if _, err := d.AddGate(ff, 0, 0, []int{n0}, n1); err == nil {
+		t.Fatal("sequential cell accepted by AddGate")
+	}
+}
+
+func TestAddFFRejectsCombinational(t *testing.T) {
+	lib := cells.Default(28)
+	d := New("x", 28, lib, aocv.Default(28), 1000)
+	n0, n1, clk := d.AddNet(), d.AddNet(), d.AddNet()
+	inv, _ := lib.Pick(cells.Inv, 1)
+	if _, err := d.AddFF(inv, 0, 0, n0, n1, clk); err == nil {
+		t.Fatal("combinational cell accepted by AddFF")
+	}
+}
+
+func TestDoubleDriverRejected(t *testing.T) {
+	lib := cells.Default(28)
+	d := New("x", 28, lib, aocv.Default(28), 1000)
+	a, b, out := d.AddNet(), d.AddNet(), d.AddNet()
+	inv, _ := lib.Pick(cells.Inv, 1)
+	if _, err := d.AddGate(inv, 0, 0, []int{a}, out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddGate(inv, 0, 0, []int{b}, out); err == nil {
+		t.Fatal("second driver accepted")
+	}
+}
+
+func TestOutOfRangeNets(t *testing.T) {
+	lib := cells.Default(28)
+	d := New("x", 28, lib, aocv.Default(28), 1000)
+	n := d.AddNet()
+	inv, _ := lib.Pick(cells.Inv, 1)
+	if _, err := d.AddGate(inv, 0, 0, []int{99}, n); err == nil {
+		t.Fatal("bad input net accepted")
+	}
+	if _, err := d.AddGate(inv, 0, 0, []int{n}, 99); err == nil {
+		t.Fatal("bad output net accepted")
+	}
+}
+
+func TestSetClockRoot(t *testing.T) {
+	lib := cells.Default(28)
+	d := New("x", 28, lib, aocv.Default(28), 1000)
+	if err := d.SetClockRoot(0); err == nil {
+		t.Fatal("out-of-range clock root accepted")
+	}
+	a, out := d.AddNet(), d.AddNet()
+	inv, _ := lib.Pick(cells.Inv, 1)
+	d.AddGate(inv, 0, 0, []int{a}, out)
+	if err := d.SetClockRoot(out); err == nil {
+		t.Fatal("driven clock root accepted")
+	}
+	if err := d.SetClockRoot(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a := &Instance{X: 0, Y: 0}
+	b := &Instance{X: 3, Y: 4}
+	if got := Distance(a, b); got != 5 {
+		t.Fatalf("Distance = %v", got)
+	}
+}
+
+func TestAutoWireAndLoadCap(t *testing.T) {
+	d, ff0, inv, _ := tiny(t)
+	q0 := d.Nets[ff0.Output]
+	span := Distance(ff0, inv)
+	if math.Abs(q0.WireCap-WireCapPerUm*span) > 1e-9 {
+		t.Fatalf("WireCap = %v", q0.WireCap)
+	}
+	if math.Abs(q0.WireDelay-WireDelayPerUm*span) > 1e-9 {
+		t.Fatalf("WireDelay = %v", q0.WireDelay)
+	}
+	load := d.LoadCap(q0)
+	want := q0.WireCap + inv.Cell.InputCap
+	if math.Abs(load-want) > 1e-9 {
+		t.Fatalf("LoadCap = %v, want %v", load, want)
+	}
+}
+
+func TestLoadCapClockPin(t *testing.T) {
+	d, ff0, _, _ := tiny(t)
+	clkNet := d.Nets[ff0.Clock]
+	load := d.LoadCap(clkNet)
+	want := 2 * ff0.Cell.ClockCap // two FFs on the root clock
+	if math.Abs(load-want) > 1e-9 {
+		t.Fatalf("clock LoadCap = %v, want %v", load, want)
+	}
+}
+
+func TestResize(t *testing.T) {
+	d, _, inv, _ := tiny(t)
+	up := d.Lib.Upsize(inv.Cell)
+	if err := d.Resize(inv, up); err != nil {
+		t.Fatal(err)
+	}
+	if inv.Cell != up {
+		t.Fatal("resize did not apply")
+	}
+	nand, _ := d.Lib.Pick(cells.Nand2, 1)
+	if err := d.Resize(inv, nand); err == nil {
+		t.Fatal("cross-kind resize accepted")
+	}
+}
+
+func TestInsertBuffer(t *testing.T) {
+	d, ff0, inv, _ := tiny(t)
+	buf, _ := d.Lib.Pick(cells.Buf, 2)
+	q0 := ff0.Output
+	origWireDelay := d.Nets[q0].WireDelay
+	b, err := d.InsertBuffer(q0, buf, "fixbuf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != "fixbuf" {
+		t.Fatalf("name = %q", b.Name)
+	}
+	// Original net now feeds only the buffer.
+	if len(d.Nets[q0].Sinks) != 1 || d.Nets[q0].Sinks[0] != b.ID {
+		t.Fatalf("old net sinks = %v", d.Nets[q0].Sinks)
+	}
+	// The inverter's input pin was rewired to the buffer's output net.
+	if inv.Inputs[0] != b.Output {
+		t.Fatalf("sink not rewired: %d != %d", inv.Inputs[0], b.Output)
+	}
+	if d.Nets[b.Output].Driver != b.ID {
+		t.Fatal("buffer not driving new net")
+	}
+	// The buffer sits midway, so each half of the split wire carries about
+	// half the original wire delay.
+	if wd := d.Nets[q0].WireDelay; wd >= origWireDelay-1e-12 {
+		t.Fatalf("buffering did not split wire delay: %v -> %v", origWireDelay, wd)
+	}
+	if wd := d.Nets[b.Output].WireDelay; wd >= origWireDelay-1e-12 {
+		t.Fatalf("second half not split: %v vs %v", wd, origWireDelay)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("post-buffer validate: %v", err)
+	}
+}
+
+func TestInsertBufferOnClockPin(t *testing.T) {
+	d, ff0, _, _ := tiny(t)
+	cb, _ := d.Lib.Pick(cells.ClkBuf, 2)
+	_, err := d.InsertBuffer(ff0.Clock, cb, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clock pins must be rewired and the design still validates.
+	if err := d.Validate(); err != nil {
+		t.Fatalf("validate after clock buffering: %v", err)
+	}
+}
+
+func TestInsertBufferErrors(t *testing.T) {
+	d, _, inv, _ := tiny(t)
+	nand, _ := d.Lib.Pick(cells.Nand2, 1)
+	if _, err := d.InsertBuffer(0, nand, ""); err == nil {
+		t.Fatal("non-buffer cell accepted")
+	}
+	buf, _ := d.Lib.Pick(cells.Buf, 1)
+	if _, err := d.InsertBuffer(999, buf, ""); err == nil {
+		t.Fatal("bad net accepted")
+	}
+	// inv.Output's sink is FF1; buffer a sinkless net must fail.
+	empty := d.AddNet()
+	if _, err := d.InsertBuffer(empty, buf, ""); err == nil {
+		t.Fatal("sinkless net accepted")
+	}
+	_ = inv
+}
+
+func TestAreaLeakageBufferCount(t *testing.T) {
+	d, _, inv, _ := tiny(t)
+	ffCell := d.Instances[d.FFs[0]].Cell
+	wantArea := 2*ffCell.Area + inv.Cell.Area
+	if math.Abs(d.Area()-wantArea) > 1e-9 {
+		t.Fatalf("Area = %v, want %v", d.Area(), wantArea)
+	}
+	wantLeak := 2*ffCell.Leakage + inv.Cell.Leakage
+	if math.Abs(d.Leakage()-wantLeak) > 1e-9 {
+		t.Fatalf("Leakage = %v, want %v", d.Leakage(), wantLeak)
+	}
+	if d.BufferCount() != 0 {
+		t.Fatalf("BufferCount = %d", d.BufferCount())
+	}
+	buf, _ := d.Lib.Pick(cells.Buf, 1)
+	d.InsertBuffer(inv.Output, buf, "")
+	if d.BufferCount() != 1 {
+		t.Fatalf("BufferCount after insert = %d", d.BufferCount())
+	}
+}
+
+func TestValidateCatchesCycle(t *testing.T) {
+	lib := cells.Default(28)
+	d := New("loop", 28, lib, aocv.Default(28), 1000)
+	clk := d.AddNet()
+	d.SetClockRoot(clk)
+	a, b := d.AddNet(), d.AddNet()
+	inv, _ := lib.Pick(cells.Inv, 1)
+	d.AddGate(inv, 0, 0, []int{a}, b)
+	d.AddGate(inv, 0, 0, []int{b}, a)
+	ffc, _ := lib.Pick(cells.DFF, 1)
+	q := d.AddNet()
+	d.AddFF(ffc, 0, 0, a, q, clk)
+	err := d.Validate()
+	if err == nil || !strings.Contains(err.Error(), "loop") {
+		t.Fatalf("cycle not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesMissingClockRoot(t *testing.T) {
+	lib := cells.Default(28)
+	d := New("x", 28, lib, aocv.Default(28), 1000)
+	if err := d.Validate(); err == nil {
+		t.Fatal("missing clock root accepted")
+	}
+}
+
+func TestValidateCatchesBadPeriod(t *testing.T) {
+	lib := cells.Default(28)
+	d := New("x", 28, lib, aocv.Default(28), 0)
+	clk := d.AddNet()
+	d.SetClockRoot(clk)
+	if err := d.Validate(); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestValidateCatchesUndrivenInput(t *testing.T) {
+	lib := cells.Default(28)
+	d := New("x", 28, lib, aocv.Default(28), 1000)
+	clk := d.AddNet()
+	d.SetClockRoot(clk)
+	floating, out, q := d.AddNet(), d.AddNet(), d.AddNet()
+	inv, _ := lib.Pick(cells.Inv, 1)
+	d.AddGate(inv, 0, 0, []int{floating}, out)
+	ffc, _ := lib.Pick(cells.DFF, 1)
+	d.AddFF(ffc, 0, 0, out, q, clk)
+	if err := d.Validate(); err == nil {
+		t.Fatal("undriven input accepted")
+	}
+}
+
+func TestValidateClockThroughDataCell(t *testing.T) {
+	lib := cells.Default(28)
+	d := New("x", 28, lib, aocv.Default(28), 1000)
+	clk := d.AddNet()
+	d.SetClockRoot(clk)
+	// Drive the FF clock through a data buffer, which is illegal here.
+	badClk := d.AddNet()
+	buf, _ := lib.Pick(cells.Buf, 1)
+	d.AddGate(buf, 0, 0, []int{clk}, badClk)
+	q, dn := d.AddNet(), d.AddNet()
+	ffc, _ := lib.Pick(cells.DFF, 1)
+	d.AddFF(ffc, 0, 0, dn, q, badClk)
+	// Tie D to Q so it is driven.
+	d.Instances[d.FFs[0]].Inputs[0] = q
+	d.Nets[q].Sinks = append(d.Nets[q].Sinks, d.FFs[0])
+	if err := d.Validate(); err == nil {
+		t.Fatal("clock through data cell accepted")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	d, _, _, _ := tiny(t)
+	s := d.Stats()
+	if s.Instances != 3 || s.FFs != 2 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if !strings.Contains(s.String(), "insts=3") {
+		t.Fatalf("String = %q", s.String())
+	}
+}

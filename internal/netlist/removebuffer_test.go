@@ -1,0 +1,82 @@
+package netlist
+
+import (
+	"math"
+	"testing"
+
+	"mgba/internal/cells"
+)
+
+func TestRemoveBufferRoundTrip(t *testing.T) {
+	d, ff0, inv, _ := tiny(t)
+	q0 := ff0.Output
+	origSinks := append([]int(nil), d.Nets[q0].Sinks...)
+	origWireDelay := d.Nets[q0].WireDelay
+	origArea := d.Area()
+
+	buf, _ := d.Lib.Pick(cells.Buf, 2)
+	b, err := d.InsertBuffer(q0, buf, "tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveBuffer(b); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Dead {
+		t.Fatal("buffer not marked dead")
+	}
+	// Connectivity restored.
+	if len(d.Nets[q0].Sinks) != len(origSinks) || d.Nets[q0].Sinks[0] != origSinks[0] {
+		t.Fatalf("sinks not restored: %v vs %v", d.Nets[q0].Sinks, origSinks)
+	}
+	if inv.Inputs[0] != q0 {
+		t.Fatalf("sink pin not rewired back: %d", inv.Inputs[0])
+	}
+	if math.Abs(d.Nets[q0].WireDelay-origWireDelay) > 1e-9 {
+		t.Fatalf("wire delay not restored: %v vs %v", d.Nets[q0].WireDelay, origWireDelay)
+	}
+	if math.Abs(d.Area()-origArea) > 1e-9 {
+		t.Fatalf("area not restored: %v vs %v", d.Area(), origArea)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("design invalid after removal: %v", err)
+	}
+}
+
+func TestRemoveBufferErrors(t *testing.T) {
+	d, _, inv, _ := tiny(t)
+	if err := d.RemoveBuffer(inv); err == nil {
+		t.Fatal("removed a non-buffer")
+	}
+	buf, _ := d.Lib.Pick(cells.Buf, 1)
+	b, err := d.InsertBuffer(inv.Output, buf, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveBuffer(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveBuffer(b); err == nil {
+		t.Fatal("removed a buffer twice")
+	}
+}
+
+func TestDeadInstanceExcludedFromQoR(t *testing.T) {
+	d, ff0, _, _ := tiny(t)
+	buf, _ := d.Lib.Pick(cells.Buf, 4)
+	area0, leak0 := d.Area(), d.Leakage()
+	b, err := d.InsertBuffer(ff0.Output, buf, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.BufferCount() != 1 {
+		t.Fatal("buffer not counted")
+	}
+	d.RemoveBuffer(b)
+	if d.BufferCount() != 0 {
+		t.Fatal("dead buffer still counted")
+	}
+	if d.Area() != area0 || d.Leakage() != leak0 {
+		t.Fatal("dead buffer still contributes area/leakage")
+	}
+}

@@ -1,0 +1,296 @@
+package num
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestDot(t *testing.T) {
+	got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotEmpty(t *testing.T) {
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil,nil) = %v, want 0", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Fatalf("Norm2(nil) = %v, want 0", got)
+	}
+}
+
+func TestNorm2Overflow(t *testing.T) {
+	big := 1e200
+	got := Norm2([]float64{big, big})
+	want := big * math.Sqrt2
+	if !almostEq(got, want, 1e-12) {
+		t.Fatalf("Norm2 overflow-safe = %v, want %v", got, want)
+	}
+}
+
+func TestNorm2MatchesNorm2Sq(t *testing.T) {
+	f := func(v []float64) bool {
+		// Restrict magnitudes so naive squaring cannot overflow.
+		for i := range v {
+			if math.IsNaN(v[i]) || math.IsInf(v[i], 0) || math.Abs(v[i]) > 1e100 {
+				v[i] = 1
+			}
+		}
+		return almostEq(Norm2(v), math.Sqrt(Norm2Sq(v)), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormInf(t *testing.T) {
+	if got := NormInf([]float64{-7, 3, 5}); got != 7 {
+		t.Fatalf("NormInf = %v, want 7", got)
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1}
+	Axpy(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("Axpy = %v, want [7 9]", y)
+	}
+}
+
+func TestScale(t *testing.T) {
+	v := []float64{1, -2}
+	Scale(-3, v)
+	if v[0] != -3 || v[1] != 6 {
+		t.Fatalf("Scale = %v", v)
+	}
+}
+
+func TestSubAdd(t *testing.T) {
+	a := []float64{5, 7}
+	b := []float64{2, 3}
+	d := Sub(make([]float64, 2), a, b)
+	if d[0] != 3 || d[1] != 4 {
+		t.Fatalf("Sub = %v", d)
+	}
+	s := Add(make([]float64, 2), a, b)
+	if s[0] != 7 || s[1] != 10 {
+		t.Fatalf("Add = %v", s)
+	}
+}
+
+func TestSubAliasing(t *testing.T) {
+	a := []float64{5, 7}
+	Sub(a, a, []float64{1, 2})
+	if a[0] != 4 || a[1] != 5 {
+		t.Fatalf("aliased Sub = %v", a)
+	}
+}
+
+func TestCopyIndependent(t *testing.T) {
+	a := []float64{1, 2}
+	c := Copy(a)
+	c[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Copy shares backing array")
+	}
+}
+
+func TestFill(t *testing.T) {
+	v := make([]float64, 3)
+	Fill(v, 2.5)
+	for _, x := range v {
+		if x != 2.5 {
+			t.Fatalf("Fill = %v", v)
+		}
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	if got := RelDiff([]float64{1, 1}, []float64{1, 1}); got != 0 {
+		t.Fatalf("RelDiff equal = %v", got)
+	}
+	got := RelDiff([]float64{2, 0}, []float64{1, 0})
+	if !almostEq(got, 1, 1e-12) {
+		t.Fatalf("RelDiff = %v, want 1", got)
+	}
+}
+
+func TestRelDiffZeroBase(t *testing.T) {
+	got := RelDiff([]float64{3, 4}, []float64{0, 0})
+	if got != 5 {
+		t.Fatalf("RelDiff with zero base = %v, want 5 (absolute)", got)
+	}
+}
+
+func TestMeanMinMaxSum(t *testing.T) {
+	v := []float64{2, -1, 5}
+	if Mean(v) != 2 {
+		t.Fatalf("Mean = %v", Mean(v))
+	}
+	if Min(v) != -1 {
+		t.Fatalf("Min = %v", Min(v))
+	}
+	if Max(v) != 5 {
+		t.Fatalf("Max = %v", Max(v))
+	}
+	if Sum(v) != 6 {
+		t.Fatalf("Sum = %v", Sum(v))
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+}
+
+func TestMinEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	v := []float64{4, 1, 3, 2}
+	if got := Quantile(v, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(v, 1); got != 4 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(v, 0.5); !almostEq(got, 2.5, 1e-12) {
+		t.Fatalf("median = %v, want 2.5", got)
+	}
+	// Quantile must not reorder the caller's slice.
+	if v[0] != 4 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestQuantileSingle(t *testing.T) {
+	if got := Quantile([]float64{7}, 0.3); got != 7 {
+		t.Fatalf("single-element quantile = %v", got)
+	}
+}
+
+func TestQuantileBadQPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Quantile([]float64{1}, 1.5)
+}
+
+func TestFractionWithin(t *testing.T) {
+	v := []float64{-0.5, 0, 0.005, 0.02, 1}
+	got := FractionWithin(v, -0.01, 0.01)
+	if !almostEq(got, 0.4, 1e-12) {
+		t.Fatalf("FractionWithin = %v, want 0.4", got)
+	}
+	if FractionWithin(nil, 0, 1) != 0 {
+		t.Fatal("FractionWithin(nil) != 0")
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 0.2, 0.9, -1, 2}, 0, 1, 10)
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", h.Total())
+	}
+	if h.Under != 1 || h.Over != 1 {
+		t.Fatalf("Under/Over = %d/%d, want 1/1", h.Under, h.Over)
+	}
+	if h.Counts[1] != 1 || h.Counts[2] != 1 || h.Counts[9] != 1 {
+		t.Fatalf("Counts = %v", h.Counts)
+	}
+}
+
+func TestHistogramUpperEdge(t *testing.T) {
+	// hi is exclusive; a sample exactly at hi is Over.
+	h := NewHistogram([]float64{1.0}, 0, 1, 4)
+	if h.Over != 1 {
+		t.Fatalf("sample at hi: Over = %d, want 1", h.Over)
+	}
+}
+
+func TestHistogramRoundingGuard(t *testing.T) {
+	// A value infinitesimally below hi must land in the last bin, never
+	// out of bounds.
+	x := math.Nextafter(1, 0)
+	h := NewHistogram([]float64{x}, 0, 1, 7)
+	if h.Counts[6] != 1 {
+		t.Fatalf("near-hi sample landed in %v", h.Counts)
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h := NewHistogram(nil, 0, 10, 5)
+	if h.BinWidth() != 2 {
+		t.Fatalf("BinWidth = %v", h.BinWidth())
+	}
+	if h.BinCenter(0) != 1 || h.BinCenter(4) != 9 {
+		t.Fatalf("BinCenter = %v, %v", h.BinCenter(0), h.BinCenter(4))
+	}
+}
+
+func TestHistogramTotalProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		v := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				v = append(v, x)
+			}
+		}
+		h := NewHistogram(v, -1, 1, 8)
+		return h.Total() == len(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		for i := 0; i < n; i++ {
+			if math.IsNaN(a[i]) || math.IsInf(a[i], 0) || math.Abs(a[i]) > 1e100 {
+				a[i] = 0
+			}
+			if math.IsNaN(b[i]) || math.IsInf(b[i], 0) || math.Abs(b[i]) > 1e100 {
+				b[i] = 0
+			}
+		}
+		s := Add(make([]float64, n), a, b)
+		return Norm2(s) <= Norm2(a)+Norm2(b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

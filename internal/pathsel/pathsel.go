@@ -1,0 +1,114 @@
+// Package pathsel implements the critical-path selection schemes compared
+// in §3.2 of the paper:
+//
+//   - GlobalTopM: sort all violated paths by GBA slack and keep the m'
+//     worst. Simple, but the kept paths concentrate on a few critical
+//     endpoints and leave most gates uncovered, which ruins the fit.
+//   - PerEndpointTopK: keep the k' worst paths of *every* endpoint. Same
+//     path budget, far better gate coverage — the scheme the paper adopts
+//     (k' = 20, m' capped).
+//
+// Both schemes draw from the exact per-endpoint enumerator in internal/pba.
+package pathsel
+
+import (
+	"sort"
+
+	"mgba/internal/pba"
+)
+
+// Selection is the outcome of a path-selection scheme.
+type Selection struct {
+	Scheme string
+	Paths  []*pba.Path
+}
+
+// CellSet returns the set of delay cells (launch FFs and combinational
+// gates) covered by the selected paths.
+func (s *Selection) CellSet() map[int]bool {
+	set := make(map[int]bool)
+	for _, p := range s.Paths {
+		for _, c := range p.Cells {
+			set[c] = true
+		}
+	}
+	return set
+}
+
+// Coverage returns |cells covered by s| / |cells covered by ref| — the
+// gate-coverage metric of §3.2, measured against a reference population
+// (normally the full violated path set).
+func (s *Selection) Coverage(ref *Selection) float64 {
+	refSet := ref.CellSet()
+	if len(refSet) == 0 {
+		return 0
+	}
+	mine := s.CellSet()
+	n := 0
+	for c := range mine {
+		if refSet[c] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(refSet))
+}
+
+// AllViolated collects the complete violated-path population (capped per
+// endpoint), the reference both schemes select from.
+func AllViolated(a *pba.Analyzer, capPerEndpoint int) *Selection {
+	return &Selection{
+		Scheme: "all-violated",
+		Paths:  a.AllViolated(capPerEndpoint),
+	}
+}
+
+// GlobalTopM sorts the violated-path population by ascending GBA slack
+// (worst first) and keeps the m worst.
+func GlobalTopM(a *pba.Analyzer, m, capPerEndpoint int) *Selection {
+	all := a.AllViolated(capPerEndpoint)
+	sort.SliceStable(all, func(i, j int) bool { return all[i].GBASlack < all[j].GBASlack })
+	if m > len(all) {
+		m = len(all)
+	}
+	return &Selection{Scheme: "global-top-m", Paths: all[:m]}
+}
+
+// PerEndpointTopK keeps the k worst violated paths of every endpoint,
+// then caps the total at mCap (mCap <= 0 means no cap) by dropping the
+// highest per-endpoint ranks first, preserving coverage.
+func PerEndpointTopK(a *pba.Analyzer, k, mCap int) *Selection {
+	ffs := a.R.G.D.FFs
+	zero := 0.0
+	perEndpoint := make([][]*pba.Path, 0, len(ffs))
+	total := 0
+	for fi, ffID := range ffs {
+		if len(a.R.G.Fanin[ffID]) == 0 {
+			continue
+		}
+		ps := a.KWorst(fi, k, &zero)
+		if len(ps) > 0 {
+			perEndpoint = append(perEndpoint, ps)
+			total += len(ps)
+		}
+	}
+	sel := &Selection{Scheme: "per-endpoint-top-k"}
+	if mCap <= 0 || total <= mCap {
+		for _, ps := range perEndpoint {
+			sel.Paths = append(sel.Paths, ps...)
+		}
+		return sel
+	}
+	// Round-robin by rank: every endpoint keeps its rank-0 path before any
+	// endpoint keeps a rank-1 path, and so on until the cap.
+	for rank := 0; rank < k && len(sel.Paths) < mCap; rank++ {
+		for _, ps := range perEndpoint {
+			if rank < len(ps) {
+				sel.Paths = append(sel.Paths, ps[rank])
+				if len(sel.Paths) == mCap {
+					break
+				}
+			}
+		}
+	}
+	return sel
+}

@@ -1,0 +1,146 @@
+package pathsel_test
+
+import (
+	"testing"
+
+	"mgba/internal/gen"
+	"mgba/internal/graph"
+	"mgba/internal/pathsel"
+	"mgba/internal/pba"
+	"mgba/internal/sta"
+)
+
+func analyzer(t *testing.T) *pba.Analyzer {
+	t.Helper()
+	cfg := gen.Toy()
+	cfg.Gates, cfg.FFs = 600, 90
+	cfg.Name = "pathsel"
+	d, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pba.NewAnalyzer(sta.Analyze(g, sta.DefaultConfig()))
+}
+
+func TestGlobalTopMSortedAndCapped(t *testing.T) {
+	a := analyzer(t)
+	sel := pathsel.GlobalTopM(a, 50, 100)
+	if len(sel.Paths) == 0 {
+		t.Fatal("no paths selected")
+	}
+	if len(sel.Paths) > 50 {
+		t.Fatalf("cap violated: %d", len(sel.Paths))
+	}
+	for i := 1; i < len(sel.Paths); i++ {
+		if sel.Paths[i].GBASlack < sel.Paths[i-1].GBASlack-1e-9 {
+			t.Fatal("global selection not worst-first")
+		}
+	}
+}
+
+func TestGlobalTopMLargerThanPopulation(t *testing.T) {
+	a := analyzer(t)
+	all := pathsel.AllViolated(a, 100)
+	sel := pathsel.GlobalTopM(a, len(all.Paths)+1000, 100)
+	if len(sel.Paths) != len(all.Paths) {
+		t.Fatalf("m beyond population: got %d, want %d", len(sel.Paths), len(all.Paths))
+	}
+}
+
+func TestPerEndpointTopKRespectsK(t *testing.T) {
+	a := analyzer(t)
+	sel := pathsel.PerEndpointTopK(a, 3, 0)
+	counts := map[int]int{}
+	for _, p := range sel.Paths {
+		counts[p.Capture]++
+	}
+	for ep, c := range counts {
+		if c > 3 {
+			t.Fatalf("endpoint %d has %d paths, want <= 3", ep, c)
+		}
+	}
+	for _, p := range sel.Paths {
+		if p.GBASlack >= 0 {
+			t.Fatalf("non-violated path selected: %v", p.GBASlack)
+		}
+	}
+}
+
+func TestPerEndpointCapRoundRobin(t *testing.T) {
+	a := analyzer(t)
+	uncapped := pathsel.PerEndpointTopK(a, 5, 0)
+	cap := len(uncapped.Paths) / 2
+	capped := pathsel.PerEndpointTopK(a, 5, cap)
+	if len(capped.Paths) != cap {
+		t.Fatalf("capped size = %d, want %d", len(capped.Paths), cap)
+	}
+	// Round-robin keeps rank-0 paths of all endpoints: the number of
+	// distinct endpoints covered must not shrink versus uncapped (as long
+	// as the cap exceeds the endpoint count).
+	eps := func(s *pathsel.Selection) int {
+		m := map[int]bool{}
+		for _, p := range s.Paths {
+			m[p.Capture] = true
+		}
+		return len(m)
+	}
+	if cap >= eps(uncapped) && eps(capped) != eps(uncapped) {
+		t.Fatalf("cap lost endpoints: %d vs %d", eps(capped), eps(uncapped))
+	}
+}
+
+// The experimental claim of §3.2: with the same path budget, the
+// per-endpoint scheme covers far more gates than the global scheme.
+func TestPerEndpointCoversMoreGates(t *testing.T) {
+	a := analyzer(t)
+	all := pathsel.AllViolated(a, 200)
+	perEp := pathsel.PerEndpointTopK(a, 20, 0)
+	budget := len(perEp.Paths)
+	global := pathsel.GlobalTopM(a, budget, 200)
+
+	covPer := perEp.Coverage(all)
+	covGlobal := global.Coverage(all)
+	t.Logf("coverage: per-endpoint %.1f%%, global %.1f%% (budget %d paths of %d violated)",
+		covPer*100, covGlobal*100, budget, len(all.Paths))
+	if covPer < covGlobal*1.5 {
+		t.Fatalf("per-endpoint coverage %.3f not clearly above global %.3f", covPer, covGlobal)
+	}
+	if covPer < 0.5 {
+		t.Fatalf("per-endpoint coverage %.3f suspiciously low", covPer)
+	}
+}
+
+func TestCoverageBounds(t *testing.T) {
+	a := analyzer(t)
+	all := pathsel.AllViolated(a, 100)
+	if got := all.Coverage(all); got != 1 {
+		t.Fatalf("self coverage = %v", got)
+	}
+	empty := &pathsel.Selection{}
+	if got := empty.Coverage(all); got != 0 {
+		t.Fatalf("empty coverage = %v", got)
+	}
+	if got := all.Coverage(empty); got != 0 {
+		t.Fatalf("coverage against empty ref = %v", got)
+	}
+}
+
+func TestCellSet(t *testing.T) {
+	a := analyzer(t)
+	sel := pathsel.PerEndpointTopK(a, 1, 0)
+	set := sel.CellSet()
+	if len(set) == 0 {
+		t.Fatal("empty cell set")
+	}
+	for _, p := range sel.Paths {
+		for _, c := range p.Cells {
+			if !set[c] {
+				t.Fatal("cell missing from set")
+			}
+		}
+	}
+}

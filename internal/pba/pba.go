@@ -1,0 +1,244 @@
+// Package pba implements path-based analysis: exact per-path timing with
+// path-specific AOCV derating, path-specific slew propagation and exact
+// clock-reconvergence-pessimism credit. Its results are the golden
+// reference the mGBA weights are fitted against (§2.2 of the paper).
+//
+// Because enumerating every path of a real design is intractable, the
+// package provides a per-endpoint k-worst-path enumerator over the GBA
+// timing graph: paths pop in exactly descending GBA-arrival order, so the
+// k worst GBA-slack paths of an endpoint come out first. The critical-path
+// selection schemes of §3.2 are built on top of this in internal/pathsel.
+package pba
+
+import (
+	"container/heap"
+	"math"
+
+	"mgba/internal/netlist"
+	"mgba/internal/sta"
+)
+
+// Path is one register-to-register path found by the enumerator. Cells
+// lists the delay-carrying instances in path order: the launch FF (whose
+// CK->Q arc is derated like a data cell) followed by the combinational
+// gates. The capture FF contributes its setup time, not a cell delay.
+type Path struct {
+	Launch  int   // launch FF instance ID
+	Capture int   // capture FF instance ID (the endpoint)
+	Cells   []int // launch FF followed by combinational gate instance IDs
+
+	GBAArrival float64 // data arrival at the D pin under GBA
+	GBASlack   float64 // setup slack under GBA (conservative CRPR credit applied)
+}
+
+// NumGates returns the combinational cell depth of the path (PBA depth).
+func (p *Path) NumGates() int { return len(p.Cells) - 1 }
+
+// Timing is the exact PBA retiming of one path.
+type Timing struct {
+	Path *Path
+
+	Depth      int     // combinational cell depth used for the AOCV lookup
+	Distance   float64 // launch-to-capture endpoint distance, um
+	LateDerate float64 // the single path-specific late factor
+	CRPR       float64 // clock reconvergence credit added to the slack
+
+	CellSum float64 // sum of path-specific derated cell delays
+	WireSum float64 // sum of (underated) wire delays along the path
+	Arrival float64 // data arrival at the D pin under PBA
+	Slack   float64 // setup slack under PBA
+}
+
+// Analyzer retimes paths exactly against a finished GBA analysis (the GBA
+// result supplies clock insertion delays, budgets and the graph).
+type Analyzer struct {
+	R *sta.Result
+}
+
+// NewAnalyzer wraps a GBA result for path retiming.
+func NewAnalyzer(r *sta.Result) *Analyzer { return &Analyzer{R: r} }
+
+// Budget returns the slack budget of an endpoint (D.FFs position):
+// period + early capture clock - setup. Slack = budget + CRPR - arrival.
+func (a *Analyzer) Budget(captureIdx int) float64 {
+	d := a.R.G.D
+	ff := d.Instances[d.FFs[captureIdx]]
+	return d.ClockPeriod + a.R.ClockEarly[captureIdx] - ff.Cell.Setup
+}
+
+// Retime computes the exact PBA timing of p: the path-specific AOCV late
+// factor at the path's true depth and endpoint distance, slew propagated
+// along the path only, and the exact CRPR credit of the launch/capture
+// clock pair.
+func (a *Analyzer) Retime(p *Path) *Timing {
+	r := a.R
+	d := r.G.D
+	launch := d.Instances[p.Launch]
+	capture := d.Instances[p.Capture]
+
+	depth := p.NumGates()
+	dist := netlist.Distance(launch, capture)
+	late := 1.0
+	if r.Cfg.DerateData {
+		lookupDepth := float64(depth)
+		if lookupDepth < 1 {
+			lookupDepth = 1 // direct FF-to-FF transfer
+		}
+		late = d.Derates.Late.Lookup(lookupDepth, dist)
+	}
+
+	var cellSum, wireSum, slew float64
+	for _, v := range p.Cells {
+		in := d.Instances[v]
+		var nom float64
+		if ov, ok := r.Cfg.DelayOverride[v]; ok {
+			nom = ov
+			slew = 0
+		} else {
+			load := d.LoadCap(d.Nets[in.Output])
+			nom = in.Cell.Delay(load, slew)
+			slew = in.Cell.OutputSlew(load, slew)
+		}
+		w := 1.0
+		if r.Cfg.Weights != nil {
+			// Weighted retiming is only meaningful for mGBA validation;
+			// golden PBA uses unit weights. Kept for completeness.
+			w = r.Cfg.Weights[v]
+		}
+		cellSum += nom * late * w
+		wireSum += r.WireDelay[v]
+	}
+
+	launchIdx := r.G.FFIndex(p.Launch)
+	captureIdx := r.G.FFIndex(p.Capture)
+	crpr := r.CRPRCredit(launchIdx, captureIdx)
+	arrival := r.ClockLate[launchIdx] + cellSum + wireSum
+	slack := a.Budget(captureIdx) + crpr - arrival
+	return &Timing{
+		Path:       p,
+		Depth:      depth,
+		Distance:   dist,
+		LateDerate: late,
+		CRPR:       crpr,
+		CellSum:    cellSum,
+		WireSum:    wireSum,
+		Arrival:    arrival,
+		Slack:      slack,
+	}
+}
+
+// searchState is a partial path suffix during backward best-first search:
+// everything from inst's output pin to the endpoint's D pin is fixed and
+// costs tail picoseconds under GBA.
+type searchState struct {
+	inst   int
+	tail   float64
+	parent *searchState // towards the endpoint
+	bound  float64      // ArrivalOut[inst] + tail: exact max completion
+}
+
+type stateHeap []*searchState
+
+func (h stateHeap) Len() int            { return len(h) }
+func (h stateHeap) Less(i, j int) bool  { return h[i].bound > h[j].bound }
+func (h stateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *stateHeap) Push(x interface{}) { *h = append(*h, x.(*searchState)) }
+func (h *stateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// KWorst enumerates up to k paths ending at endpoint captureIdx (a D.FFs
+// position) in descending GBA-arrival order — i.e. worst GBA slack first.
+// When stopAtSlack is non-nil, enumeration also stops as soon as the next
+// path's GBA slack reaches *stopAtSlack (use 0 to collect exactly the
+// violated paths).
+//
+// The bound function ArrivalOut[v] + tail is exact for GBA delays, so every
+// heap pop whose head is a flip-flop completes a genuine next-worst path;
+// the enumeration order is exact, not heuristic.
+func (a *Analyzer) KWorst(captureIdx, k int, stopAtSlack *float64) []*Path {
+	r := a.R
+	d := r.G.D
+	ffID := d.FFs[captureIdx]
+	budget := a.Budget(captureIdx)
+
+	h := &stateHeap{}
+	for _, e := range r.G.Fanin[ffID] {
+		s := &searchState{
+			inst: e.From,
+			tail: r.WireDelay[e.From],
+		}
+		s.bound = r.ArrivalOut[e.From] + s.tail
+		heap.Push(h, s)
+	}
+	gbaCredit := r.GBACRPR[captureIdx]
+	var out []*Path
+	for h.Len() > 0 && len(out) < k {
+		s := heap.Pop(h).(*searchState)
+		in := d.Instances[s.inst]
+		if in.IsFF() {
+			arrival := s.bound // ArrivalOut[FF] + tail is the exact arrival
+			slack := budget + gbaCredit - arrival
+			if stopAtSlack != nil && slack >= *stopAtSlack {
+				break // everything still enqueued is at least this good
+			}
+			cells := []int{s.inst}
+			for st := s.parent; st != nil; st = st.parent {
+				cells = append(cells, st.inst)
+			}
+			out = append(out, &Path{
+				Launch:     s.inst,
+				Capture:    ffID,
+				Cells:      cells,
+				GBAArrival: arrival,
+				GBASlack:   slack,
+			})
+			continue
+		}
+		for _, e := range r.G.Fanin[s.inst] {
+			ns := &searchState{
+				inst:   e.From,
+				tail:   s.tail + r.CellDelay[s.inst] + r.WireDelay[e.From],
+				parent: s,
+			}
+			ns.bound = r.ArrivalOut[e.From] + ns.tail
+			heap.Push(h, ns)
+		}
+	}
+	return out
+}
+
+// WorstPath returns the single worst GBA path of an endpoint, or nil when
+// the endpoint is unconstrained.
+func (a *Analyzer) WorstPath(captureIdx int) *Path {
+	ps := a.KWorst(captureIdx, 1, nil)
+	if len(ps) == 0 {
+		return nil
+	}
+	return ps[0]
+}
+
+// AllViolated enumerates every negative-GBA-slack path of every endpoint,
+// capped at capPerEndpoint per endpoint (a safety valve: reconvergent
+// designs have exponentially many paths).
+func (a *Analyzer) AllViolated(capPerEndpoint int) []*Path {
+	zero := 0.0
+	var out []*Path
+	for fi := range a.R.G.D.FFs {
+		if len(a.R.G.Fanin[a.R.G.D.FFs[fi]]) == 0 {
+			continue
+		}
+		out = append(out, a.KWorst(fi, capPerEndpoint, &zero)...)
+	}
+	return out
+}
+
+// MaxFloat is a convenience for stopAtSlack pointers.
+func MaxFloat() *float64 {
+	v := math.MaxFloat64
+	return &v
+}

@@ -1,0 +1,154 @@
+// Package report renders experiment results as aligned ASCII tables,
+// ASCII histograms (for the Fig. 3 sparsity plot) and CSV, so every table
+// and figure of the paper can be regenerated as text from cmd/experiments.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mgba/internal/num"
+)
+
+// Table is a titled grid of string cells with a header row.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string // free-form footnotes printed under the table
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; missing cells render empty, extra cells panic.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Columns) {
+		panic(fmt.Sprintf("report: row has %d cells for %d columns", len(cells), len(t.Columns)))
+	}
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	sep := func() {
+		for i := range t.Columns {
+			b.WriteString("+")
+			b.WriteString(strings.Repeat("-", widths[i]+2))
+		}
+		b.WriteString("+\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "| %-*s ", widths[i], c)
+		}
+		b.WriteString("|\n")
+	}
+	sep()
+	writeRow(t.Columns)
+	sep()
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	sep()
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Fprint(&b); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}
+
+// CSV writes the table as comma-separated values (header first). Cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV(w io.Writer) error {
+	writeLine := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			parts[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := writeLine(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeLine(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// F formats a float with the given number of decimals.
+func F(v float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, v)
+}
+
+// Pct formats a ratio as a percentage with the given decimals.
+func Pct(ratio float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, ratio*100)
+}
+
+// Histogram renders h as horizontal ASCII bars of at most barWidth chars,
+// with bin centers as labels — the Fig. 3 renderer.
+func Histogram(title string, h *num.Histogram, barWidth int) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	maxC := 1
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if h.Under > 0 {
+		fmt.Fprintf(&b, "%10s | %d\n", "< lo", h.Under)
+	}
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", c*barWidth/maxC)
+		fmt.Fprintf(&b, "%10.3f | %-*s %d\n", h.BinCenter(i), barWidth, bar, c)
+	}
+	if h.Over > 0 {
+		fmt.Fprintf(&b, "%10s | %d\n", ">= hi", h.Over)
+	}
+	return b.String()
+}

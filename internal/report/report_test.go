@@ -1,0 +1,100 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"mgba/internal/num"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("T", "design", "value")
+	tb.AddRow("D1", "1.5")
+	tb.AddRow("D10", "2.25")
+	tb.AddNote("values are synthetic")
+	s := tb.String()
+	for _, want := range []string{"T\n", "design", "D10", "2.25", "note: values are synthetic"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+	// Alignment: every border line has the same length.
+	var borders []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "+") {
+			borders = append(borders, line)
+		}
+	}
+	if len(borders) != 3 {
+		t.Fatalf("expected 3 border lines, got %d", len(borders))
+	}
+	for _, bl := range borders[1:] {
+		if len(bl) != len(borders[0]) {
+			t.Fatal("borders not aligned")
+		}
+	}
+}
+
+func TestAddRowShortAndPanic(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("x") // short rows pad
+	if tb.Rows[0][1] != "" {
+		t.Fatal("short row not padded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on too many cells")
+		}
+	}()
+	tb.AddRow("1", "2", "3")
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("x,y", "plain")
+	tb.AddRow("q\"uote", "2")
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "a,b\n\"x,y\",plain\n\"q\"\"uote\",2\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Fatalf("F = %q", F(1.23456, 2))
+	}
+	if Pct(0.4379, 2) != "43.79" {
+		t.Fatalf("Pct = %q", Pct(0.4379, 2))
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := num.NewHistogram([]float64{-0.5, 0.001, 0.002, 0.003, 0.9, 2}, -1, 1, 4)
+	s := Histogram("Fig3", h, 20)
+	if !strings.Contains(s, "Fig3") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(s, ">= hi") {
+		t.Fatal("missing overflow row")
+	}
+	lines := strings.Count(s, "\n")
+	if lines != 6 { // title + 4 bins + overflow
+		t.Fatalf("line count = %d:\n%s", lines, s)
+	}
+	if !strings.Contains(s, "####################") {
+		t.Fatal("max bin not full width")
+	}
+}
+
+func TestHistogramEmptyCounts(t *testing.T) {
+	h := num.NewHistogram(nil, 0, 1, 3)
+	s := Histogram("", h, 10)
+	if strings.Contains(s, "#") {
+		t.Fatal("bars drawn for empty histogram")
+	}
+}

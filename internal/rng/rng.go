@@ -1,0 +1,196 @@
+// Package rng implements a small, fast, deterministic pseudo-random number
+// generator (xoshiro256**) seeded through splitmix64.
+//
+// All stochastic components of the framework — the synthetic design
+// generator, the uniform row sampler of Algorithm 1, and the norm-weighted
+// row sampler of Algorithm 2 — draw from this package so that every
+// experiment is exactly reproducible from its seed. math/rand would also
+// work, but owning the generator keeps the stream stable across Go releases
+// and lets us fork independent substreams cheaply.
+package rng
+
+import "math"
+
+// Rand is a xoshiro256** generator. The zero value is not valid; use New.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via splitmix64, which guarantees
+// a well-mixed nonzero internal state for any seed value, including 0.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9E3779B97F4A7C15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Fork returns a new generator whose stream is independent of r's future
+// output. It consumes four values from r.
+func (r *Rand) Fork() *Rand {
+	return New(r.Uint64() ^ r.Uint64()<<1 ^ r.Uint64()<<2 ^ r.Uint64()<<3)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next value of the stream.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and division-free
+	// in the common case.
+	un := uint64(n)
+	v := r.Uint64()
+	hi, lo := mul64(v, un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = mul64(v, un)
+		}
+	}
+	return int(hi)
+}
+
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xFFFFFFFF
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle applies a Fisher-Yates shuffle over n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly from
+// [0, n), in no particular order. It panics if k > n or k < 0.
+//
+// For small k relative to n it uses Floyd's algorithm (O(k) expected work,
+// O(k) memory); otherwise it shuffles a full index slice.
+func (r *Rand) SampleWithoutReplacement(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: SampleWithoutReplacement k out of range")
+	}
+	if k == 0 {
+		return nil
+	}
+	if k*4 > n {
+		p := r.Perm(n)
+		return p[:k]
+	}
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, dup := chosen[t]; dup {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+// WeightedSampler draws indices with probability proportional to fixed
+// nonnegative weights, as Eq. (11) requires for the stochastic CG solver.
+// It is built once per weight vector (O(n)) and then samples in O(log n)
+// via binary search on the cumulative distribution.
+type WeightedSampler struct {
+	cum   []float64
+	total float64
+}
+
+// NewWeightedSampler builds a sampler over weights. Negative weights panic;
+// an all-zero or empty weight vector yields a sampler whose Sample panics,
+// detectable via Total() == 0.
+func NewWeightedSampler(weights []float64) *WeightedSampler {
+	ws := &WeightedSampler{cum: make([]float64, len(weights))}
+	var c float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("rng: negative or NaN weight")
+		}
+		c += w
+		ws.cum[i] = c
+	}
+	ws.total = c
+	return ws
+}
+
+// Total returns the sum of all weights.
+func (ws *WeightedSampler) Total() float64 { return ws.total }
+
+// Sample returns one index drawn with probability weight[i]/Total().
+func (ws *WeightedSampler) Sample(r *Rand) int {
+	if ws.total <= 0 {
+		panic("rng: WeightedSampler with zero total weight")
+	}
+	u := r.Float64() * ws.total
+	// Binary search for the first cumulative value exceeding u.
+	lo, hi := 0, len(ws.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ws.cum[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,280 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	v := r.Uint64()
+	if v == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a stuck all-zero stream")
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := New(7)
+	f := r.Fork()
+	// The fork and the parent should produce different streams.
+	same := 0
+	for i := 0; i < 64; i++ {
+		if r.Uint64() == f.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("fork correlates with parent: %d matches", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	var s float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		s += r.Float64()
+	}
+	mean := s / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(5)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for d, c := range counts {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Fatalf("Intn biased: digit %d count %d", d, c)
+		}
+	}
+}
+
+func TestIntnOne(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 100; i++ {
+		if r.Intn(1) != 0 {
+			t.Fatal("Intn(1) != 0")
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(21)
+	const n = 200000
+	var s, s2 float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		s += v
+		s2 += v * v
+	}
+	mean := s / n
+	variance := s2/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(13)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleWithoutReplacementDistinct(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		k := int(kRaw) % (n + 1)
+		s := New(seed).SampleWithoutReplacement(n, k)
+		if len(s) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleWithoutReplacementFull(t *testing.T) {
+	s := New(2).SampleWithoutReplacement(10, 10)
+	if len(s) != 10 {
+		t.Fatalf("len = %d", len(s))
+	}
+}
+
+func TestSampleWithoutReplacementZero(t *testing.T) {
+	if s := New(2).SampleWithoutReplacement(10, 0); len(s) != 0 {
+		t.Fatalf("len = %d, want 0", len(s))
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).SampleWithoutReplacement(3, 4)
+}
+
+func TestSampleUniformity(t *testing.T) {
+	// Small-k path (Floyd) must still be uniform over indices.
+	r := New(17)
+	counts := make([]int, 20)
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		for _, v := range r.SampleWithoutReplacement(20, 2) {
+			counts[v]++
+		}
+	}
+	want := float64(trials*2) / 20
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Fatalf("index %d count %d, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestWeightedSamplerProportional(t *testing.T) {
+	ws := NewWeightedSampler([]float64{1, 0, 3})
+	r := New(23)
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[ws.Sample(r)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index sampled %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.15 {
+		t.Fatalf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestWeightedSamplerTotal(t *testing.T) {
+	ws := NewWeightedSampler([]float64{2, 3})
+	if ws.Total() != 5 {
+		t.Fatalf("Total = %v", ws.Total())
+	}
+}
+
+func TestWeightedSamplerNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWeightedSampler([]float64{1, -1})
+}
+
+func TestWeightedSamplerZeroTotalPanics(t *testing.T) {
+	ws := NewWeightedSampler([]float64{0, 0})
+	if ws.Total() != 0 {
+		t.Fatalf("Total = %v", ws.Total())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ws.Sample(New(1))
+}
+
+func TestWeightedSamplerSingle(t *testing.T) {
+	ws := NewWeightedSampler([]float64{0.5})
+	r := New(4)
+	for i := 0; i < 100; i++ {
+		if ws.Sample(r) != 0 {
+			t.Fatal("single-weight sampler returned nonzero index")
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkWeightedSample(b *testing.B) {
+	w := make([]float64, 100000)
+	r := New(1)
+	for i := range w {
+		w[i] = r.Float64()
+	}
+	ws := NewWeightedSampler(w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ws.Sample(r)
+	}
+}

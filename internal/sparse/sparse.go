@@ -1,0 +1,227 @@
+// Package sparse implements the compressed-sparse-row matrix used to
+// represent the path/gate incidence system A of Eq. (9): one row per
+// selected timing path, one column per gate, entry a_ij = d_j * lambda_j
+// when gate j lies on path i.
+//
+// The solvers need exactly four operations — y = A x, g = A^T r, per-row
+// Euclidean norms (Eq. 11 sampling probabilities), and row subsetting
+// (Algorithm 1's uniform sampling) — so that is the whole API. Row subsets
+// are cheap views that share the parent's storage.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Matrix is an immutable CSR matrix.
+type Matrix struct {
+	rows, cols int
+	rowPtr     []int     // len rows+1
+	colIdx     []int     // len nnz
+	val        []float64 // len nnz
+}
+
+// Builder accumulates rows for a Matrix. Rows are appended in order; the
+// column count is fixed up front.
+type Builder struct {
+	cols   int
+	rowPtr []int
+	colIdx []int
+	val    []float64
+}
+
+// NewBuilder returns a builder for matrices with the given column count.
+// It panics if cols is negative.
+func NewBuilder(cols int) *Builder {
+	if cols < 0 {
+		panic("sparse: negative column count")
+	}
+	return &Builder{cols: cols, rowPtr: []int{0}}
+}
+
+// AddRow appends one row given parallel index/value slices. Indices may be
+// unordered and may repeat; repeated indices are summed (a gate appearing
+// twice on a reconvergent path contributes twice). It returns an error for
+// out-of-range indices or mismatched slice lengths.
+func (b *Builder) AddRow(indices []int, values []float64) error {
+	if len(indices) != len(values) {
+		return fmt.Errorf("sparse: %d indices for %d values", len(indices), len(values))
+	}
+	type ent struct {
+		j int
+		v float64
+	}
+	ents := make([]ent, 0, len(indices))
+	for k, j := range indices {
+		if j < 0 || j >= b.cols {
+			return fmt.Errorf("sparse: column %d out of range [0,%d)", j, b.cols)
+		}
+		ents = append(ents, ent{j, values[k]})
+	}
+	sort.Slice(ents, func(x, y int) bool { return ents[x].j < ents[y].j })
+	for k := 0; k < len(ents); k++ {
+		if k > 0 && ents[k].j == ents[k-1].j {
+			// Merge duplicate columns.
+			b.val[len(b.val)-1] += ents[k].v
+			continue
+		}
+		b.colIdx = append(b.colIdx, ents[k].j)
+		b.val = append(b.val, ents[k].v)
+	}
+	b.rowPtr = append(b.rowPtr, len(b.colIdx))
+	return nil
+}
+
+// Build finalizes the accumulated rows into an immutable Matrix. The
+// builder must not be used afterwards.
+func (b *Builder) Build() *Matrix {
+	m := &Matrix{
+		rows:   len(b.rowPtr) - 1,
+		cols:   b.cols,
+		rowPtr: b.rowPtr,
+		colIdx: b.colIdx,
+		val:    b.val,
+	}
+	b.rowPtr, b.colIdx, b.val = nil, nil, nil
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// NNZ returns the number of stored entries.
+func (m *Matrix) NNZ() int { return len(m.val) }
+
+// Row returns the column indices and values of row i as shared slices; the
+// caller must not modify them.
+func (m *Matrix) Row(i int) (indices []int, values []float64) {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	return m.colIdx[lo:hi], m.val[lo:hi]
+}
+
+// MulVec writes A*x into dst and returns dst; dst is allocated when nil.
+func (m *Matrix) MulVec(dst, x []float64) []float64 {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("sparse: MulVec x has %d entries, want %d", len(x), m.cols))
+	}
+	if dst == nil {
+		dst = make([]float64, m.rows)
+	} else if len(dst) != m.rows {
+		panic("sparse: MulVec dst length mismatch")
+	}
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.val[k] * x[m.colIdx[k]]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// MulTVec writes A^T*y into dst and returns dst; dst is allocated when nil.
+func (m *Matrix) MulTVec(dst, y []float64) []float64 {
+	if len(y) != m.rows {
+		panic(fmt.Sprintf("sparse: MulTVec y has %d entries, want %d", len(y), m.rows))
+	}
+	if dst == nil {
+		dst = make([]float64, m.cols)
+	} else if len(dst) != m.cols {
+		panic("sparse: MulTVec dst length mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.rows; i++ {
+		yi := y[i]
+		if yi == 0 {
+			continue
+		}
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			dst[m.colIdx[k]] += m.val[k] * yi
+		}
+	}
+	return dst
+}
+
+// RowDot returns <a_i, x>, the product of row i with x.
+func (m *Matrix) RowDot(i int, x []float64) float64 {
+	var s float64
+	for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+		s += m.val[k] * x[m.colIdx[k]]
+	}
+	return s
+}
+
+// AddScaledRow performs dst += alpha * a_i for the sparse row i.
+func (m *Matrix) AddScaledRow(dst []float64, i int, alpha float64) {
+	for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+		dst[m.colIdx[k]] += alpha * m.val[k]
+	}
+}
+
+// RowNormsSq returns ||a_i||^2 for every row — the sampling weights of
+// Eq. (11).
+func (m *Matrix) RowNormsSq() []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.val[k] * m.val[k]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ColumnCoverage returns the number of columns touched by at least one row.
+// The path-selection study of §3.2 reports this as "gate coverage".
+func (m *Matrix) ColumnCoverage() int {
+	seen := make([]bool, m.cols)
+	n := 0
+	for _, j := range m.colIdx {
+		if !seen[j] {
+			seen[j] = true
+			n++
+		}
+	}
+	return n
+}
+
+// SelectRows builds a new matrix containing the given rows of m, in order.
+// Row indices may repeat. It panics on out-of-range indices.
+func (m *Matrix) SelectRows(rows []int) *Matrix {
+	rp := make([]int, 1, len(rows)+1)
+	nnz := 0
+	for _, i := range rows {
+		if i < 0 || i >= m.rows {
+			panic(fmt.Sprintf("sparse: SelectRows index %d out of range", i))
+		}
+		nnz += m.rowPtr[i+1] - m.rowPtr[i]
+		rp = append(rp, nnz)
+	}
+	ci := make([]int, 0, nnz)
+	vv := make([]float64, 0, nnz)
+	for _, i := range rows {
+		ci = append(ci, m.colIdx[m.rowPtr[i]:m.rowPtr[i+1]]...)
+		vv = append(vv, m.val[m.rowPtr[i]:m.rowPtr[i+1]]...)
+	}
+	return &Matrix{rows: len(rows), cols: m.cols, rowPtr: rp, colIdx: ci, val: vv}
+}
+
+// Dense expands the matrix to row-major dense form; intended for tests and
+// tiny examples only.
+func (m *Matrix) Dense() [][]float64 {
+	out := make([][]float64, m.rows)
+	for i := range out {
+		out[i] = make([]float64, m.cols)
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			out[i][m.colIdx[k]] = m.val[k]
+		}
+	}
+	return out
+}

@@ -1,0 +1,299 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mgba/internal/num"
+	"mgba/internal/rng"
+)
+
+func build(t *testing.T, cols int, rows ...[]struct {
+	j int
+	v float64
+}) *Matrix {
+	t.Helper()
+	b := NewBuilder(cols)
+	for _, r := range rows {
+		idx := make([]int, len(r))
+		val := make([]float64, len(r))
+		for k, e := range r {
+			idx[k], val[k] = e.j, e.v
+		}
+		if err := b.AddRow(idx, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+type ent = struct {
+	j int
+	v float64
+}
+
+func TestBuilderBasic(t *testing.T) {
+	m := build(t, 3, []ent{{0, 1}, {2, 2}}, []ent{{1, 3}})
+	if m.Rows() != 2 || m.Cols() != 3 || m.NNZ() != 3 {
+		t.Fatalf("dims = %dx%d nnz %d", m.Rows(), m.Cols(), m.NNZ())
+	}
+	d := m.Dense()
+	want := [][]float64{{1, 0, 2}, {0, 3, 0}}
+	for i := range want {
+		for j := range want[i] {
+			if d[i][j] != want[i][j] {
+				t.Fatalf("Dense = %v", d)
+			}
+		}
+	}
+}
+
+func TestBuilderEmptyRow(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddRow(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	m := b.Build()
+	if m.Rows() != 1 || m.NNZ() != 0 {
+		t.Fatalf("rows=%d nnz=%d", m.Rows(), m.NNZ())
+	}
+	y := m.MulVec(nil, []float64{1, 2})
+	if y[0] != 0 {
+		t.Fatalf("empty row product = %v", y[0])
+	}
+}
+
+func TestBuilderUnorderedAndDuplicates(t *testing.T) {
+	b := NewBuilder(4)
+	// Unordered input with a duplicate column (gate on a reconvergent path).
+	if err := b.AddRow([]int{3, 1, 3}, []float64{5, 2, 7}); err != nil {
+		t.Fatal(err)
+	}
+	m := b.Build()
+	idx, val := m.Row(0)
+	if len(idx) != 2 || idx[0] != 1 || idx[1] != 3 {
+		t.Fatalf("indices = %v", idx)
+	}
+	if val[0] != 2 || val[1] != 12 {
+		t.Fatalf("values = %v (duplicates must sum)", val)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddRow([]int{0}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := b.AddRow([]int{2}, []float64{1}); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+	if err := b.AddRow([]int{-1}, []float64{1}); err == nil {
+		t.Fatal("negative column accepted")
+	}
+}
+
+func TestNewBuilderNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(-1)
+}
+
+func TestMulVec(t *testing.T) {
+	m := build(t, 3, []ent{{0, 1}, {2, 2}}, []ent{{1, 3}})
+	y := m.MulVec(nil, []float64{1, 2, 3})
+	if y[0] != 7 || y[1] != 6 {
+		t.Fatalf("MulVec = %v", y)
+	}
+	// Into provided destination.
+	dst := make([]float64, 2)
+	m.MulVec(dst, []float64{1, 0, 0})
+	if dst[0] != 1 || dst[1] != 0 {
+		t.Fatalf("MulVec dst = %v", dst)
+	}
+}
+
+func TestMulVecPanics(t *testing.T) {
+	m := build(t, 3, []ent{{0, 1}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.MulVec(nil, []float64{1, 2})
+}
+
+func TestMulTVec(t *testing.T) {
+	m := build(t, 3, []ent{{0, 1}, {2, 2}}, []ent{{1, 3}})
+	g := m.MulTVec(nil, []float64{2, 5})
+	if g[0] != 2 || g[1] != 15 || g[2] != 4 {
+		t.Fatalf("MulTVec = %v", g)
+	}
+	// dst must be zeroed before accumulation.
+	dst := []float64{9, 9, 9}
+	m.MulTVec(dst, []float64{0, 0})
+	if dst[0] != 0 || dst[1] != 0 || dst[2] != 0 {
+		t.Fatalf("MulTVec did not clear dst: %v", dst)
+	}
+}
+
+func TestAdjointProperty(t *testing.T) {
+	// <Ax, y> == <x, A^T y> for random sparse matrices.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		rows, cols := 1+r.Intn(20), 1+r.Intn(15)
+		b := NewBuilder(cols)
+		for i := 0; i < rows; i++ {
+			n := r.Intn(cols + 1)
+			idx := r.SampleWithoutReplacement(cols, n)
+			val := make([]float64, n)
+			for k := range val {
+				val[k] = r.NormFloat64()
+			}
+			if err := b.AddRow(idx, val); err != nil {
+				return false
+			}
+		}
+		m := b.Build()
+		x := make([]float64, cols)
+		y := make([]float64, rows)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		for i := range y {
+			y[i] = r.NormFloat64()
+		}
+		lhs := num.Dot(m.MulVec(nil, x), y)
+		rhs := num.Dot(x, m.MulTVec(nil, y))
+		return math.Abs(lhs-rhs) <= 1e-9*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowDotMatchesMulVec(t *testing.T) {
+	m := build(t, 4, []ent{{0, 1}, {3, -2}}, []ent{{1, 5}}, []ent{})
+	x := []float64{1, 2, 3, 4}
+	y := m.MulVec(nil, x)
+	for i := 0; i < m.Rows(); i++ {
+		if got := m.RowDot(i, x); got != y[i] {
+			t.Fatalf("RowDot(%d) = %v, MulVec gave %v", i, got, y[i])
+		}
+	}
+}
+
+func TestAddScaledRow(t *testing.T) {
+	m := build(t, 3, []ent{{0, 2}, {2, 4}})
+	dst := []float64{1, 1, 1}
+	m.AddScaledRow(dst, 0, 0.5)
+	if dst[0] != 2 || dst[1] != 1 || dst[2] != 3 {
+		t.Fatalf("AddScaledRow = %v", dst)
+	}
+}
+
+func TestRowNormsSq(t *testing.T) {
+	m := build(t, 3, []ent{{0, 3}, {1, 4}}, []ent{})
+	n := m.RowNormsSq()
+	if n[0] != 25 || n[1] != 0 {
+		t.Fatalf("RowNormsSq = %v", n)
+	}
+}
+
+func TestColumnCoverage(t *testing.T) {
+	m := build(t, 5, []ent{{0, 1}, {2, 1}}, []ent{{2, 1}, {4, 1}})
+	if got := m.ColumnCoverage(); got != 3 {
+		t.Fatalf("ColumnCoverage = %d, want 3", got)
+	}
+}
+
+func TestSelectRows(t *testing.T) {
+	m := build(t, 3, []ent{{0, 1}}, []ent{{1, 2}}, []ent{{2, 3}})
+	s := m.SelectRows([]int{2, 0, 2})
+	if s.Rows() != 3 || s.Cols() != 3 {
+		t.Fatalf("dims = %dx%d", s.Rows(), s.Cols())
+	}
+	d := s.Dense()
+	if d[0][2] != 3 || d[1][0] != 1 || d[2][2] != 3 {
+		t.Fatalf("SelectRows Dense = %v", d)
+	}
+}
+
+func TestSelectRowsEmpty(t *testing.T) {
+	m := build(t, 3, []ent{{0, 1}})
+	s := m.SelectRows(nil)
+	if s.Rows() != 0 || s.Cols() != 3 {
+		t.Fatalf("empty select dims = %dx%d", s.Rows(), s.Cols())
+	}
+}
+
+func TestSelectRowsPanics(t *testing.T) {
+	m := build(t, 3, []ent{{0, 1}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.SelectRows([]int{1})
+}
+
+func TestSelectRowsMatchesParentProducts(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		rows, cols := 2+r.Intn(20), 1+r.Intn(10)
+		b := NewBuilder(cols)
+		for i := 0; i < rows; i++ {
+			n := r.Intn(cols)
+			idx := r.SampleWithoutReplacement(cols, n)
+			val := make([]float64, n)
+			for k := range val {
+				val[k] = r.Float64()
+			}
+			b.AddRow(idx, val)
+		}
+		m := b.Build()
+		sel := r.SampleWithoutReplacement(rows, 1+r.Intn(rows))
+		s := m.SelectRows(sel)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		full := m.MulVec(nil, x)
+		sub := s.MulVec(nil, x)
+		for k, i := range sel {
+			if math.Abs(sub[k]-full[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	r := rng.New(1)
+	const rows, cols, perRow = 20000, 2000, 30
+	bld := NewBuilder(cols)
+	for i := 0; i < rows; i++ {
+		idx := r.SampleWithoutReplacement(cols, perRow)
+		val := make([]float64, perRow)
+		for k := range val {
+			val[k] = r.Float64()
+		}
+		bld.AddRow(idx, val)
+	}
+	m := bld.Build()
+	x := make([]float64, cols)
+	for i := range x {
+		x[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(nil, x)
+	}
+}
