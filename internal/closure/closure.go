@@ -19,6 +19,7 @@ import (
 
 	"mgba/internal/cells"
 	"mgba/internal/core"
+	"mgba/internal/engine"
 	"mgba/internal/graph"
 	"mgba/internal/netlist"
 	"mgba/internal/pba"
@@ -99,17 +100,31 @@ type Result struct {
 	ValidateElapsed time.Duration // GBA flow: PBA validation of violators
 }
 
-// flow carries the mutable optimization state.
+// flow carries the mutable optimization state. The timing session is
+// rebuilt only on connectivity changes (buffer insertion); the thousands
+// of resize trials in between run through Result.Update against the same
+// session, allocating nothing.
 type flow struct {
 	d   *netlist.Design
 	opt Options
 
 	g       *graph.Graph
+	sess    *engine.Session
 	r       *sta.Result
 	weights []float64 // nil for GBA
 
 	res        *Result
 	transforms int // transforms since the last recalibration
+}
+
+// retire swaps in a freshly computed timing view, returning the previous
+// one's scratch buffers to its session pool. Safe because the flow is the
+// only holder of its Result between refreshes.
+func (f *flow) retire(next *sta.Result) {
+	if f.r != nil {
+		f.r.Release()
+	}
+	f.r = next
 }
 
 // Optimize runs the timing-closure flow on the design in place and returns
@@ -173,27 +188,31 @@ func Optimize(d *netlist.Design, opt Options) (*Result, error) {
 	return f.res, nil
 }
 
-// rebuild reconstructs the timing graph (needed after connectivity edits)
-// and re-times the design, recalibrating mGBA weights when applicable.
+// rebuild reconstructs the timing graph and session (needed after
+// connectivity edits) and re-times the design, recalibrating mGBA weights
+// when applicable.
 func (f *flow) rebuild() error {
 	g, err := graph.Build(f.d)
 	if err != nil {
 		return err
 	}
 	f.g = g
+	f.sess = engine.NewSession(g)
 	return f.calibrate()
 }
 
-// refresh rebuilds the graph and re-times with the *existing* mGBA weights
-// (padded with 1.0 for instances created since the last calibration). The
-// buffer-insertion trial loop uses it: a full recalibration per candidate
-// buffer would dwarf the cost of the transform being evaluated.
+// refresh rebuilds the graph and session and re-times with the *existing*
+// mGBA weights (padded with 1.0 for instances created since the last
+// calibration). The buffer-insertion trial loop uses it: a full
+// recalibration per candidate buffer would dwarf the cost of the
+// transform being evaluated.
 func (f *flow) refresh() error {
 	g, err := graph.Build(f.d)
 	if err != nil {
 		return err
 	}
 	f.g = g
+	f.sess = engine.NewSession(g)
 	cfg := f.opt.STA
 	if f.opt.Timer == TimerMGBA && f.weights != nil {
 		for len(f.weights) < len(f.d.Instances) {
@@ -201,14 +220,16 @@ func (f *flow) refresh() error {
 		}
 		cfg.Weights = f.weights
 	}
-	f.r = sta.Analyze(g, cfg)
+	f.retire(f.sess.Run(cfg))
 	return nil
 }
 
-// calibrate refreshes the mGBA weights (or simply re-analyzes under GBA).
+// calibrate refreshes the mGBA weights (or simply re-analyzes under GBA),
+// running against the flow's timing session so the per-design state is
+// never recomputed mid-flow.
 func (f *flow) calibrate() error {
 	if f.opt.Timer == TimerGBA {
-		f.r = sta.Analyze(f.g, f.opt.STA)
+		f.retire(f.sess.Run(f.opt.STA))
 		return nil
 	}
 	t0 := time.Now()
@@ -218,14 +239,20 @@ func (f *flow) calibrate() error {
 		// previous weights warm-start the solver.
 		opt.WarmWeights = f.weights
 	}
-	model, err := core.Calibrate(f.g, f.opt.STA, opt)
+	model, err := core.CalibrateWithSession(f.sess, f.opt.STA, opt)
 	if err != nil {
 		return err
 	}
 	f.res.Calibrations++
 	f.res.CalibElapsed += time.Since(t0)
 	f.weights = model.Weights
-	f.r = model.MGBA
+	f.retire(model.MGBA)
+	// The flow keeps only the weighted view; the calibration's baseline
+	// GBA buffers go straight back to the pool (unless degenerate
+	// calibration returned the baseline itself).
+	if model.GBA != model.MGBA {
+		model.GBA.Release()
+	}
 	f.transforms = 0
 	return nil
 }
@@ -557,15 +584,22 @@ func (f *flow) finish() {
 	f.res.Leakage = f.d.Leakage()
 	f.res.Buffers = f.d.BufferCount()
 
-	f.res.SignoffWNS, f.res.SignoffTNS = Signoff(f.g, f.opt.STA)
+	f.res.SignoffWNS, f.res.SignoffTNS = signoff(f.sess, f.opt.STA)
 }
 
 // Signoff measures WNS/TNS with PBA: for every endpoint, the worst PBA
 // slack among its worst GBA paths. This is the golden yardstick the paper
 // uses for its QoR tables (PBA "sign-off stage" timing).
 func Signoff(g *graph.Graph, cfg sta.Config) (wns, tns float64) {
+	return signoff(engine.NewSession(g), cfg)
+}
+
+// signoff is Signoff against an existing timing session.
+func signoff(s *engine.Session, cfg sta.Config) (wns, tns float64) {
+	g := s.G
 	cfg.Weights = nil
-	r := sta.Analyze(g, cfg)
+	r := s.Run(cfg)
+	defer r.Release()
 	an := pba.NewAnalyzer(r)
 	for fi, ffID := range g.D.FFs {
 		if len(g.Fanin[ffID]) == 0 {

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 
+	"mgba/internal/engine"
 	"mgba/internal/graph"
 	"mgba/internal/num"
 	"mgba/internal/pathsel"
@@ -98,9 +99,10 @@ func DefaultOptions() Options {
 
 // Model is a fitted mGBA model for one design state.
 type Model struct {
-	G   *graph.Graph
-	Cfg sta.Config // the GBA config calibrated against (Weights == nil)
-	Opt Options
+	G       *graph.Graph
+	Session *engine.Session // timing session shared by the GBA and mGBA runs
+	Cfg     sta.Config      // the GBA config calibrated against (Weights == nil)
+	Opt     Options
 
 	GBA       *sta.Result        // baseline GBA analysis
 	Selection *pathsel.Selection // calibration paths
@@ -117,9 +119,23 @@ type Model struct {
 
 // Calibrate runs the full mGBA calibration pipeline on a design's timing
 // graph under the given GBA configuration, selecting calibration paths
-// with the per-endpoint top-k' scheme of §3.2.
+// with the per-endpoint top-k' scheme of §3.2. It builds a throwaway
+// engine.Session; callers that recalibrate the same design repeatedly
+// (the closure loop) should use CalibrateWithSession instead.
 func Calibrate(g *graph.Graph, cfg sta.Config, opt Options) (*Model, error) {
-	return calibrate(g, cfg, opt, nil)
+	return calibrate(nil, g, cfg, opt, nil)
+}
+
+// CalibrateWithSession runs the calibration pipeline on an existing timing
+// session, so the per-design immutable state (depths, boxes, clock index,
+// CRPR credit cache) and the per-run scratch buffers are reused instead of
+// recomputed — the difference between a per-iteration and a per-design
+// cost inside the closure loop.
+func CalibrateWithSession(s *engine.Session, cfg sta.Config, opt Options) (*Model, error) {
+	if s == nil {
+		return nil, fmt.Errorf("core: nil session")
+	}
+	return calibrate(s, s.G, cfg, opt, nil)
 }
 
 // CalibrateOnSelection runs the same pipeline against an explicit path
@@ -129,10 +145,10 @@ func CalibrateOnSelection(g *graph.Graph, cfg sta.Config, opt Options, sel *path
 	if sel == nil {
 		return nil, fmt.Errorf("core: nil selection")
 	}
-	return calibrate(g, cfg, opt, sel)
+	return calibrate(nil, g, cfg, opt, sel)
 }
 
-func calibrate(g *graph.Graph, cfg sta.Config, opt Options, sel *pathsel.Selection) (*Model, error) {
+func calibrate(s *engine.Session, g *graph.Graph, cfg sta.Config, opt Options, sel *pathsel.Selection) (*Model, error) {
 	if cfg.Weights != nil {
 		return nil, fmt.Errorf("core: calibration config must not carry weights")
 	}
@@ -145,8 +161,11 @@ func calibrate(g *graph.Graph, cfg sta.Config, opt Options, sel *pathsel.Selecti
 	if opt.MinWeight <= 0 || opt.MaxWeight < opt.MinWeight {
 		return nil, fmt.Errorf("core: bad weight clamp [%v,%v]", opt.MinWeight, opt.MaxWeight)
 	}
-	m := &Model{G: g, Cfg: cfg, Opt: opt}
-	m.GBA = sta.Analyze(g, cfg)
+	if s == nil {
+		s = engine.NewSession(g)
+	}
+	m := &Model{G: g, Session: s, Cfg: cfg, Opt: opt}
+	m.GBA = s.Run(cfg)
 	an := pba.NewAnalyzer(m.GBA)
 	if sel != nil {
 		m.Selection = sel
@@ -171,7 +190,7 @@ func calibrate(g *graph.Graph, cfg sta.Config, opt Options, sel *pathsel.Selecti
 	}
 	wcfg := cfg
 	wcfg.Weights = m.Weights
-	m.MGBA = sta.Analyze(g, wcfg)
+	m.MGBA = s.Run(wcfg)
 	return m, nil
 }
 

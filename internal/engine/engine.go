@@ -1,0 +1,85 @@
+// Package engine is the timing engine behind graph-based analysis: it
+// splits a design's timing state into the immutable, design-derived part —
+// owned by a reusable Session — and the per-run analysis part — carried by
+// a Result backed by pooled scratch buffers.
+//
+// The split exists because the paper's framework (§3.4) puts the timer
+// *inside* a timing-closure optimization loop: the loop re-times the same
+// design thousands of times (mGBA weight applications, incremental updates
+// after resizes, PBA budget queries), yet the expensive derived state —
+// topological levels, worst-casing depth and bounding-box DPs, the clock
+// index, clock insertion delays and the leaf-pair CRPR credit cache — only
+// depends on the design, not on the run. A Session computes that state
+// once; each Run then costs exactly one forward/backward propagation and
+// allocates nothing on the steady-state path (Release returns a Result's
+// buffers to the session pool).
+//
+// Propagation is level-parallel: within each topological level no instance
+// depends on another, so levels are partitioned across a worker pool
+// (Config.Parallelism; 0 means runtime.NumCPU()). Every instance's values
+// are computed independently from already-final fanins and written to that
+// instance's slot only — no accumulation across goroutines — so results
+// are bitwise identical at every parallelism setting, including 1.
+//
+// The analysis semantics (worst-depth/worst-distance AOCV derating,
+// worst-slew merging, conservative CRPR crediting, setup/hold slacks,
+// incremental update) are unchanged from the original internal/sta engine;
+// internal/sta remains as a thin compatibility layer aliasing these types.
+package engine
+
+import (
+	"runtime"
+
+	"mgba/internal/graph"
+)
+
+// Config selects the analysis features of one run. The zero value is a
+// plain timer with every pessimism source disabled; use DefaultConfig for
+// the paper's GBA setting.
+type Config struct {
+	DerateData  bool // apply AOCV late derates to data cells and FF CK->Q arcs
+	DerateClock bool // apply AOCV late/early derates to the clock tree
+
+	// DelayOverride forces the nominal (pre-derate) delay of specific
+	// instances, bypassing the load/slew model. Used by the Fig. 2 worked
+	// example (all gates exactly 100 ps) and by tests.
+	DelayOverride map[int]float64
+
+	// Weights is the per-instance mGBA weighting factor vector (Eq. 8)
+	// applied multiplicatively to the derated cell delay. nil means all 1
+	// (original GBA).
+	Weights []float64
+
+	// IdealClock treats every clock buffer as zero-delay, removing clock
+	// insertion and CRPR effects entirely.
+	IdealClock bool
+
+	// Parallelism is the worker count for level-parallel propagation:
+	// 0 means runtime.NumCPU(), 1 runs fully sequential. Results are
+	// bitwise identical at every setting.
+	Parallelism int
+}
+
+// DefaultConfig is the paper's GBA: full AOCV derating on data and clock,
+// worst-slew merging, conservative CRPR crediting.
+func DefaultConfig() Config {
+	return Config{DerateData: true, DerateClock: true}
+}
+
+// workers resolves a Parallelism setting to a concrete worker count.
+func workers(p int) int {
+	if p == 0 {
+		return runtime.NumCPU()
+	}
+	if p < 1 {
+		return 1
+	}
+	return p
+}
+
+// Analyze runs one cold full analysis: a throwaway Session plus one Run.
+// Callers that re-time the same design repeatedly should hold a Session
+// and call Run themselves — that is the whole point of the session split.
+func Analyze(g *graph.Graph, cfg Config) *Result {
+	return NewSession(g).Run(cfg)
+}

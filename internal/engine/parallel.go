@@ -1,0 +1,36 @@
+package engine
+
+import "sync"
+
+// grain is the smallest range worth handing to its own worker: below it,
+// goroutine startup and the WaitGroup rendezvous cost more than the work.
+const grain = 64
+
+// parallelFor runs fn over [0, n) split into at most r.par contiguous
+// chunks, one goroutine each. fn(lo, hi) must touch only state owned by
+// its range — under that contract the schedule is free of data races and
+// the output is bitwise identical to the sequential order.
+func (r *Result) parallelFor(n int, fn func(lo, hi int)) {
+	if r.par <= 1 || n <= grain {
+		fn(0, n)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks > r.par {
+		chunks = r.par
+	}
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

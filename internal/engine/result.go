@@ -1,0 +1,351 @@
+package engine
+
+import (
+	"math"
+	"sort"
+
+	"mgba/internal/graph"
+)
+
+// Result holds one complete forward/backward GBA analysis of a design.
+// The clock-derived slices (ClockLate, ClockEarly, GBACRPR) alias state
+// owned by the Session and are shared, read-only, between Results; the
+// per-run slices come from the session's scratch pool and are exclusive
+// to this Result until Release is called.
+type Result struct {
+	G   *graph.Graph
+	Cfg Config
+	S   *Session // the owning session
+
+	Depths *graph.Depths
+	Boxes  *graph.Boxes
+
+	// Per-instance quantities (indexed by instance ID).
+	NominalDelay []float64 // load/slew delay before derating, incl. overrides
+	Derate       []float64 // late AOCV factor applied (1 when not derated)
+	CellDelay    []float64 // NominalDelay * Derate * weight — the a_ij basis
+	WireDelay    []float64 // output-net wire delay (not derated, not weighted)
+	Slew         []float64 // worst-case output transition
+	ArrivalOut   []float64 // latest data arrival at the instance output
+	RequiredOut  []float64 // earliest required time at the instance output
+	MinArrival   []float64 // earliest data arrival (hold analysis)
+
+	// Per-FF quantities (indexed by position in D.FFs).
+	ClockLate  []float64 // launch clock insertion delay (late derates)
+	ClockEarly []float64 // capture clock insertion delay (early derates)
+	GBACRPR    []float64 // conservative (worst launch pair) CRPR credit GBA applies
+	DataAtD    []float64 // latest data arrival at the FF's D pin
+	MinAtD     []float64 // earliest data arrival at the FF's D pin
+	Slack      []float64 // setup slack per endpoint (+Inf when unconstrained)
+	HoldSlack  []float64 // hold slack per endpoint (+Inf when unconstrained)
+
+	WNS, TNS float64 // worst / total negative setup slack over endpoints
+
+	cs  *clockState
+	sc  *scratch
+	par int // resolved worker count
+}
+
+// Release returns the Result's per-run buffers to the session pool so the
+// next Run reuses them instead of allocating. The Result — including every
+// slice read from it — must not be used afterwards. Releasing twice, or
+// releasing nil, is a no-op.
+func (r *Result) Release() {
+	if r == nil || r.sc == nil {
+		return
+	}
+	sc := r.sc
+	r.sc = nil
+	r.S.scratchMu.Lock()
+	r.S.free = append(r.S.free, sc)
+	r.S.scratchMu.Unlock()
+}
+
+// weight returns the mGBA weighting factor of instance v.
+func (r *Result) weight(v int) float64 {
+	if r.Cfg.Weights == nil {
+		return 1
+	}
+	return r.Cfg.Weights[v]
+}
+
+// lateDerate returns the conservative late AOCV factor GBA applies to the
+// data cell v.
+func (r *Result) lateDerate(v int) float64 {
+	if !r.Cfg.DerateData {
+		return 1
+	}
+	d := r.G.D
+	return d.Derates.Late.Lookup(float64(r.Depths.GBA[v]), r.Boxes.GBADistance[v])
+}
+
+// CRPRCredit returns the exact clock-reconvergence pessimism credit for a
+// launch/capture FF pair (positions into D.FFs). PBA applies it per path;
+// GBA applies only the conservative per-endpoint minimum (GBACRPR). The
+// lookup hits the session's precomputed leaf-pair matrix.
+func (r *Result) CRPRCredit(launchIdx, captureIdx int) float64 {
+	if r.Cfg.IdealClock || !r.Cfg.DerateClock {
+		return 0
+	}
+	ci := r.G.ClockIndex()
+	return r.cs.credits[ci.LeafOfFF[launchIdx]][ci.LeafOfFF[captureIdx]]
+}
+
+// nominalDelay computes the pre-derate delay of instance v given its worst
+// input slew, honouring overrides.
+func (r *Result) nominalDelay(v int, inSlew float64) float64 {
+	if ov, ok := r.Cfg.DelayOverride[v]; ok {
+		return ov
+	}
+	d := r.G.D
+	in := d.Instances[v]
+	if in.Output < 0 {
+		return 0
+	}
+	load := d.LoadCap(d.Nets[in.Output])
+	return in.Cell.Delay(load, inSlew)
+}
+
+// forwardAll propagates worst slews and max/min arrivals level by level.
+// Levels are data-independent internally, so each one is partitioned
+// across the worker pool; every worker writes only the slots of its own
+// instances, which keeps the parallel schedule bitwise identical to the
+// sequential one.
+func (r *Result) forwardAll() {
+	s := r.S
+	for l := 0; l+1 < len(s.levelOff); l++ {
+		lo, hi := s.levelOff[l], s.levelOff[l+1]
+		r.parallelFor(hi-lo, func(a, b int) {
+			for i := lo + a; i < lo+b; i++ {
+				r.evalInstance(s.levelOrder[i])
+			}
+		})
+	}
+	r.collectEndpointArrivals()
+}
+
+// evalInstance recomputes the slew, delays and arrivals of one instance
+// from its (already final) fanins.
+func (r *Result) evalInstance(v int) {
+	d := r.G.D
+	in := d.Instances[v]
+
+	// Worst input slew and input arrival window.
+	var worstSlew float64
+	maxAt := math.Inf(-1)
+	minAt := math.Inf(1)
+	if in.IsFF() {
+		fi := r.G.FFIndex(v)
+		maxAt = r.ClockLate[fi]
+		minAt = r.ClockEarly[fi]
+		worstSlew = 0
+	} else {
+		for _, e := range r.G.Fanin[v] {
+			if s := r.Slew[e.From]; s > worstSlew {
+				worstSlew = s
+			}
+			at := r.ArrivalOut[e.From] + r.WireDelay[e.From]
+			if at > maxAt {
+				maxAt = at
+			}
+			mn := r.MinArrival[e.From] + r.WireDelay[e.From]
+			if mn < minAt {
+				minAt = mn
+			}
+		}
+		if len(r.G.Fanin[v]) == 0 {
+			maxAt, minAt = 0, 0
+		}
+	}
+
+	nom := r.nominalDelay(v, worstSlew)
+	der := r.lateDerate(v)
+	r.NominalDelay[v] = nom
+	r.Derate[v] = der
+	r.CellDelay[v] = nom * der * r.weight(v)
+	if in.Output >= 0 {
+		r.WireDelay[v] = d.Nets[in.Output].WireDelay
+		if _, ok := r.Cfg.DelayOverride[v]; ok {
+			r.Slew[v] = 0
+		} else {
+			r.Slew[v] = in.Cell.OutputSlew(d.LoadCap(d.Nets[in.Output]), worstSlew)
+		}
+	} else {
+		r.WireDelay[v] = 0
+		r.Slew[v] = 0
+	}
+	r.ArrivalOut[v] = maxAt + r.CellDelay[v]
+	// Hold analysis uses the same derated delay basis; the pessimism gap
+	// for hold comes from the max/min window, kept simple deliberately.
+	r.MinArrival[v] = minAt + r.CellDelay[v]
+}
+
+// collectEndpointArrivals refreshes the per-endpoint D-pin arrival windows
+// from the final instance arrivals. Endpoints are independent, so the scan
+// is partitioned across workers.
+func (r *Result) collectEndpointArrivals() {
+	d := r.G.D
+	r.parallelFor(len(d.FFs), func(lo, hi int) {
+		for fi := lo; fi < hi; fi++ {
+			ffID := d.FFs[fi]
+			maxAt := math.Inf(-1)
+			minAt := math.Inf(1)
+			for _, e := range r.G.Fanin[ffID] {
+				at := r.ArrivalOut[e.From] + r.WireDelay[e.From]
+				if at > maxAt {
+					maxAt = at
+				}
+				mn := r.MinArrival[e.From] + r.WireDelay[e.From]
+				if mn < minAt {
+					minAt = mn
+				}
+			}
+			if len(r.G.Fanin[ffID]) == 0 {
+				r.DataAtD[fi] = math.Inf(-1)
+				r.MinAtD[fi] = math.Inf(1)
+				continue
+			}
+			r.DataAtD[fi] = maxAt
+			r.MinAtD[fi] = minAt
+		}
+	})
+}
+
+// endpointRequired returns the setup required time at endpoint fi's D pin:
+// the capture edge (period + early capture clock) minus the setup time,
+// plus GBA's conservative CRPR credit.
+func (r *Result) endpointRequired(fi int) float64 {
+	d := r.G.D
+	ff := d.Instances[d.FFs[fi]]
+	return d.ClockPeriod + r.ClockEarly[fi] - ff.Cell.Setup + r.GBACRPR[fi]
+}
+
+// endpointSlacks derives setup and hold slacks, WNS and TNS. The WNS/TNS
+// reduction stays sequential: it is O(#endpoints) and a fixed fold order
+// keeps the sums bitwise stable.
+func (r *Result) endpointSlacks() {
+	d := r.G.D
+	r.WNS, r.TNS = 0, 0
+	for fi, ffID := range d.FFs {
+		if len(r.G.Fanin[ffID]) == 0 {
+			r.Slack[fi] = unconstrained
+			r.HoldSlack[fi] = unconstrained
+			continue
+		}
+		ff := d.Instances[ffID]
+		r.Slack[fi] = r.endpointRequired(fi) - r.DataAtD[fi]
+		// Hold: earliest data edge must beat the same-cycle capture edge
+		// (late capture clock) plus the hold requirement.
+		r.HoldSlack[fi] = r.MinAtD[fi] - (r.ClockLate[fi] - r.ClockEarly[fi] + ff.Cell.Hold) - r.ClockEarly[fi]
+		if s := r.Slack[fi]; s < 0 {
+			r.TNS += s
+			if s < r.WNS {
+				r.WNS = s
+			}
+		}
+	}
+}
+
+// backwardAll propagates required times from endpoints toward launch FFs,
+// sweeping the levels in descending order. RequiredOut[v] is the latest
+// time instance v's output may switch without violating any downstream
+// endpoint; every fanout of v sits on a strictly higher level (or is an
+// endpoint FF, whose required time is closed-form), so within a level the
+// instances are again independent.
+func (r *Result) backwardAll() {
+	s := r.S
+	r.parallelFor(len(r.RequiredOut), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r.RequiredOut[i] = unconstrained
+		}
+	})
+	d := r.G.D
+	for l := len(s.levelOff) - 2; l >= 0; l-- {
+		lo, hi := s.levelOff[l], s.levelOff[l+1]
+		r.parallelFor(hi-lo, func(a, b int) {
+			for i := lo + a; i < lo+b; i++ {
+				v := s.levelOrder[i]
+				req := unconstrained
+				for _, e := range r.G.Fanout[v] {
+					to := d.Instances[e.To]
+					var cand float64
+					if to.IsFF() {
+						cand = r.endpointRequired(r.G.FFIndex(e.To)) - r.WireDelay[v]
+					} else {
+						cand = r.RequiredOut[e.To] - r.CellDelay[e.To] - r.WireDelay[v]
+					}
+					if cand < req {
+						req = cand
+					}
+				}
+				r.RequiredOut[v] = req
+			}
+		})
+	}
+}
+
+// InstanceSlack returns the slack of the worst path through instance v —
+// the quantity the closure flow sorts on when choosing what to fix.
+func (r *Result) InstanceSlack(v int) float64 {
+	if math.IsInf(r.RequiredOut[v], 1) {
+		return unconstrained
+	}
+	return r.RequiredOut[v] - r.ArrivalOut[v]
+}
+
+// ViolatingEndpoints returns the D.FFs positions of endpoints with negative
+// setup slack, unsorted.
+func (r *Result) ViolatingEndpoints() []int {
+	var out []int
+	for fi, s := range r.Slack {
+		if s < 0 {
+			out = append(out, fi)
+		}
+	}
+	return out
+}
+
+// Update re-propagates timing after the given instances changed (resize or
+// delay override change). It recomputes the forward cone of the modified
+// set plus the drivers whose load changed (the caller passes those too),
+// then refreshes endpoint slacks and the backward pass. The dirty cone is
+// re-evaluated in topological order via the session's position index, so
+// the cost scales with the cone, not the design.
+//
+// Connectivity changes (buffer insertion) invalidate the graph and the
+// session; rebuild with graph.Build and NewSession, and Run again instead.
+func (r *Result) Update(modified []int) {
+	if len(modified) == 0 {
+		return
+	}
+	d := r.G.D
+	dirty := make(map[int]bool, len(modified))
+	queue := append([]int(nil), modified...)
+	for _, v := range queue {
+		dirty[v] = true
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range r.G.Fanout[v] {
+			if !d.Instances[e.To].IsFF() && !dirty[e.To] {
+				dirty[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	// Re-evaluate the dirty cone in global topological order.
+	cone := make([]int, 0, len(dirty))
+	for v := range dirty {
+		if r.S.topoPos[v] >= 0 { // off-DAG instances (clock tree) have no timing
+			cone = append(cone, v)
+		}
+	}
+	sort.Slice(cone, func(i, j int) bool { return r.S.topoPos[cone[i]] < r.S.topoPos[cone[j]] })
+	for _, v := range cone {
+		r.evalInstance(v)
+	}
+	r.collectEndpointArrivals()
+	r.backwardAll()
+	r.endpointSlacks()
+}

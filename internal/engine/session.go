@@ -1,0 +1,382 @@
+package engine
+
+import (
+	"math"
+	"sync"
+
+	"mgba/internal/graph"
+	"mgba/internal/netlist"
+)
+
+// Session owns everything derivable from the design alone: the timing
+// graph, the worst-casing depth and bounding-box DPs, the topological
+// levelization that drives parallel propagation, the clock insertion
+// delays and leaf-pair CRPR credit cache (per clock configuration), and a
+// pool of per-run scratch buffers. Build one Session per design state and
+// reuse it across any number of Runs.
+//
+// A Session is safe for concurrent Runs. It becomes stale when the
+// design's connectivity, placement, or clock tree changes (buffer
+// insertion, cell moves): rebuild the graph and the Session then. Gate
+// resizing on the data path does not invalidate it — that is what
+// Result.Update is for.
+type Session struct {
+	G      *graph.Graph
+	Depths *graph.Depths
+	Boxes  *graph.Boxes
+
+	// Levelization of the data DAG: level 0 holds the flip-flops (path
+	// sources), level l>0 the combinational gates whose deepest fanin sits
+	// at level l-1. levelOrder lists instances grouped by level (topo
+	// order within a level); level l spans
+	// levelOrder[levelOff[l]:levelOff[l+1]].
+	levelOrder []int
+	levelOff   []int
+
+	topoPos []int // topological position per instance ID, -1 off the data DAG
+
+	mu     sync.Mutex
+	clocks map[clockKey]*clockState // per clock configuration
+
+	scratchMu sync.Mutex
+	free      []*scratch // released per-run buffer sets
+}
+
+// clockKey identifies the clock-dependent immutable state: clock insertion
+// delays and CRPR credits depend only on whether the clock tree is derated
+// or idealized, never on data-path settings or weights.
+type clockKey struct {
+	derate, ideal bool
+}
+
+// clockState is the clock-derived immutable state for one clock
+// configuration: per-FF insertion delays, the conservative per-endpoint
+// GBA credit, and the exact credit of every clock-leaf pair.
+type clockState struct {
+	clockLate  []float64 // per D.FFs position, late derates
+	clockEarly []float64 // per D.FFs position, early derates
+	gbaCRPR    []float64 // per D.FFs position, conservative credit
+
+	// credits[leafL][leafC] is the exact CRPR credit of a launch/capture
+	// clock-leaf pair. nil when the configuration yields zero credits
+	// (ideal clock, or clock derating off).
+	credits [][]float64
+}
+
+var unconstrained = math.Inf(1)
+
+// NewSession computes the design-derived immutable state: depth and
+// bounding-box DPs, levelization, and the scratch pool geometry. Clock
+// state is derived lazily per clock configuration on first Run.
+func NewSession(g *graph.Graph) *Session {
+	s := &Session{
+		G:      g,
+		Depths: g.ComputeDepths(),
+		Boxes:  g.ComputeBoxes(),
+		clocks: make(map[clockKey]*clockState),
+	}
+	s.topoPos = make([]int, len(g.D.Instances))
+	for i := range s.topoPos {
+		s.topoPos[i] = -1
+	}
+	for pos, v := range g.Topo {
+		s.topoPos[v] = pos
+	}
+	s.levelize()
+	return s
+}
+
+// levelize groups the data instances by topological level. Within a level
+// no instance feeds another (any data edge raises the sink's level), so a
+// level's instances can be evaluated in any order — or in parallel.
+func (s *Session) levelize() {
+	g := s.G
+	d := g.D
+	level := make([]int, len(d.Instances))
+	maxLevel := 0
+	for _, v := range g.Topo {
+		if d.Instances[v].IsFF() {
+			continue // level 0: registers are path sources
+		}
+		lv := 1
+		for _, e := range g.Fanin[v] {
+			if d.Instances[e.From].IsFF() {
+				continue
+			}
+			if l := level[e.From] + 1; l > lv {
+				lv = l
+			}
+		}
+		level[v] = lv
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	s.levelOff = make([]int, maxLevel+2)
+	for _, v := range g.Topo {
+		s.levelOff[level[v]+1]++
+	}
+	for l := 1; l < len(s.levelOff); l++ {
+		s.levelOff[l] += s.levelOff[l-1]
+	}
+	s.levelOrder = make([]int, len(g.Topo))
+	fill := append([]int(nil), s.levelOff[:maxLevel+1]...)
+	for _, v := range g.Topo {
+		s.levelOrder[fill[level[v]]] = v
+		fill[level[v]]++
+	}
+}
+
+// clockState returns (building and caching on first use) the clock-derived
+// state for the run configuration.
+func (s *Session) clockState(cfg Config) *clockState {
+	key := clockKey{derate: cfg.DerateClock, ideal: cfg.IdealClock}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cs, ok := s.clocks[key]; ok {
+		return cs
+	}
+	cs := s.buildClockState(key)
+	s.clocks[key] = cs
+	return cs
+}
+
+// buildClockState walks every FF's clock chain computing late and early
+// insertion delays, then precomputes the exact CRPR credit of every clock
+// leaf pair and the conservative per-endpoint credit GBA applies.
+func (s *Session) buildClockState(key clockKey) *clockState {
+	d := s.G.D
+	nf := len(d.FFs)
+	cs := &clockState{
+		clockLate:  make([]float64, nf),
+		clockEarly: make([]float64, nf),
+		gbaCRPR:    make([]float64, nf),
+	}
+	if key.ideal {
+		return cs // arrays stay zero
+	}
+	// Memoize per-buffer delay/slew: a buffer appears in many chains.
+	type bufT struct {
+		delay, slew float64
+		done        bool
+	}
+	memo := make(map[int]*bufT)
+	var eval func(chain []int, k int) *bufT
+	eval = func(chain []int, k int) *bufT {
+		id := chain[k]
+		if m, ok := memo[id]; ok && m.done {
+			return m
+		}
+		in := d.Instances[id]
+		var inSlew float64
+		if k > 0 {
+			inSlew = eval(chain, k-1).slew
+		}
+		load := d.LoadCap(d.Nets[in.Output])
+		m := &bufT{
+			delay: in.Cell.Delay(load, inSlew) + d.Nets[in.Output].WireDelay,
+			slew:  in.Cell.OutputSlew(load, inSlew),
+			done:  true,
+		}
+		memo[id] = m
+		return m
+	}
+	for fi := range d.FFs {
+		chain := s.G.ClockChain[fi]
+		var late, early float64
+		var root *netlist.Instance
+		if len(chain) > 0 {
+			root = d.Instances[chain[0]]
+		}
+		// AOCV depth semantics: every element of a path is derated at the
+		// path's cell depth. A clock chain is a unique path of length
+		// len(chain), so all its buffers share that depth — this is also
+		// why clock paths carry no graph-vs-path depth pessimism.
+		depth := float64(len(chain))
+		for k, id := range chain {
+			b := eval(chain, k)
+			lateF, earlyF := 1.0, 1.0
+			if key.derate {
+				dist := 0.0
+				if root != nil {
+					dist = netlist.Distance(root, d.Instances[id])
+				}
+				lateF = d.Derates.Late.Lookup(depth, dist)
+				earlyF = d.Derates.Early.Lookup(depth, dist)
+			}
+			late += b.delay * lateF
+			early += b.delay * earlyF
+		}
+		cs.clockLate[fi] = late
+		cs.clockEarly[fi] = early
+	}
+	if key.derate {
+		s.buildCredits(cs)
+	}
+	return cs
+}
+
+// buildCredits fills the leaf-pair CRPR credit matrix and the conservative
+// per-endpoint credit. The credit between two clock leaves is the
+// late-minus-early spread accumulated on their chains' shared prefix: the
+// common buffers were derated late at the launch chain's depth and early
+// at the capture chain's depth, and the credit undoes exactly that
+// double-counted spread. Precomputing the full matrix here is what lets
+// every later analysis — GBA endpoint credits, PBA per-pair retiming, the
+// whole closure loop — look credits up for free.
+func (s *Session) buildCredits(cs *clockState) {
+	d := s.G.D
+	ci := s.G.ClockIndex()
+	nl := len(ci.Chains)
+	cs.credits = make([][]float64, nl)
+	for leafL := 0; leafL < nl; leafL++ {
+		cs.credits[leafL] = make([]float64, nl)
+		chain := ci.Chains[leafL]
+		var root *netlist.Instance
+		if len(chain) > 0 {
+			root = d.Instances[chain[0]]
+		}
+		lateDepth := float64(len(chain))
+		// Per-position delay and distance along the launch chain are shared
+		// by every capture leaf; only the early-derate depth varies.
+		delays := make([]float64, len(chain))
+		dists := make([]float64, len(chain))
+		var inSlew float64
+		for k, id := range chain {
+			in := d.Instances[id]
+			load := d.LoadCap(d.Nets[in.Output])
+			delays[k] = in.Cell.Delay(load, inSlew) + d.Nets[in.Output].WireDelay
+			inSlew = in.Cell.OutputSlew(load, inSlew)
+			dists[k] = netlist.Distance(root, in)
+		}
+		for leafC := 0; leafC < nl; leafC++ {
+			common := ci.Common[leafL][leafC]
+			earlyDepth := float64(len(ci.Chains[leafC]))
+			var credit float64
+			for k := 0; k < common; k++ {
+				lateF := d.Derates.Late.Lookup(lateDepth, dists[k])
+				earlyF := d.Derates.Early.Lookup(earlyDepth, dists[k])
+				credit += delays[k] * (lateF - earlyF)
+			}
+			cs.credits[leafL][leafC] = credit
+		}
+	}
+	// Conservative per-endpoint credit: the smallest pair credit over every
+	// launch leaf that can reach the endpoint. This is what industrial GBA
+	// applies — safe for any path, pessimistic for paths whose true launch
+	// shares a deeper clock prefix.
+	for fi := range d.FFs {
+		leaves := ci.LaunchLeaves[fi]
+		if len(leaves) == 0 {
+			continue
+		}
+		minCredit := math.Inf(1)
+		for _, leaf := range leaves {
+			if c := cs.credits[leaf][ci.LeafOfFF[fi]]; c < minCredit {
+				minCredit = c
+			}
+		}
+		cs.gbaCRPR[fi] = minCredit
+	}
+}
+
+// scratch is one reusable set of per-run buffers. Instance-indexed slices
+// share one backing array, FF-indexed slices another, so acquiring a fresh
+// set costs two allocations and resetting one is two memclears.
+type scratch struct {
+	backInst []float64 // 8 instance-sized arrays
+	backFF   []float64 // 4 FF-sized arrays
+
+	nominalDelay, derate, cellDelay, wireDelay []float64
+	slew, arrivalOut, requiredOut, minArrival  []float64
+	dataAtD, minAtD, slack, holdSlack          []float64
+}
+
+func newScratch(n, nf int) *scratch {
+	sc := &scratch{
+		backInst: make([]float64, 8*n),
+		backFF:   make([]float64, 4*nf),
+	}
+	cut := func(back []float64, i, size int) []float64 {
+		return back[i*size : (i+1)*size : (i+1)*size]
+	}
+	sc.nominalDelay = cut(sc.backInst, 0, n)
+	sc.derate = cut(sc.backInst, 1, n)
+	sc.cellDelay = cut(sc.backInst, 2, n)
+	sc.wireDelay = cut(sc.backInst, 3, n)
+	sc.slew = cut(sc.backInst, 4, n)
+	sc.arrivalOut = cut(sc.backInst, 5, n)
+	sc.requiredOut = cut(sc.backInst, 6, n)
+	sc.minArrival = cut(sc.backInst, 7, n)
+	sc.dataAtD = cut(sc.backFF, 0, nf)
+	sc.minAtD = cut(sc.backFF, 1, nf)
+	sc.slack = cut(sc.backFF, 2, nf)
+	sc.holdSlack = cut(sc.backFF, 3, nf)
+	return sc
+}
+
+// reset zeroes every buffer so a recycled scratch is indistinguishable
+// from a fresh allocation (instances off the data DAG — clock buffers —
+// keep zero entries, exactly as a cold analysis produces).
+func (sc *scratch) reset() {
+	clear(sc.backInst)
+	clear(sc.backFF)
+}
+
+// getScratch pops a released buffer set or allocates a new one. A plain
+// free list (rather than sync.Pool) keeps reuse deterministic: in the
+// steady state of a re-timing loop the same buffers cycle forever.
+func (s *Session) getScratch() *scratch {
+	s.scratchMu.Lock()
+	if n := len(s.free); n > 0 {
+		sc := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.scratchMu.Unlock()
+		sc.reset()
+		return sc
+	}
+	s.scratchMu.Unlock()
+	sc := newScratch(len(s.G.D.Instances), len(s.G.D.FFs))
+	return sc
+}
+
+// Run executes one full forward/backward analysis under cfg, drawing its
+// per-run buffers from the session pool. Release the returned Result when
+// it is no longer needed to make the next Run allocation-free.
+func (s *Session) Run(cfg Config) *Result {
+	cs := s.clockState(cfg)
+	sc := s.getScratch()
+	r := &Result{
+		G:   s.G,
+		Cfg: cfg,
+		S:   s,
+
+		Depths: s.Depths,
+		Boxes:  s.Boxes,
+
+		NominalDelay: sc.nominalDelay,
+		Derate:       sc.derate,
+		CellDelay:    sc.cellDelay,
+		WireDelay:    sc.wireDelay,
+		Slew:         sc.slew,
+		ArrivalOut:   sc.arrivalOut,
+		RequiredOut:  sc.requiredOut,
+		MinArrival:   sc.minArrival,
+
+		ClockLate:  cs.clockLate,
+		ClockEarly: cs.clockEarly,
+		GBACRPR:    cs.gbaCRPR,
+		DataAtD:    sc.dataAtD,
+		MinAtD:     sc.minAtD,
+		Slack:      sc.slack,
+		HoldSlack:  sc.holdSlack,
+
+		cs:  cs,
+		sc:  sc,
+		par: workers(cfg.Parallelism),
+	}
+	r.forwardAll()
+	r.backwardAll()
+	r.endpointSlacks()
+	return r
+}

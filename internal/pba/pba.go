@@ -14,6 +14,7 @@ import (
 	"container/heap"
 	"math"
 
+	"mgba/internal/engine"
 	"mgba/internal/netlist"
 	"mgba/internal/sta"
 )
@@ -50,13 +51,20 @@ type Timing struct {
 }
 
 // Analyzer retimes paths exactly against a finished GBA analysis (the GBA
-// result supplies clock insertion delays, budgets and the graph).
+// result supplies clock insertion delays, budgets and the graph). Because
+// every Result is backed by an engine.Session, the exact per-pair CRPR
+// credits consulted by Retime come from the session's precomputed
+// leaf-pair matrix — repeated retiming never re-walks the clock tree.
 type Analyzer struct {
 	R *sta.Result
 }
 
-// NewAnalyzer wraps a GBA result for path retiming.
+// NewAnalyzer wraps a GBA result for path retiming. The result must stay
+// unreleased for the analyzer's lifetime.
 func NewAnalyzer(r *sta.Result) *Analyzer { return &Analyzer{R: r} }
+
+// Session returns the timing session backing the wrapped analysis.
+func (a *Analyzer) Session() *engine.Session { return a.R.S }
 
 // Budget returns the slack budget of an endpoint (D.FFs position):
 // period + early capture clock - setup. Slack = budget + CRPR - arrival.

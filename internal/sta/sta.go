@@ -1,5 +1,13 @@
-// Package sta implements graph-based static timing analysis (GBA) with the
-// three worst-casing pessimism sources the paper's framework targets:
+// Package sta is the compatibility surface of the graph-based static
+// timing analyzer (GBA). The engine itself — the session that owns the
+// design-derived immutable state, the pooled per-run buffers, and the
+// level-parallel forward/backward propagation — lives in internal/engine;
+// this package aliases its types and keeps the historical entry points
+// (Analyze, DefaultConfig, TunePeriod) so every consumer and test written
+// against the original single-shot API keeps working unchanged.
+//
+// The analysis implements the three worst-casing pessimism sources the
+// paper's framework targets:
 //
 //   - AOCV derating looked up at the *worst* (minimum) cell depth and the
 //     *largest* bounding-box endpoint distance of any path through a gate
@@ -11,502 +19,42 @@
 //     can reach it (the safe worst pair), while PBA applies the exact
 //     per-pair credit.
 //
-// The engine computes, per instance, a derated cell delay (optionally
-// multiplied by an mGBA weighting factor), and propagates arrival and
-// required times over the timing graph to produce per-endpoint setup
-// slacks, WNS and TNS. Hold analysis uses the mirrored early/late
-// worst-casing. An incremental-update mode re-propagates only the cone
-// affected by a set of modified instances, which is what makes the
-// timing-closure loop affordable (§3.4).
-//
 // Sign conventions: all times in picoseconds; slack > 0 means the
 // constraint is met.
+//
+// Callers that re-time one design repeatedly (the closure loop, mGBA
+// recalibration, PBA budget queries) should hold an engine.Session and
+// call Run on it instead of Analyze: the session computes depths, boxes,
+// the clock index and the CRPR credit cache once per design, and recycles
+// the per-run buffers.
 package sta
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
+	"mgba/internal/engine"
 	"mgba/internal/graph"
-	"mgba/internal/netlist"
 )
 
-// Config selects the analysis features. The zero value is a plain timer
-// with every pessimism source disabled; use DefaultConfig for the paper's
-// GBA setting.
-type Config struct {
-	DerateData  bool // apply AOCV late derates to data cells and FF CK->Q arcs
-	DerateClock bool // apply AOCV late/early derates to the clock tree
+// Config selects the analysis features; it is the engine's Config. The
+// zero value is a plain timer with every pessimism source disabled; use
+// DefaultConfig for the paper's GBA setting.
+type Config = engine.Config
 
-	// DelayOverride forces the nominal (pre-derate) delay of specific
-	// instances, bypassing the load/slew model. Used by the Fig. 2 worked
-	// example (all gates exactly 100 ps) and by tests.
-	DelayOverride map[int]float64
-
-	// Weights is the per-instance mGBA weighting factor vector (Eq. 8)
-	// applied multiplicatively to the derated cell delay. nil means all 1
-	// (original GBA).
-	Weights []float64
-
-	// IdealClock treats every clock buffer as zero-delay, removing clock
-	// insertion and CRPR effects entirely.
-	IdealClock bool
-}
+// Result holds a complete forward/backward GBA analysis of one design; it
+// is the engine's Result.
+type Result = engine.Result
 
 // DefaultConfig is the paper's GBA: full AOCV derating on data and clock,
-// worst-slew merging, no CRPR credit.
-func DefaultConfig() Config {
-	return Config{DerateData: true, DerateClock: true}
-}
+// worst-slew merging, conservative CRPR crediting.
+func DefaultConfig() Config { return engine.DefaultConfig() }
 
-// Result holds a complete forward/backward GBA analysis of one design.
-type Result struct {
-	G   *graph.Graph
-	Cfg Config
-
-	Depths *graph.Depths
-	Boxes  *graph.Boxes
-
-	creditMemo map[[2]int]float64 // leaf-pair CRPR credit cache
-
-	// Per-instance quantities (indexed by instance ID).
-	NominalDelay []float64 // load/slew delay before derating, incl. overrides
-	Derate       []float64 // late AOCV factor applied (1 when not derated)
-	CellDelay    []float64 // NominalDelay * Derate * weight — the a_ij basis
-	WireDelay    []float64 // output-net wire delay (not derated, not weighted)
-	Slew         []float64 // worst-case output transition
-	ArrivalOut   []float64 // latest data arrival at the instance output
-	RequiredOut  []float64 // earliest required time at the instance output
-	MinArrival   []float64 // earliest data arrival (hold analysis)
-
-	// Per-FF quantities (indexed by position in D.FFs).
-	ClockLate  []float64 // launch clock insertion delay (late derates)
-	ClockEarly []float64 // capture clock insertion delay (early derates)
-	GBACRPR    []float64 // conservative (worst launch pair) CRPR credit GBA applies
-	DataAtD    []float64 // latest data arrival at the FF's D pin
-	MinAtD     []float64 // earliest data arrival at the FF's D pin
-	Slack      []float64 // setup slack per endpoint (+Inf when unconstrained)
-	HoldSlack  []float64 // hold slack per endpoint (+Inf when unconstrained)
-
-	WNS, TNS float64 // worst / total negative setup slack over endpoints
-}
-
-var unconstrained = math.Inf(1)
-
-// Analyze runs a full GBA pass over the design's timing graph.
+// Analyze runs a full GBA pass over the design's timing graph: a cold
+// one-shot session plus one run. Prefer engine.NewSession + Run for
+// repeated analyses of the same design.
 func Analyze(g *graph.Graph, cfg Config) *Result {
-	r := &Result{
-		G:      g,
-		Cfg:    cfg,
-		Depths: g.ComputeDepths(),
-		Boxes:  g.ComputeBoxes(),
-	}
-	n := len(g.D.Instances)
-	r.NominalDelay = make([]float64, n)
-	r.Derate = make([]float64, n)
-	r.CellDelay = make([]float64, n)
-	r.WireDelay = make([]float64, n)
-	r.Slew = make([]float64, n)
-	r.ArrivalOut = make([]float64, n)
-	r.RequiredOut = make([]float64, n)
-	r.MinArrival = make([]float64, n)
-	nf := len(g.D.FFs)
-	r.ClockLate = make([]float64, nf)
-	r.ClockEarly = make([]float64, nf)
-	r.GBACRPR = make([]float64, nf)
-	r.DataAtD = make([]float64, nf)
-	r.MinAtD = make([]float64, nf)
-	r.Slack = make([]float64, nf)
-	r.HoldSlack = make([]float64, nf)
-
-	r.propagateClock()
-	r.computeGBACRPR()
-	r.forwardAll()
-	r.backwardAll()
-	r.endpointSlacks()
-	return r
-}
-
-// weight returns the mGBA weighting factor of instance v.
-func (r *Result) weight(v int) float64 {
-	if r.Cfg.Weights == nil {
-		return 1
-	}
-	return r.Cfg.Weights[v]
-}
-
-// lateDerate returns the conservative late AOCV factor GBA applies to the
-// data cell v.
-func (r *Result) lateDerate(v int) float64 {
-	if !r.Cfg.DerateData {
-		return 1
-	}
-	d := r.G.D
-	return d.Derates.Late.Lookup(float64(r.Depths.GBA[v]), r.Boxes.GBADistance[v])
-}
-
-// propagateClock walks every FF's clock chain computing late and early
-// insertion delays. Clock buffers are derated by their tree depth; the
-// spatial term uses the buffer's distance from the first chain element.
-func (r *Result) propagateClock() {
-	d := r.G.D
-	if r.Cfg.IdealClock {
-		return // arrays stay zero
-	}
-	// Memoize per-buffer delay/slew: a buffer appears in many chains.
-	type bufT struct {
-		delay, slew float64
-		done        bool
-	}
-	memo := make(map[int]*bufT)
-	var eval func(chain []int, k int) *bufT
-	eval = func(chain []int, k int) *bufT {
-		id := chain[k]
-		if m, ok := memo[id]; ok && m.done {
-			return m
-		}
-		in := d.Instances[id]
-		var inSlew float64
-		if k > 0 {
-			inSlew = eval(chain, k-1).slew
-		}
-		load := d.LoadCap(d.Nets[in.Output])
-		m := &bufT{
-			delay: in.Cell.Delay(load, inSlew) + d.Nets[in.Output].WireDelay,
-			slew:  in.Cell.OutputSlew(load, inSlew),
-			done:  true,
-		}
-		memo[id] = m
-		return m
-	}
-	for fi := range d.FFs {
-		chain := r.G.ClockChain[fi]
-		var late, early float64
-		var root *netlist.Instance
-		if len(chain) > 0 {
-			root = d.Instances[chain[0]]
-		}
-		// AOCV depth semantics: every element of a path is derated at the
-		// path's cell depth. A clock chain is a unique path of length
-		// len(chain), so all its buffers share that depth — this is also
-		// why clock paths carry no graph-vs-path depth pessimism.
-		depth := float64(len(chain))
-		for k, id := range chain {
-			b := eval(chain, k)
-			lateF, earlyF := 1.0, 1.0
-			if r.Cfg.DerateClock {
-				dist := 0.0
-				if root != nil {
-					dist = netlist.Distance(root, d.Instances[id])
-				}
-				lateF = d.Derates.Late.Lookup(depth, dist)
-				earlyF = d.Derates.Early.Lookup(depth, dist)
-			}
-			late += b.delay * lateF
-			early += b.delay * earlyF
-		}
-		r.ClockLate[fi] = late
-		r.ClockEarly[fi] = early
-	}
-}
-
-// creditBetweenLeaves returns the CRPR credit between two clock leaves:
-// the late-minus-early spread accumulated on their chains' shared prefix.
-// The common buffers were derated late at the launch chain's depth and
-// early at the capture chain's depth; the credit undoes exactly that
-// double-counted spread.
-func (r *Result) creditBetweenLeaves(ci *graph.ClockIndex, leafL, leafC int) float64 {
-	if r.Cfg.IdealClock || !r.Cfg.DerateClock {
-		return 0
-	}
-	if c, ok := r.creditMemo[[2]int{leafL, leafC}]; ok {
-		return c
-	}
-	d := r.G.D
-	common := ci.Common[leafL][leafC]
-	chain := ci.Chains[leafL]
-	var credit float64
-	var inSlew float64
-	var root *netlist.Instance
-	if len(chain) > 0 {
-		root = d.Instances[chain[0]]
-	}
-	lateDepth := float64(len(chain))
-	earlyDepth := float64(len(ci.Chains[leafC]))
-	for k := 0; k < common; k++ {
-		in := d.Instances[chain[k]]
-		load := d.LoadCap(d.Nets[in.Output])
-		delay := in.Cell.Delay(load, inSlew) + d.Nets[in.Output].WireDelay
-		inSlew = in.Cell.OutputSlew(load, inSlew)
-		dist := netlist.Distance(root, in)
-		lateF := d.Derates.Late.Lookup(lateDepth, dist)
-		earlyF := d.Derates.Early.Lookup(earlyDepth, dist)
-		credit += delay * (lateF - earlyF)
-	}
-	if r.creditMemo == nil {
-		r.creditMemo = map[[2]int]float64{}
-	}
-	r.creditMemo[[2]int{leafL, leafC}] = credit
-	return credit
-}
-
-// CRPRCredit returns the exact clock-reconvergence pessimism credit for a
-// launch/capture FF pair (positions into D.FFs). PBA applies it per path;
-// GBA applies only the conservative per-endpoint minimum (GBACRPR).
-func (r *Result) CRPRCredit(launchIdx, captureIdx int) float64 {
-	if r.Cfg.IdealClock || !r.Cfg.DerateClock {
-		return 0
-	}
-	ci := r.G.ClockIndex()
-	return r.creditBetweenLeaves(ci, ci.LeafOfFF[launchIdx], ci.LeafOfFF[captureIdx])
-}
-
-// computeGBACRPR fills the conservative per-endpoint credit: the smallest
-// pair credit over every launch leaf that can reach the endpoint. This is
-// what industrial GBA applies — safe for any path, pessimistic for paths
-// whose true launch shares a deeper clock prefix.
-func (r *Result) computeGBACRPR() {
-	if r.Cfg.IdealClock || !r.Cfg.DerateClock {
-		return
-	}
-	ci := r.G.ClockIndex()
-	for fi := range r.G.D.FFs {
-		leaves := ci.LaunchLeaves[fi]
-		if len(leaves) == 0 {
-			continue
-		}
-		minCredit := math.Inf(1)
-		for _, leaf := range leaves {
-			if c := r.creditBetweenLeaves(ci, leaf, ci.LeafOfFF[fi]); c < minCredit {
-				minCredit = c
-			}
-		}
-		r.GBACRPR[fi] = minCredit
-	}
-}
-
-// nominalDelay computes the pre-derate delay of instance v given its worst
-// input slew, honouring overrides.
-func (r *Result) nominalDelay(v int, inSlew float64) float64 {
-	if ov, ok := r.Cfg.DelayOverride[v]; ok {
-		return ov
-	}
-	d := r.G.D
-	in := d.Instances[v]
-	if in.Output < 0 {
-		return 0
-	}
-	load := d.LoadCap(d.Nets[in.Output])
-	return in.Cell.Delay(load, inSlew)
-}
-
-// forwardAll propagates worst slews and max/min arrivals in topological
-// order over the whole graph.
-func (r *Result) forwardAll() {
-	for _, v := range r.G.Topo {
-		r.evalInstance(v)
-	}
-	r.collectEndpointArrivals()
-}
-
-// evalInstance recomputes the slew, delays and arrivals of one instance
-// from its (already final) fanins.
-func (r *Result) evalInstance(v int) {
-	d := r.G.D
-	in := d.Instances[v]
-
-	// Worst input slew and input arrival window.
-	var worstSlew float64
-	maxAt := math.Inf(-1)
-	minAt := math.Inf(1)
-	if in.IsFF() {
-		fi := r.G.FFIndex(v)
-		maxAt = r.ClockLate[fi]
-		minAt = r.ClockEarly[fi]
-		worstSlew = 0
-	} else {
-		for _, e := range r.G.Fanin[v] {
-			if s := r.Slew[e.From]; s > worstSlew {
-				worstSlew = s
-			}
-			at := r.ArrivalOut[e.From] + r.WireDelay[e.From]
-			if at > maxAt {
-				maxAt = at
-			}
-			mn := r.MinArrival[e.From] + r.WireDelay[e.From]
-			if mn < minAt {
-				minAt = mn
-			}
-		}
-		if len(r.G.Fanin[v]) == 0 {
-			maxAt, minAt = 0, 0
-		}
-	}
-
-	nom := r.nominalDelay(v, worstSlew)
-	der := r.lateDerate(v)
-	r.NominalDelay[v] = nom
-	r.Derate[v] = der
-	r.CellDelay[v] = nom * der * r.weight(v)
-	if in.Output >= 0 {
-		r.WireDelay[v] = d.Nets[in.Output].WireDelay
-		if _, ok := r.Cfg.DelayOverride[v]; ok {
-			r.Slew[v] = 0
-		} else {
-			r.Slew[v] = in.Cell.OutputSlew(d.LoadCap(d.Nets[in.Output]), worstSlew)
-		}
-	}
-	r.ArrivalOut[v] = maxAt + r.CellDelay[v]
-	// Hold analysis uses the same derated delay basis; the pessimism gap
-	// for hold comes from the max/min window, kept simple deliberately.
-	r.MinArrival[v] = minAt + r.CellDelay[v]
-}
-
-// collectEndpointArrivals refreshes the per-endpoint D-pin arrival windows
-// from the final instance arrivals.
-func (r *Result) collectEndpointArrivals() {
-	d := r.G.D
-	for fi, ffID := range d.FFs {
-		maxAt := math.Inf(-1)
-		minAt := math.Inf(1)
-		for _, e := range r.G.Fanin[ffID] {
-			at := r.ArrivalOut[e.From] + r.WireDelay[e.From]
-			if at > maxAt {
-				maxAt = at
-			}
-			mn := r.MinArrival[e.From] + r.WireDelay[e.From]
-			if mn < minAt {
-				minAt = mn
-			}
-		}
-		if len(r.G.Fanin[ffID]) == 0 {
-			r.DataAtD[fi] = math.Inf(-1)
-			r.MinAtD[fi] = math.Inf(1)
-			continue
-		}
-		r.DataAtD[fi] = maxAt
-		r.MinAtD[fi] = minAt
-	}
-}
-
-// endpointRequired returns the setup required time at endpoint fi's D pin:
-// the capture edge (period + early capture clock) minus the setup time,
-// plus GBA's conservative CRPR credit.
-func (r *Result) endpointRequired(fi int) float64 {
-	d := r.G.D
-	ff := d.Instances[d.FFs[fi]]
-	return d.ClockPeriod + r.ClockEarly[fi] - ff.Cell.Setup + r.GBACRPR[fi]
-}
-
-// endpointSlacks derives setup and hold slacks, WNS and TNS.
-func (r *Result) endpointSlacks() {
-	d := r.G.D
-	r.WNS, r.TNS = 0, 0
-	for fi, ffID := range d.FFs {
-		if len(r.G.Fanin[ffID]) == 0 {
-			r.Slack[fi] = unconstrained
-			r.HoldSlack[fi] = unconstrained
-			continue
-		}
-		ff := d.Instances[ffID]
-		r.Slack[fi] = r.endpointRequired(fi) - r.DataAtD[fi]
-		// Hold: earliest data edge must beat the same-cycle capture edge
-		// (late capture clock) plus the hold requirement.
-		r.HoldSlack[fi] = r.MinAtD[fi] - (r.ClockLate[fi] - r.ClockEarly[fi] + ff.Cell.Hold) - r.ClockEarly[fi]
-		if s := r.Slack[fi]; s < 0 {
-			r.TNS += s
-			if s < r.WNS {
-				r.WNS = s
-			}
-		}
-	}
-}
-
-// backwardAll propagates required times from endpoints toward launch FFs.
-// RequiredOut[v] is the latest time instance v's output may switch without
-// violating any downstream endpoint.
-func (r *Result) backwardAll() {
-	d := r.G.D
-	for i := range r.RequiredOut {
-		r.RequiredOut[i] = unconstrained
-	}
-	for i := len(r.G.Topo) - 1; i >= 0; i-- {
-		v := r.G.Topo[i]
-		req := unconstrained
-		for _, e := range r.G.Fanout[v] {
-			to := d.Instances[e.To]
-			var cand float64
-			if to.IsFF() {
-				cand = r.endpointRequired(r.G.FFIndex(e.To)) - r.WireDelay[v]
-			} else {
-				cand = r.RequiredOut[e.To] - r.CellDelay[e.To] - r.WireDelay[v]
-			}
-			if cand < req {
-				req = cand
-			}
-		}
-		r.RequiredOut[v] = req
-	}
-}
-
-// InstanceSlack returns the slack of the worst path through instance v —
-// the quantity the closure flow sorts on when choosing what to fix.
-func (r *Result) InstanceSlack(v int) float64 {
-	if math.IsInf(r.RequiredOut[v], 1) {
-		return unconstrained
-	}
-	return r.RequiredOut[v] - r.ArrivalOut[v]
-}
-
-// ViolatingEndpoints returns the D.FFs positions of endpoints with negative
-// setup slack, unsorted.
-func (r *Result) ViolatingEndpoints() []int {
-	var out []int
-	for fi, s := range r.Slack {
-		if s < 0 {
-			out = append(out, fi)
-		}
-	}
-	return out
-}
-
-// Update re-propagates timing after the given instances changed (resize or
-// delay override change). It recomputes the forward cone of the modified
-// set plus the drivers whose load changed (the caller passes those too),
-// then refreshes endpoint slacks and the backward pass.
-//
-// Connectivity changes (buffer insertion) invalidate the graph; rebuild
-// with graph.Build and call Analyze instead.
-func (r *Result) Update(modified []int) {
-	if len(modified) == 0 {
-		return
-	}
-	d := r.G.D
-	dirty := make(map[int]bool, len(modified))
-	queue := append([]int(nil), modified...)
-	for _, v := range queue {
-		dirty[v] = true
-	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, e := range r.G.Fanout[v] {
-			if !d.Instances[e.To].IsFF() && !dirty[e.To] {
-				dirty[e.To] = true
-				queue = append(queue, e.To)
-			}
-		}
-	}
-	// Re-evaluate dirty instances in global topological order.
-	for _, v := range r.G.Topo {
-		if dirty[v] {
-			r.evalInstance(v)
-		}
-	}
-	r.collectEndpointArrivals()
-	r.backwardAll()
-	r.endpointSlacks()
+	return engine.Analyze(g, cfg)
 }
 
 // TunePeriod returns a clock period that makes approximately violateFrac of
@@ -527,6 +75,7 @@ func TunePeriod(g *graph.Graph, cfg Config, violateFrac, maxViolDepth float64) (
 	d.ClockPeriod = 1 // any positive value; slack shifts linearly with T
 	r := Analyze(g, cfg)
 	d.ClockPeriod = save
+	defer r.Release()
 	var needs []float64
 	for fi, ffID := range d.FFs {
 		if len(g.Fanin[ffID]) == 0 {
