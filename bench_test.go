@@ -7,6 +7,7 @@
 package mgba_test
 
 import (
+	"context"
 	"testing"
 
 	"mgba/internal/aocv"
@@ -44,7 +45,7 @@ func benchProblem(b *testing.B) *solver.Problem {
 	g := benchDesign(b)
 	opt := core.DefaultOptions()
 	opt.Method = core.MethodSCGRS
-	m, err := core.Calibrate(g, sta.DefaultConfig(), opt)
+	m, err := core.Calibrate(context.Background(), g, sta.DefaultConfig(), opt)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func BenchmarkFig3FullSolve(b *testing.B) {
 	p := benchProblem(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := solver.FullSolve(p, 8, 300, 1e-8); err != nil {
+		if _, _, err := solver.FullSolve(context.Background(), p, 8, 300, 1e-8); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -127,7 +128,7 @@ func BenchmarkFig4RowSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sel := r.SampleWithoutReplacement(p.A.Rows(), rows)
 		sub := p.SubProblem(sel)
-		if _, _, err := solver.SCG(sub, solver.DefaultOptions(), rng.New(uint64(i))); err != nil {
+		if _, _, err := solver.SCG(context.Background(), sub, solver.DefaultOptions(), rng.New(uint64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -138,7 +139,7 @@ func BenchmarkTable4GD(b *testing.B) {
 	p := benchProblem(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := solver.GD(p, solver.DefaultOptions()); err != nil {
+		if _, _, err := solver.GD(context.Background(), p, solver.DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -148,7 +149,7 @@ func BenchmarkTable4SCG(b *testing.B) {
 	p := benchProblem(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := solver.SCG(p, solver.DefaultOptions(), rng.New(uint64(i))); err != nil {
+		if _, _, err := solver.SCG(context.Background(), p, solver.DefaultOptions(), rng.New(uint64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -158,7 +159,7 @@ func BenchmarkTable4SCGRS(b *testing.B) {
 	p := benchProblem(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := solver.SCGRS(p, solver.DefaultOptions(), rng.New(uint64(i))); err != nil {
+		if _, _, err := solver.SCGRS(context.Background(), p, solver.DefaultOptions(), rng.New(uint64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -169,7 +170,7 @@ func BenchmarkTable3PassRatio(b *testing.B) {
 	g := benchDesign(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m, err := core.Calibrate(g, sta.DefaultConfig(), core.DefaultOptions())
+		m, err := core.Calibrate(context.Background(), g, sta.DefaultConfig(), core.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -223,7 +224,7 @@ func benchSCGSampling(b *testing.B, uniform bool) {
 	var obj float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, st, err := solver.SCG(p, opt, rng.New(uint64(i)))
+		_, st, err := solver.SCG(context.Background(), p, opt, rng.New(uint64(i)))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -237,7 +238,7 @@ func BenchmarkDoublingVsOneShot(b *testing.B) {
 	p := benchProblem(b)
 	b.Run("doubling", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := solver.SCGRS(p, solver.DefaultOptions(), rng.New(uint64(i))); err != nil {
+			if _, _, err := solver.SCGRS(context.Background(), p, solver.DefaultOptions(), rng.New(uint64(i))); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -246,7 +247,7 @@ func BenchmarkDoublingVsOneShot(b *testing.B) {
 		opt := solver.DefaultOptions()
 		opt.MinRows = p.A.Rows() // first round solves the full system
 		for i := 0; i < b.N; i++ {
-			if _, _, err := solver.SCGRS(p, opt, rng.New(uint64(i))); err != nil {
+			if _, _, err := solver.SCGRS(context.Background(), p, opt, rng.New(uint64(i))); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -261,7 +262,7 @@ func BenchmarkPenaltySweep(b *testing.B) {
 		p.Penalty = pen
 		b.Run(penaltyName(pen), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := solver.SCGRS(&p, solver.DefaultOptions(), rng.New(uint64(i))); err != nil {
+				if _, _, err := solver.SCGRS(context.Background(), &p, solver.DefaultOptions(), rng.New(uint64(i))); err != nil {
 					b.Fatal(err)
 				}
 			}

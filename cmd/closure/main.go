@@ -8,13 +8,23 @@
 //
 // The "both" mode regenerates the identical design for each flow and prints
 // a Table-2-style comparison.
+//
+// Long runs can be bounded and made restartable:
+//
+//	closure -design D8 -timer mgba -timeout 2m -checkpoint run.ckpt
+//	closure -resume run.ckpt -timer mgba      # continue an interrupted run
+//
+// A run stopped by -timeout (or Ctrl-C semantics via context) still prints
+// its partial QoR; with -checkpoint set it can be resumed to completion.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"mgba/internal/closure"
 	"mgba/internal/gen"
@@ -25,7 +35,34 @@ func main() {
 	design := flag.String("design", "D3", "design to optimize: toy or D1..D10")
 	timer := flag.String("timer", "both", "embedded timer: gba, mgba, or both")
 	seed := flag.Uint64("seed", 0, "override the design seed (0 keeps the preset)")
+	timeout := flag.Duration("timeout", 0, "stop the flow after this long (0: no limit); partial results are reported")
+	ckpt := flag.String("checkpoint", "", "write resumable checkpoints to this file (atomic)")
+	ckptEvery := flag.Int("checkpoint-every", 50, "accepted transforms between periodic checkpoints")
+	resume := flag.String("resume", "", "resume an interrupted run from this checkpoint file (requires -timer gba or mgba)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *resume != "" {
+		kind, err := singleTimer(*timer)
+		if err != nil {
+			fail(fmt.Errorf("-resume needs one timer: %w", err))
+		}
+		opt := closure.DefaultOptions(kind)
+		opt.CheckpointPath = *resume
+		opt.CheckpointEvery = *ckptEvery
+		res, err := closure.Resume(ctx, *resume, opt)
+		if err != nil {
+			fail(err)
+		}
+		printRows(fmt.Sprintf("timing closure resumed from %s", *resume), []row{{kind, res}})
+		return
+	}
 
 	cfg, err := findConfig(*design)
 	if err != nil {
@@ -46,20 +83,46 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown timer %q", *timer))
 	}
+	if *ckpt != "" && len(kinds) > 1 {
+		fail(fmt.Errorf("-checkpoint needs a single -timer (the file holds one flow)"))
+	}
 
-	t := report.New(fmt.Sprintf("timing closure on %s", cfg.Name),
-		"timer", "upsized", "downsized", "buffers+", "viol left",
-		"signoff WNS", "signoff TNS", "area", "leakage", "runtime", "calib time")
+	var rows []row
 	for _, kind := range kinds {
 		d, err := gen.Generate(cfg)
 		if err != nil {
 			fail(err)
 		}
-		res, err := closure.Optimize(d, closure.DefaultOptions(kind))
+		opt := closure.DefaultOptions(kind)
+		opt.CheckpointPath = *ckpt
+		opt.CheckpointEvery = *ckptEvery
+		res, err := closure.Run(ctx, d, opt)
 		if err != nil {
 			fail(err)
 		}
-		t.AddRow(kind.String(),
+		rows = append(rows, row{kind, res})
+	}
+	printRows(fmt.Sprintf("timing closure on %s", cfg.Name), rows)
+}
+
+type row struct {
+	kind closure.TimerKind
+	res  *closure.Result
+}
+
+func printRows(title string, rows []row) {
+	t := report.New(title,
+		"timer", "upsized", "downsized", "buffers+", "viol left",
+		"signoff WNS", "signoff TNS", "area", "leakage", "runtime", "calib time")
+	interrupted := false
+	for _, r := range rows {
+		res := r.res
+		name := r.kind.String()
+		if res.Interrupted {
+			name += " (partial)"
+			interrupted = true
+		}
+		t.AddRow(name,
 			fmt.Sprintf("%d", res.Upsized),
 			fmt.Sprintf("%d", res.Downsized),
 			fmt.Sprintf("%d", res.BuffersAdded),
@@ -68,11 +131,34 @@ func main() {
 			report.F(res.SignoffTNS, 1),
 			report.F(res.Area, 1),
 			report.F(res.Leakage, 1),
-			res.Elapsed.Round(1e6).String(),
-			res.CalibElapsed.Round(1e6).String())
+			res.Elapsed.Round(time.Millisecond).String(),
+			res.CalibElapsed.Round(time.Millisecond).String())
 	}
 	t.AddNote("signoff numbers are PBA-measured; a less pessimistic timer needs fewer fixes")
+	for _, r := range rows {
+		if r.res.DegradedCalibrations > 0 {
+			t.AddNote("%s: %d of %d calibrations degraded down the solver ladder",
+				r.kind, r.res.DegradedCalibrations, r.res.Calibrations)
+		}
+		for _, f := range r.res.Faults {
+			t.AddNote("%s fault: %s", r.kind, f)
+		}
+	}
+	if interrupted {
+		t.AddNote("run interrupted (%s); resume with -resume <checkpoint>", rows[len(rows)-1].res.StopReason)
+	}
 	fmt.Print(t.String())
+}
+
+func singleTimer(name string) (closure.TimerKind, error) {
+	switch strings.ToLower(name) {
+	case "gba":
+		return closure.TimerGBA, nil
+	case "mgba":
+		return closure.TimerMGBA, nil
+	default:
+		return 0, fmt.Errorf("got %q, want gba or mgba", name)
+	}
 }
 
 func findConfig(name string) (gen.Config, error) {

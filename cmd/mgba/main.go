@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,18 +31,22 @@ func main() {
 	k := flag.Int("k", 20, "k': worst paths selected per endpoint")
 	seed := flag.Uint64("seed", 0, "override the design seed (0 keeps the preset)")
 	epsilon := flag.Float64("epsilon", 0.02, "optimism tolerance of Eq. (5)")
-	saveFile := flag.String("save", "", "write the generated design as JSON to this file")
+	saveFile := flag.String("save", "", "write the generated design as JSON to this file (atomic)")
 	loadFile := flag.String("load", "", "load a design saved with -save instead of generating")
+	timeout := flag.Duration("timeout", 0, "bound the calibration wall-clock (0: no limit); a timed-out run reports its partial fit")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var d *netlist.Design
 	if *loadFile != "" {
-		f, err := os.Open(*loadFile)
-		if err != nil {
-			fail(err)
-		}
-		d, err = netio.Load(f)
-		f.Close()
+		var err error
+		d, err = netio.LoadFile(*loadFile)
 		if err != nil {
 			fail(err)
 		}
@@ -59,14 +64,9 @@ func main() {
 		}
 	}
 	if *saveFile != "" {
-		f, err := os.Create(*saveFile)
-		if err != nil {
+		if err := netio.SaveFile(*saveFile, d); err != nil {
 			fail(err)
 		}
-		if err := netio.Save(f, d); err != nil {
-			fail(err)
-		}
-		f.Close()
 	}
 	g, err := graph.Build(d)
 	if err != nil {
@@ -87,9 +87,15 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown method %q", *method))
 	}
-	m, err := core.Calibrate(g, sta.DefaultConfig(), opt)
+	m, err := core.Calibrate(ctx, g, sta.DefaultConfig(), opt)
 	if err != nil {
 		fail(err)
+	}
+	if m.Partial {
+		fmt.Println("note: calibration cut short by -timeout; reporting the partial (safety-scaled) fit")
+	}
+	if m.Fault != "" {
+		fmt.Printf("note: %s\n", m.Fault)
 	}
 
 	st := d.Stats()

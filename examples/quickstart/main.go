@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,7 +40,7 @@ func main() {
 	// 3. Calibrate the mGBA weighting factors (the paper's contribution):
 	//    per-endpoint worst-path selection, PBA retiming as golden targets,
 	//    stochastic-CG fit with row sampling.
-	m, err := core.Calibrate(g, sta.DefaultConfig(), core.DefaultOptions())
+	m, err := core.Calibrate(context.Background(), g, sta.DefaultConfig(), core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

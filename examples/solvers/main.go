@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,7 +35,7 @@ func main() {
 	for _, method := range methods {
 		opt := core.DefaultOptions()
 		opt.Method = method
-		m, err := core.Calibrate(g, sta.DefaultConfig(), opt)
+		m, err := core.Calibrate(context.Background(), g, sta.DefaultConfig(), opt)
 		if err != nil {
 			log.Fatal(err)
 		}

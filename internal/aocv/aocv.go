@@ -13,6 +13,8 @@ package aocv
 import (
 	"fmt"
 	"math"
+
+	"mgba/internal/faultinject"
 )
 
 // Table is a depth x distance derating lookup with bilinear interpolation
@@ -62,7 +64,7 @@ func (t *Table) Lookup(depth, distance float64) float64 {
 	v11 := t.Values[di1][de1]
 	lo := v00*(1-fde) + v01*fde
 	hi := v10*(1-fde) + v11*fde
-	return lo*(1-fdi) + hi*fdi
+	return faultinject.Float64(faultinject.AOCVLookup, lo*(1-fdi)+hi*fdi)
 }
 
 // bracket locates x within ascending breakpoints xs, returning the two
@@ -155,6 +157,17 @@ func sigma0(node int) float64 {
 // the textbook stage-count cancellation (1/sqrt(n)) with a linear spatial
 // term, quantized onto a breakpoint grid shaped like the paper's Table 1.
 func Default(node int) *Set {
+	s, err := DefaultSet(node)
+	if err != nil {
+		panic(err) // generated grid is valid by construction
+	}
+	return s
+}
+
+// DefaultSet is Default with an error return instead of a panic. Loaders
+// that synthesize tables from untrusted input (netio) use it so a bad
+// node value surfaces as a load error rather than a crash.
+func DefaultSet(node int) (*Set, error) {
 	depths := []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
 	distances := []float64{0.5, 1.0, 1.5, 2.5, 5, 10, 25, 50, 100, 200, 400, 800}
 	s0 := sigma0(node)
@@ -175,13 +188,13 @@ func Default(node int) *Set {
 	}
 	lt, err := NewTable(depths, distances, late)
 	if err != nil {
-		panic(err) // generated grid is valid by construction
+		return nil, err
 	}
 	et, err := NewTable(depths, distances, early)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
-	return &Set{Late: lt, Early: et}
+	return &Set{Late: lt, Early: et}, nil
 }
 
 // PaperTable1 returns the exact example lookup table printed as Table 1 of

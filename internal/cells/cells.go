@@ -254,11 +254,17 @@ func New(node int, drives ...int) (*Library, error) {
 // node with drives X1..X8. It panics only on programmer error (it cannot
 // fail for valid nodes).
 func Default(node int) *Library {
-	lib, err := New(node, 1, 2, 4, 8)
+	lib, err := DefaultLibrary(node)
 	if err != nil {
 		panic(err)
 	}
 	return lib
+}
+
+// DefaultLibrary is Default with an error return instead of a panic, for
+// callers constructing a library from untrusted input (netio loaders).
+func DefaultLibrary(node int) (*Library, error) {
+	return New(node, 1, 2, 4, 8)
 }
 
 func log2(x float64) float64 {

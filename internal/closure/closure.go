@@ -10,9 +10,18 @@
 // pessimism, the mGBA-embedded flow stops fixing earlier, fixes fewer
 // endpoints, recovers more area, and finishes faster — the effects
 // reported in Tables 2 and 5.
+//
+// The flow is built to survive long runs on real infrastructure: it honors
+// context cancellation at transform granularity (an interrupted run still
+// returns a valid, non-optimistic Result), it records calibration
+// degradations and faults instead of aborting, and it can periodically
+// write atomic checkpoints from which Resume continues an interrupted run
+// to the same closure state an uninterrupted run reaches.
 package closure
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"math"
 	"time"
@@ -21,6 +30,7 @@ import (
 	"mgba/internal/core"
 	"mgba/internal/engine"
 	"mgba/internal/graph"
+	"mgba/internal/netio"
 	"mgba/internal/netlist"
 	"mgba/internal/pba"
 	"mgba/internal/sta"
@@ -54,6 +64,19 @@ type Options struct {
 	RecalibrateEvery  int     // mGBA: recalibrate after this many transforms
 	RecoveryMargin    float64 // downsizing keeps endpoint slack above this, ps
 	MaxViolatedAccept int     // stop when this few endpoints remain violated
+
+	// CheckpointPath, when non-empty, makes the flow periodically write a
+	// resumable checkpoint (design + weights + flow state) to this path.
+	// Writes are atomic: a crash mid-write leaves the previous checkpoint
+	// intact. Checkpoint failures are recorded in Result.Faults, never
+	// fatal.
+	CheckpointPath string
+	// CheckpointEvery is the number of accepted transforms between
+	// periodic checkpoints. Zero checkpoints only at phase boundaries.
+	CheckpointEvery int
+	// OnCheckpoint, when set, is called after every successful checkpoint
+	// write with the checkpoint path. Used by tests and progress monitors.
+	OnCheckpoint func(path string)
 }
 
 // DefaultOptions returns a balanced configuration for the experiment suite.
@@ -98,6 +121,58 @@ type Result struct {
 	Elapsed         time.Duration // whole flow
 	CalibElapsed    time.Duration // time inside mGBA calibration (Table 5 split)
 	ValidateElapsed time.Duration // GBA flow: PBA validation of violators
+
+	// Robustness record.
+
+	Weights []float64 // final mGBA weights (nil for the GBA flow)
+	// Interrupted is true when the run was stopped by context cancellation
+	// or deadline; the Result is still a valid (partial) outcome.
+	Interrupted bool
+	// StopReason is "completed", or the context error that stopped the run.
+	StopReason string
+	// Resumed is true when the run continued from a checkpoint.
+	Resumed bool
+	// Checkpoints counts successful checkpoint writes (cumulative across
+	// resumes).
+	Checkpoints int
+	// DegradedCalibrations counts calibrations that fell down the solver
+	// degradation ladder or were cut short by cancellation.
+	DegradedCalibrations int
+	// Faults records non-fatal failures absorbed by the flow: calibration
+	// fallbacks to identity weights and checkpoint write errors.
+	Faults []string
+}
+
+// phase identifies where in the flow a run (or a checkpoint of one) is.
+type phase int
+
+const (
+	phaseRepair   phase = iota // round-based repair loop
+	phaseRecovery              // area/leakage recovery pass
+	phaseFinal                 // mGBA: final recalibrate + repair
+	phaseDone                  // nothing left but finish()
+)
+
+// ckptState is the flow-progress blob embedded in a netio checkpoint. The
+// design and weights live in the checkpoint envelope; this records where
+// to pick the flow back up and the counters accumulated so far.
+type ckptState struct {
+	Timer           int  `json:"timer"`
+	Phase           int  `json:"phase"`
+	Round           int  `json:"round"`
+	RecoveryPos     int  `json:"recovery_pos"`
+	SinceCalib      int  `json:"since_calib"`
+	FinalCalibrated bool `json:"final_calibrated,omitempty"`
+
+	Transforms   int      `json:"transforms"`
+	Upsized      int      `json:"upsized"`
+	Downsized    int      `json:"downsized"`
+	BuffersAdded int      `json:"buffers_added"`
+	Calibrations int      `json:"calibrations"`
+	Validations  int      `json:"validations"`
+	Degraded     int      `json:"degraded_calibrations"`
+	Checkpoints  int      `json:"checkpoints"`
+	Faults       []string `json:"faults,omitempty"`
 }
 
 // flow carries the mutable optimization state. The timing session is
@@ -107,6 +182,7 @@ type Result struct {
 type flow struct {
 	d   *netlist.Design
 	opt Options
+	ctx context.Context
 
 	g       *graph.Graph
 	sess    *engine.Session
@@ -115,6 +191,13 @@ type flow struct {
 
 	res        *Result
 	transforms int // transforms since the last recalibration
+
+	// Checkpoint/resume bookkeeping.
+	curPhase        phase
+	curRound        int
+	recoveryPos     int // next f.g.Topo index for the recovery pass
+	finalCalibrated bool
+	sinceCkpt       int // accepted transforms since the last checkpoint
 }
 
 // retire swaps in a freshly computed timing view, returning the previous
@@ -127,9 +210,72 @@ func (f *flow) retire(next *sta.Result) {
 	f.r = next
 }
 
+// stopped reports whether the run's context has been cancelled, latching
+// the interruption into the Result the first time it observes it.
+func (f *flow) stopped() bool {
+	if f.res.Interrupted {
+		return true
+	}
+	if f.ctx == nil {
+		return false
+	}
+	select {
+	case <-f.ctx.Done():
+		f.res.Interrupted = true
+		f.res.StopReason = f.ctx.Err().Error()
+		return true
+	default:
+		return false
+	}
+}
+
 // Optimize runs the timing-closure flow on the design in place and returns
 // the final QoR. The design is mutated (resized cells, inserted buffers).
+// It is Run with a background context.
 func Optimize(d *netlist.Design, opt Options) (*Result, error) {
+	return Run(context.Background(), d, opt)
+}
+
+// Run runs the timing-closure flow under a context. Cancelling the context
+// (or exceeding its deadline) stops the flow at the next transform
+// boundary and returns a valid partial Result with Interrupted set — never
+// an error, and never a design in a half-applied-transform state. A
+// context that is already cancelled yields a zero-transform Result whose
+// QoR fields still describe the (re-timed) input design.
+func Run(ctx context.Context, d *netlist.Design, opt Options) (*Result, error) {
+	return run(ctx, d, opt, nil, nil)
+}
+
+// Resume continues an interrupted run from a checkpoint written by a
+// previous Run with Options.CheckpointPath set. The opt passed here
+// controls the continued run and must use the same TimerKind the
+// checkpoint was written under; counters resume from their checkpointed
+// values, so the combined Result matches an uninterrupted run.
+func Resume(ctx context.Context, path string, opt Options) (*Result, error) {
+	c, err := netio.LoadCheckpointFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.State) == 0 {
+		return nil, fmt.Errorf("closure: checkpoint has no flow state")
+	}
+	var st ckptState
+	if err := json.Unmarshal(c.State, &st); err != nil {
+		return nil, fmt.Errorf("closure: bad checkpoint state: %w", err)
+	}
+	if st.Phase < int(phaseRepair) || st.Phase > int(phaseDone) {
+		return nil, fmt.Errorf("closure: checkpoint phase %d out of range", st.Phase)
+	}
+	if TimerKind(st.Timer) != opt.Timer {
+		return nil, fmt.Errorf("closure: checkpoint was written by the %v flow, options select %v",
+			TimerKind(st.Timer), opt.Timer)
+	}
+	return run(ctx, c.Design, opt, &st, c.Weights)
+}
+
+// run is the shared body of Run and Resume: st/weights are nil for a fresh
+// run and carry the checkpointed flow state for a resumed one.
+func run(ctx context.Context, d *netlist.Design, opt Options, st *ckptState, weights []float64) (*Result, error) {
 	if opt.STA.Weights != nil {
 		return nil, fmt.Errorf("closure: STA config must not pre-set weights")
 	}
@@ -137,55 +283,187 @@ func Optimize(d *netlist.Design, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("closure: negative budgets")
 	}
 	start := time.Now()
-	f := &flow{d: d, opt: opt, res: &Result{Timer: opt.Timer}}
-	if err := f.rebuild(); err != nil {
-		return nil, err
+	f := &flow{d: d, opt: opt, ctx: ctx, res: &Result{Timer: opt.Timer}}
+	ph, round := phaseRepair, 0
+	if st != nil {
+		f.restore(st, weights)
+		ph, round = phase(st.Phase), st.Round
 	}
-	// Repair in rounds: each round fixes what its timing view can fix,
-	// then the view is refreshed and the remaining violators retried.
-	//
-	// The two flows refresh differently, mirroring practice (§2.2 of the
-	// paper): the GBA flow must subject its remaining violating endpoints
-	// to a PBA validation pass — the very bottleneck the paper calls out,
-	// whose cost grows with GBA's pessimism — while the mGBA flow simply
-	// recalibrates its weights, which are PBA-accurate by construction.
-	for round := 0; round < 3; round++ {
-		if err := f.fixViolations(); err != nil {
+	f.curPhase, f.curRound = ph, round
+
+	// Initial timing view. A resumed mGBA run re-times under the
+	// checkpointed weights instead of recalibrating, preserving the
+	// calibration cadence of the original run.
+	if st != nil && f.opt.Timer == TimerMGBA && f.weights != nil {
+		if err := f.refresh(); err != nil {
 			return nil, err
 		}
-		if f.opt.Timer == TimerGBA {
-			if f.validateViolators() <= f.opt.MaxViolatedAccept {
-				break // PBA waives the residual GBA violations
+	} else if err := f.rebuild(); err != nil {
+		return nil, err
+	}
+
+	for ph < phaseDone && !f.stopped() {
+		f.curPhase = ph
+		switch ph {
+		case phaseRepair:
+			// Repair in rounds: each round fixes what its timing view can
+			// fix, then the view is refreshed and the remaining violators
+			// retried.
+			//
+			// The two flows refresh differently, mirroring practice (§2.2
+			// of the paper): the GBA flow must subject its remaining
+			// violating endpoints to a PBA validation pass — the very
+			// bottleneck the paper calls out, whose cost grows with GBA's
+			// pessimism — while the mGBA flow simply recalibrates its
+			// weights, which are PBA-accurate by construction.
+			for ; round < 3; round++ {
+				f.curRound = round
+				f.checkpoint()
+				if err := f.fixViolations(); err != nil {
+					return nil, err
+				}
+				if f.stopped() {
+					break
+				}
+				if f.opt.Timer == TimerGBA {
+					if f.validateViolators() <= f.opt.MaxViolatedAccept {
+						break // PBA waives the residual GBA violations
+					}
+					continue // real violations remain: retry the repair loop
+				}
+				if f.violatedCount() <= f.opt.MaxViolatedAccept {
+					break
+				}
+				if round == 2 {
+					break
+				}
+				if err := f.calibrate(); err != nil {
+					return nil, err
+				}
+				if f.stopped() {
+					break
+				}
 			}
-			continue // real violations remain: retry the repair loop
-		}
-		if f.violatedCount() <= f.opt.MaxViolatedAccept {
-			break
-		}
-		if round == 2 {
-			break
-		}
-		if err := f.calibrate(); err != nil {
-			return nil, err
+			if !f.stopped() {
+				ph, round = phaseRecovery, 0
+			}
+		case phaseRecovery:
+			f.checkpoint()
+			if err := f.recoverArea(); err != nil {
+				return nil, err
+			}
+			if !f.stopped() {
+				ph, f.recoveryPos = phaseFinal, 0
+			}
+		case phaseFinal:
+			f.curRound = 0
+			f.checkpoint()
+			// Recovery under a slightly stale view can overreach: refresh
+			// and run one final repair pass so the flow exits at its own
+			// timing closure. Skipped when nothing changed since the last
+			// calibration.
+			if f.opt.Timer == TimerMGBA && (f.finalCalibrated || f.transforms > 0) {
+				if !f.finalCalibrated {
+					if err := f.calibrate(); err != nil {
+						return nil, err
+					}
+					f.finalCalibrated = true
+				}
+				if !f.stopped() {
+					if err := f.fixViolations(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if !f.stopped() {
+				ph = phaseDone
+			}
 		}
 	}
-	if err := f.recoverArea(); err != nil {
-		return nil, err
-	}
-	// Recovery under a slightly stale view can overreach: refresh and run
-	// one final repair pass so the flow exits at its own timing closure.
-	// Skipped when nothing changed since the last calibration.
-	if f.opt.Timer == TimerMGBA && f.transforms > 0 {
-		if err := f.calibrate(); err != nil {
-			return nil, err
-		}
-		if err := f.fixViolations(); err != nil {
-			return nil, err
-		}
-	}
+
 	f.finish()
+	if !f.res.Interrupted {
+		f.res.StopReason = "completed"
+	}
+	// Exit checkpoint: for an interrupted run this is the resume point;
+	// for a completed run it records phaseDone so a Resume is a no-op.
+	f.curPhase, f.curRound = ph, round
+	f.checkpoint()
 	f.res.Elapsed = time.Since(start)
 	return f.res, nil
+}
+
+// restore loads checkpointed flow state and counters into a fresh flow.
+func (f *flow) restore(st *ckptState, weights []float64) {
+	f.weights = weights
+	f.transforms = st.SinceCalib
+	f.recoveryPos = st.RecoveryPos
+	f.finalCalibrated = st.FinalCalibrated
+	r := f.res
+	r.Resumed = true
+	r.Transforms = st.Transforms
+	r.Upsized = st.Upsized
+	r.Downsized = st.Downsized
+	r.BuffersAdded = st.BuffersAdded
+	r.Calibrations = st.Calibrations
+	r.Validations = st.Validations
+	r.DegradedCalibrations = st.Degraded
+	r.Checkpoints = st.Checkpoints
+	r.Faults = append([]string(nil), st.Faults...)
+}
+
+// checkpoint atomically writes the current design, weights and flow state
+// to Options.CheckpointPath. Failures are recorded as faults, not errors:
+// losing a checkpoint must never lose the run.
+func (f *flow) checkpoint() {
+	f.sinceCkpt = 0
+	if f.opt.CheckpointPath == "" {
+		return
+	}
+	st := ckptState{
+		Timer:           int(f.opt.Timer),
+		Phase:           int(f.curPhase),
+		Round:           f.curRound,
+		RecoveryPos:     f.recoveryPos,
+		SinceCalib:      f.transforms,
+		FinalCalibrated: f.finalCalibrated,
+		Transforms:      f.res.Transforms,
+		Upsized:         f.res.Upsized,
+		Downsized:       f.res.Downsized,
+		BuffersAdded:    f.res.BuffersAdded,
+		Calibrations:    f.res.Calibrations,
+		Validations:     f.res.Validations,
+		Degraded:        f.res.DegradedCalibrations,
+		Checkpoints:     f.res.Checkpoints + 1,
+		Faults:          f.res.Faults,
+	}
+	blob, err := json.Marshal(&st)
+	if err == nil {
+		err = netio.SaveCheckpointFile(f.opt.CheckpointPath, &netio.Checkpoint{
+			Design:  f.d,
+			Weights: f.weights,
+			State:   blob,
+		})
+	}
+	if err != nil {
+		f.res.Faults = append(f.res.Faults, fmt.Sprintf("checkpoint: %v", err))
+		return
+	}
+	f.res.Checkpoints++
+	if f.opt.OnCheckpoint != nil {
+		f.opt.OnCheckpoint(f.opt.CheckpointPath)
+	}
+}
+
+// noteTransform accounts one accepted transform and writes a periodic
+// checkpoint when the cadence says so.
+func (f *flow) noteTransform() {
+	f.res.Transforms++
+	f.transforms++
+	f.sinceCkpt++
+	if f.opt.CheckpointEvery > 0 && f.sinceCkpt >= f.opt.CheckpointEvery {
+		f.checkpoint()
+	}
 }
 
 // rebuild reconstructs the timing graph and session (needed after
@@ -226,7 +504,9 @@ func (f *flow) refresh() error {
 
 // calibrate refreshes the mGBA weights (or simply re-analyzes under GBA),
 // running against the flow's timing session so the per-design state is
-// never recomputed mid-flow.
+// never recomputed mid-flow. Calibration cannot fail the flow: a solver
+// fault degrades down core's solver ladder — at worst to identity weights
+// (mGBA == GBA) — and is recorded in the Result.
 func (f *flow) calibrate() error {
 	if f.opt.Timer == TimerGBA {
 		f.retire(f.sess.Run(f.opt.STA))
@@ -239,12 +519,19 @@ func (f *flow) calibrate() error {
 		// previous weights warm-start the solver.
 		opt.WarmWeights = f.weights
 	}
-	model, err := core.CalibrateWithSession(f.sess, f.opt.STA, opt)
+	model, err := core.CalibrateWithSession(f.ctx, f.sess, f.opt.STA, opt)
 	if err != nil {
 		return err
 	}
 	f.res.Calibrations++
 	f.res.CalibElapsed += time.Since(t0)
+	if model.Degraded || model.Partial {
+		f.res.DegradedCalibrations++
+	}
+	if model.Fault != "" {
+		f.res.Faults = append(f.res.Faults,
+			fmt.Sprintf("calibration %d: %s", f.res.Calibrations, model.Fault))
+	}
 	f.weights = model.Weights
 	f.retire(model.MGBA)
 	// The flow keeps only the weighted view; the calibration's baseline
@@ -317,10 +604,16 @@ func (f *flow) worstFanin(v int) (int, bool) {
 
 // fixViolations is the main repair loop: pick the worst violating
 // endpoint, repair its worst path with an upsize or a buffer, accept the
-// transform only if the endpoint improves, and iterate.
+// transform only if the endpoint improves, and iterate. Cancellation is
+// honored between transforms: an in-flight trial always completes (and is
+// kept or reverted whole), so an interrupted design is never left with a
+// half-applied transform.
 func (f *flow) fixViolations() error {
 	skip := make(map[int]bool)
 	for f.res.Transforms < f.opt.MaxTransforms {
+		if f.stopped() {
+			return nil
+		}
 		fi := f.worstViolatingEndpoint(skip)
 		if fi < 0 {
 			break // timing closed (or every violator exhausted)
@@ -409,8 +702,7 @@ func (f *flow) repairEndpoint(fi int) (bool, error) {
 		cands = append(cands[:best], cands[best+1:]...)
 		if ok := f.tryResize(fi, id, true); ok {
 			f.res.Upsized++
-			f.res.Transforms++
-			f.transforms++
+			f.noteTransform()
 			return true, nil
 		}
 	}
@@ -431,8 +723,7 @@ func (f *flow) repairEndpoint(fi int) (bool, error) {
 				return false, err
 			} else if ok {
 				f.res.BuffersAdded++
-				f.res.Transforms++
-				f.transforms++
+				f.noteTransform()
 				return true, nil
 			}
 		}
@@ -521,12 +812,19 @@ func (f *flow) tryBuffer(fi, net int) (bool, error) {
 }
 
 // recoverArea downsizes gates whose paths have slack to spare — the phase
-// where a less pessimistic timer directly buys area and leakage.
+// where a less pessimistic timer directly buys area and leakage. The walk
+// position survives in checkpoints (the topological order is a pure
+// function of the design, and recovery never edits connectivity), so a
+// resumed run continues exactly where the interrupted one stopped.
 func (f *flow) recoverArea() error {
-	for _, v := range f.g.Topo {
+	for ; f.recoveryPos < len(f.g.Topo); f.recoveryPos++ {
+		if f.stopped() {
+			return nil
+		}
 		if f.res.Transforms >= f.opt.MaxTransforms {
 			break
 		}
+		v := f.g.Topo[f.recoveryPos]
 		inst := f.d.Instances[v]
 		if inst.IsFF() || f.g.IsClock(v) {
 			continue
@@ -537,8 +835,7 @@ func (f *flow) recoverArea() error {
 		}
 		if f.tryDownsize(v) {
 			f.res.Downsized++
-			f.res.Transforms++
-			f.transforms++
+			f.noteTransform()
 			if err := f.maybeRecalibrate(); err != nil {
 				return err
 			}
@@ -575,7 +872,9 @@ func (f *flow) tryDownsize(id int) bool {
 }
 
 // finish records the final QoR, including a PBA sign-off measurement so
-// that GBA-flow and mGBA-flow results are compared on equal footing.
+// that GBA-flow and mGBA-flow results are compared on equal footing. It
+// always runs, interrupted or not: a cancelled run still reports honest
+// final numbers for the state it leaves the design in.
 func (f *flow) finish() {
 	f.res.TimerWNS = f.r.WNS
 	f.res.TimerTNS = f.r.TNS
@@ -583,6 +882,9 @@ func (f *flow) finish() {
 	f.res.Area = f.d.Area()
 	f.res.Leakage = f.d.Leakage()
 	f.res.Buffers = f.d.BufferCount()
+	if f.opt.Timer == TimerMGBA {
+		f.res.Weights = f.weights
+	}
 
 	f.res.SignoffWNS, f.res.SignoffTNS = signoff(f.sess, f.opt.STA)
 }

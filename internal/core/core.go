@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -79,6 +80,20 @@ type Options struct {
 	// it to make mid-flow recalibrations cheap: the netlist changed only
 	// incrementally, so the old weights are near-optimal already.
 	WarmWeights []float64
+
+	// StrictSafety enforces Eq. (5) exactly on the training selection by
+	// scaling the fitted correction back until no selected path is
+	// optimistic beyond the epsilon guard. The paper's soft penalty
+	// tolerates a small optimistic tail in exchange for fit quality, so
+	// this is off by default; degraded and cancelled (partial) fits are
+	// always scaled back regardless, because a fit of unknown quality must
+	// never be allowed to go optimistic.
+	StrictSafety bool
+
+	// NoFallback disables the degradation ladder: a numerically unhealthy
+	// solve returns an error instead of retrying with a safer method.
+	// Exists for experiments that measure a single solver in isolation.
+	NoFallback bool
 }
 
 // DefaultOptions returns the paper's calibration parameters.
@@ -115,6 +130,34 @@ type Model struct {
 	Stats      solver.Stats
 
 	MGBA *sta.Result // re-analysis with the fitted weights
+
+	// Robustness record (see DESIGN.md §"Failure model & degradation
+	// ladder").
+
+	// Degraded is true when the accepted fit came from a safer solver
+	// than requested, or from the identity fallback.
+	Degraded bool
+	// Partial is true when the fit was cut short by context cancellation
+	// and the solver's best iterate was accepted.
+	Partial bool
+	// Fault describes why calibration fell back to identity weights; ""
+	// when a fit was accepted.
+	Fault string
+	// SafetyScale is the factor the Eq. (5) scale-back applied to the
+	// correction: 1 means the raw fit was already safe (or strict safety
+	// was not required), 0 means identity weights.
+	SafetyScale float64
+	// Attempts records every solver run of the degradation ladder, in
+	// order, including rejected ones.
+	Attempts []Attempt
+}
+
+// Attempt is one rung of the degradation ladder: which solver ran, its
+// stats, and — when it was rejected — why.
+type Attempt struct {
+	Method   Method
+	Stats    solver.Stats
+	Rejected string // "" when the attempt was accepted
 }
 
 // Calibrate runs the full mGBA calibration pipeline on a design's timing
@@ -122,8 +165,13 @@ type Model struct {
 // with the per-endpoint top-k' scheme of §3.2. It builds a throwaway
 // engine.Session; callers that recalibrate the same design repeatedly
 // (the closure loop) should use CalibrateWithSession instead.
-func Calibrate(g *graph.Graph, cfg sta.Config, opt Options) (*Model, error) {
-	return calibrate(nil, g, cfg, opt, nil)
+//
+// Cancelling ctx stops the pipeline at the next path or solver iteration
+// and returns a valid *partial* model: at worst identity weights (mGBA ==
+// GBA), at best the solver's last safe iterate, never an error. Errors
+// are reserved for invalid inputs.
+func Calibrate(ctx context.Context, g *graph.Graph, cfg sta.Config, opt Options) (*Model, error) {
+	return calibrate(ctx, nil, g, cfg, opt, nil)
 }
 
 // CalibrateWithSession runs the calibration pipeline on an existing timing
@@ -131,24 +179,24 @@ func Calibrate(g *graph.Graph, cfg sta.Config, opt Options) (*Model, error) {
 // CRPR credit cache) and the per-run scratch buffers are reused instead of
 // recomputed — the difference between a per-iteration and a per-design
 // cost inside the closure loop.
-func CalibrateWithSession(s *engine.Session, cfg sta.Config, opt Options) (*Model, error) {
+func CalibrateWithSession(ctx context.Context, s *engine.Session, cfg sta.Config, opt Options) (*Model, error) {
 	if s == nil {
 		return nil, fmt.Errorf("core: nil session")
 	}
-	return calibrate(s, s.G, cfg, opt, nil)
+	return calibrate(ctx, s, s.G, cfg, opt, nil)
 }
 
 // CalibrateOnSelection runs the same pipeline against an explicit path
 // selection instead of the built-in per-endpoint scheme; the §3.2 study
 // uses it to compare selection schemes under identical fitting.
-func CalibrateOnSelection(g *graph.Graph, cfg sta.Config, opt Options, sel *pathsel.Selection) (*Model, error) {
+func CalibrateOnSelection(ctx context.Context, g *graph.Graph, cfg sta.Config, opt Options, sel *pathsel.Selection) (*Model, error) {
 	if sel == nil {
 		return nil, fmt.Errorf("core: nil selection")
 	}
-	return calibrate(nil, g, cfg, opt, sel)
+	return calibrate(ctx, nil, g, cfg, opt, sel)
 }
 
-func calibrate(s *engine.Session, g *graph.Graph, cfg sta.Config, opt Options, sel *pathsel.Selection) (*Model, error) {
+func calibrate(ctx context.Context, s *engine.Session, g *graph.Graph, cfg sta.Config, opt Options, sel *pathsel.Selection) (*Model, error) {
 	if cfg.Weights != nil {
 		return nil, fmt.Errorf("core: calibration config must not carry weights")
 	}
@@ -164,15 +212,20 @@ func calibrate(s *engine.Session, g *graph.Graph, cfg sta.Config, opt Options, s
 	if s == nil {
 		s = engine.NewSession(g)
 	}
-	m := &Model{G: g, Session: s, Cfg: cfg, Opt: opt}
+	m := &Model{G: g, Session: s, Cfg: cfg, Opt: opt, SafetyScale: 1}
+	// One baseline timing run is the minimum for a usable model and the
+	// atomic unit of cancellation: it always runs to completion.
 	m.GBA = s.Run(cfg)
+	m.Weights = identity(len(g.D.Instances))
+	if cancelled(ctx) {
+		return m.abandon("cancelled before path selection"), nil
+	}
 	an := pba.NewAnalyzer(m.GBA)
 	if sel != nil {
 		m.Selection = sel
 	} else {
 		m.Selection = pathsel.PerEndpointTopK(an, opt.K, opt.MaxPaths)
 	}
-	m.Weights = identity(len(g.D.Instances))
 	if len(m.Selection.Paths) == 0 {
 		// Nothing violates: mGBA degenerates to GBA with unit weights.
 		m.MGBA = m.GBA
@@ -180,18 +233,53 @@ func calibrate(s *engine.Session, g *graph.Graph, cfg sta.Config, opt Options, s
 	}
 	m.Timings = make([]*pba.Timing, len(m.Selection.Paths))
 	for i, p := range m.Selection.Paths {
+		if i%256 == 0 && cancelled(ctx) {
+			return m.abandon("cancelled during PBA retiming"), nil
+		}
 		m.Timings[i] = an.Retime(p)
 	}
 	if err := m.assemble(); err != nil {
 		return nil, err
 	}
-	if err := m.solve(); err != nil {
+	if err := m.solve(ctx); err != nil {
 		return nil, err
 	}
 	wcfg := cfg
 	wcfg.Weights = m.Weights
 	m.MGBA = s.Run(wcfg)
 	return m, nil
+}
+
+// abandon turns a half-built model into the degenerate identity model:
+// unit weights, no selection, mGBA == GBA. The result is always valid and
+// always pessimism-safe (GBA never under-estimates a path delay that PBA
+// would increase).
+func (m *Model) abandon(why string) *Model {
+	m.Selection = &pathsel.Selection{}
+	m.Timings = nil
+	m.Problem = nil
+	m.Columns = nil
+	m.Correction = nil
+	m.Weights = identity(len(m.G.D.Instances))
+	m.MGBA = m.GBA
+	m.Partial = true
+	m.Degraded = true
+	m.Fault = why
+	m.SafetyScale = 0
+	return m
+}
+
+// cancelled reports whether ctx is done; a nil ctx never cancels.
+func cancelled(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
 }
 
 func identity(n int) []float64 {
@@ -249,8 +337,90 @@ func (m *Model) assemble() error {
 	return m.Problem.Validate()
 }
 
-func (m *Model) solve() error {
+// fallbackChain returns the degradation ladder for a requested method:
+// each subsequent entry trades accuracy or speed for numerical safety.
+// GD is the terminal rung — full gradients with a monotone Armijo line
+// search cannot diverge.
+func fallbackChain(m Method) []Method {
+	switch m {
+	case MethodSCGRS:
+		return []Method{MethodSCGRS, MethodSCG, MethodGD}
+	case MethodSCG:
+		return []Method{MethodSCG, MethodGD}
+	case MethodFull:
+		return []Method{MethodFull, MethodGD}
+	default:
+		return []Method{MethodGD}
+	}
+}
+
+// runSolver executes one rung of the ladder. Each rung gets a fresh rng
+// seeded identically, so a retry is deterministic and independent of how
+// many iterations the rejected attempt consumed.
+func (m *Model) runSolver(ctx context.Context, meth Method) ([]float64, solver.Stats, error) {
 	r := rng.New(m.Opt.Seed)
+	switch meth {
+	case MethodGD:
+		return solver.GD(ctx, m.Problem, m.Opt.Solver)
+	case MethodSCG:
+		return solver.SCG(ctx, m.Problem, m.Opt.Solver, r)
+	case MethodSCGRS:
+		return solver.SCGRS(ctx, m.Problem, m.Opt.Solver, r)
+	case MethodFull:
+		return solver.FullSolve(ctx, m.Problem, 12, 500, 1e-10)
+	default:
+		return nil, solver.Stats{}, fmt.Errorf("core: unknown method %v", meth)
+	}
+}
+
+// healthCheck decides whether a solver result is trustworthy enough to
+// apply to the timing graph. identityF is the objective at x = 0 (unit
+// weights): any accepted fit must do at least as well as doing nothing.
+func (m *Model) healthCheck(x []float64, st solver.Stats, identityF float64) string {
+	if !num.AllFinite(x) {
+		return "non-finite solution"
+	}
+	if st.Reason == solver.StopDiverged {
+		return "diverged"
+	}
+	if st.NumericalEvents > 0 {
+		return fmt.Sprintf("%d numerical events", st.NumericalEvents)
+	}
+	if st.Reverts > 0 && !st.Improved {
+		return "safeguard reverts without net improvement"
+	}
+	// Judge the fit as applied: clamped weights, not the raw iterate.
+	f := m.Problem.Objective(m.clampedDx(x))
+	if math.IsNaN(f) || f > identityF*(1+1e-9)+1e-12 {
+		return fmt.Sprintf("objective %.6g worse than identity %.6g", f, identityF)
+	}
+	return ""
+}
+
+// clampedDx maps a raw correction through the weight clamp and back.
+func (m *Model) clampedDx(x []float64) []float64 {
+	dx := make([]float64, len(x))
+	for k := range x {
+		w := 1 + x[k]
+		if w < m.Opt.MinWeight {
+			w = m.Opt.MinWeight
+		}
+		if w > m.Opt.MaxWeight {
+			w = m.Opt.MaxWeight
+		}
+		dx[k] = w - 1
+	}
+	return dx
+}
+
+// solve runs the degradation ladder: try the requested method, reject
+// numerically unhealthy results, retry with the next-safer method, and on
+// total failure keep identity weights (x = 0) — never an error, because
+// identity weights reproduce plain GBA, which is always pessimism-safe.
+func (m *Model) solve(ctx context.Context) error {
+	if m.Opt.Method < MethodGD || m.Opt.Method > MethodFull {
+		return fmt.Errorf("core: unknown method %v", m.Opt.Method)
+	}
 	if m.Opt.WarmWeights != nil {
 		x0 := make([]float64, len(m.Columns))
 		for k, c := range m.Columns {
@@ -260,24 +430,57 @@ func (m *Model) solve() error {
 		}
 		m.Opt.Solver.X0 = x0
 	}
-	var err error
-	switch m.Opt.Method {
-	case MethodGD:
-		m.Correction, m.Stats, err = solver.GD(m.Problem, m.Opt.Solver)
-	case MethodSCG:
-		m.Correction, m.Stats, err = solver.SCG(m.Problem, m.Opt.Solver, r)
-	case MethodSCGRS:
-		m.Correction, m.Stats, err = solver.SCGRS(m.Problem, m.Opt.Solver, r)
-	case MethodFull:
-		m.Correction, m.Stats, err = solver.FullSolve(m.Problem, 12, 500, 1e-10)
-	default:
-		return fmt.Errorf("core: unknown method %v", m.Opt.Method)
+	identityF := m.Problem.Objective(make([]float64, len(m.Columns)))
+	for rung, meth := range fallbackChain(m.Opt.Method) {
+		x, st, err := m.runSolver(ctx, meth)
+		att := Attempt{Method: meth, Stats: st}
+		if err == nil {
+			att.Rejected = m.healthCheck(x, st, identityF)
+		} else {
+			if m.Opt.NoFallback {
+				return err
+			}
+			att.Rejected = err.Error()
+		}
+		m.Attempts = append(m.Attempts, att)
+		if err == nil && att.Rejected == "" {
+			m.Correction = x
+			m.Stats = st
+			m.Degraded = rung > 0
+			m.Partial = st.Reason == solver.StopCancelled
+			m.applyWeights(m.Correction)
+			if m.Opt.StrictSafety || m.Degraded || m.Partial {
+				m.enforceSafety()
+			}
+			return nil
+		}
+		if m.Opt.NoFallback {
+			return fmt.Errorf("core: %v solve rejected: %s", meth, att.Rejected)
+		}
+		if err == nil && st.Reason == solver.StopCancelled {
+			// Cancelled *and* unhealthy: no budget left to retry safer
+			// methods; identity weights are the only safe answer.
+			break
+		}
 	}
-	if err != nil {
-		return err
+	// Total failure: identity weights (mGBA == GBA on every path).
+	m.Correction = make([]float64, len(m.Columns))
+	m.Weights = identity(len(m.G.D.Instances))
+	m.Stats = solver.Stats{}
+	m.Degraded = true
+	m.SafetyScale = 0
+	m.Fault = "all solver attempts rejected; using identity weights"
+	if cancelled(ctx) {
+		m.Partial = true
 	}
+	return nil
+}
+
+// applyWeights clamps the correction into the physical weight band and
+// scatters it onto the per-instance weight vector.
+func (m *Model) applyWeights(x []float64) {
 	for k, c := range m.Columns {
-		w := 1 + m.Correction[k]
+		w := 1 + x[k]
 		if w < m.Opt.MinWeight {
 			w = m.Opt.MinWeight
 		}
@@ -286,7 +489,38 @@ func (m *Model) solve() error {
 		}
 		m.Weights[c] = w
 	}
-	return nil
+}
+
+// enforceSafety projects the fitted correction back inside the Eq. (5)
+// feasible region on the training selection. The modelled delay shift of
+// row i is (A dx)_i and its floor is B_i - Guard_i (both non-positive:
+// GBA is conservative per path, so the target shift is a delay
+// *reduction*). Scaling dx by t in [0,1] moves every row's shift
+// linearly between 0 (identity, always feasible) and its fitted value,
+// so the largest safe t is the minimum over violating rows of
+// floor_i / (A dx)_i — one linear pass, no re-solve.
+func (m *Model) enforceSafety() {
+	dx := m.clampedCorrection()
+	ax := m.Problem.A.MulVec(nil, dx)
+	t := 1.0
+	for i, axi := range ax {
+		floor := m.Problem.B[i] - m.Problem.GuardAt(i)
+		if axi < floor-1e-12 && axi < 0 {
+			if ti := floor / axi; ti < t {
+				t = ti
+			}
+		}
+	}
+	if t < 0 {
+		t = 0
+	}
+	if t < 1 {
+		for k := range dx {
+			dx[k] *= t
+		}
+		m.applyWeights(dx)
+	}
+	m.SafetyScale = t
 }
 
 // PathSlacks returns, for every selected path, the slack under the given

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -47,7 +48,7 @@ func TestCalibrateFig2ExactFit(t *testing.T) {
 	g, cfg := fig2Violating(t)
 	opt := core.DefaultOptions()
 	opt.Method = core.MethodFull
-	m, err := core.Calibrate(g, cfg, opt)
+	m, err := core.Calibrate(context.Background(), g, cfg, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestCalibrateImprovesPassRatio(t *testing.T) {
 	g, cfg := smallDesign(t)
 	opt := core.DefaultOptions()
 	opt.Method = core.MethodSCGRS
-	m, err := core.Calibrate(g, cfg, opt)
+	m, err := core.Calibrate(context.Background(), g, cfg, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestOptimismBoundedByPenalty(t *testing.T) {
 	g, cfg := smallDesign(t)
 	opt := core.DefaultOptions()
 	opt.Method = core.MethodSCGRS
-	m, err := core.Calibrate(g, cfg, opt)
+	m, err := core.Calibrate(context.Background(), g, cfg, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestOptimismBoundedByPenalty(t *testing.T) {
 func TestWeightsIdentityOffPath(t *testing.T) {
 	g, cfg := smallDesign(t)
 	opt := core.DefaultOptions()
-	m, err := core.Calibrate(g, cfg, opt)
+	m, err := core.Calibrate(context.Background(), g, cfg, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestWeightsIdentityOffPath(t *testing.T) {
 func TestWeightsClamped(t *testing.T) {
 	g, cfg := smallDesign(t)
 	opt := core.DefaultOptions()
-	m, err := core.Calibrate(g, cfg, opt)
+	m, err := core.Calibrate(context.Background(), g, cfg, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestNoViolationsIdentityModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := core.Calibrate(g, cfg, core.DefaultOptions())
+	m, err := core.Calibrate(context.Background(), g, cfg, core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestSparsityOfCorrection(t *testing.T) {
 	g, cfg := smallDesign(t)
 	opt := core.DefaultOptions()
 	opt.Method = core.MethodSCGRS
-	m, err := core.Calibrate(g, cfg, opt)
+	m, err := core.Calibrate(context.Background(), g, cfg, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestSparsityOfCorrection(t *testing.T) {
 
 func TestPathSlacksKinds(t *testing.T) {
 	g, cfg := fig2Violating(t)
-	m, err := core.Calibrate(g, cfg, core.DefaultOptions())
+	m, err := core.Calibrate(context.Background(), g, cfg, core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,22 +243,22 @@ func TestCalibrateRejectsBadOptions(t *testing.T) {
 	g, cfg := fig2Violating(t)
 	opt := core.DefaultOptions()
 	opt.K = 0
-	if _, err := core.Calibrate(g, cfg, opt); err == nil {
+	if _, err := core.Calibrate(context.Background(), g, cfg, opt); err == nil {
 		t.Fatal("K=0 accepted")
 	}
 	opt = core.DefaultOptions()
 	opt.Epsilon = -1
-	if _, err := core.Calibrate(g, cfg, opt); err == nil {
+	if _, err := core.Calibrate(context.Background(), g, cfg, opt); err == nil {
 		t.Fatal("negative epsilon accepted")
 	}
 	opt = core.DefaultOptions()
 	opt.MinWeight = 0
-	if _, err := core.Calibrate(g, cfg, opt); err == nil {
+	if _, err := core.Calibrate(context.Background(), g, cfg, opt); err == nil {
 		t.Fatal("zero MinWeight accepted")
 	}
 	wcfg := cfg
 	wcfg.Weights = make([]float64, len(g.D.Instances))
-	if _, err := core.Calibrate(g, wcfg, core.DefaultOptions()); err == nil {
+	if _, err := core.Calibrate(context.Background(), g, wcfg, core.DefaultOptions()); err == nil {
 		t.Fatal("pre-weighted config accepted")
 	}
 }
@@ -265,11 +266,11 @@ func TestCalibrateRejectsBadOptions(t *testing.T) {
 func TestCalibrateDeterministic(t *testing.T) {
 	g, cfg := smallDesign(t)
 	opt := core.DefaultOptions()
-	a, err := core.Calibrate(g, cfg, opt)
+	a, err := core.Calibrate(context.Background(), g, cfg, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := core.Calibrate(g, cfg, opt)
+	b, err := core.Calibrate(context.Background(), g, cfg, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -36,7 +37,7 @@ func TestPathSlackWithWeightsIdentity(t *testing.T) {
 func TestPathSlackWithWeightsMatchesModel(t *testing.T) {
 	g, cfg := smallDesign(t)
 	opt := core.DefaultOptions()
-	m, err := core.Calibrate(g, cfg, opt)
+	m, err := core.Calibrate(context.Background(), g, cfg, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

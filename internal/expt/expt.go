@@ -6,6 +6,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -197,7 +198,7 @@ func fitOn(g *graph.Graph, sel *pathsel.Selection) (*core.Model, error) {
 	// selection the experiment builds the model manually through the same
 	// pipeline, reusing Calibrate by substituting the selection afterwards
 	// would skew results. Instead we re-run the core pipeline pieces here.
-	return core.CalibrateOnSelection(g, sta.DefaultConfig(), opt, sel)
+	return core.CalibrateOnSelection(context.Background(), g, sta.DefaultConfig(), opt, sel)
 }
 
 // Fig3 reproduces the sparsity histogram of the optimal correction vector:
@@ -209,7 +210,7 @@ func Fig3(e *Env) (string, *core.Model, error) {
 	}
 	opt := core.DefaultOptions()
 	opt.Method = core.MethodSCGRS
-	m, err := core.Calibrate(g, sta.DefaultConfig(), opt)
+	m, err := core.Calibrate(context.Background(), g, sta.DefaultConfig(), opt)
 	if err != nil {
 		return "", nil, err
 	}
@@ -233,7 +234,7 @@ func Fig4(e *Env) (*report.Table, error) {
 	}
 	opt := core.DefaultOptions()
 	opt.Method = core.MethodFull
-	m, err := core.Calibrate(g, sta.DefaultConfig(), opt)
+	m, err := core.Calibrate(context.Background(), g, sta.DefaultConfig(), opt)
 	if err != nil {
 		return nil, err
 	}
@@ -273,7 +274,7 @@ func Fig4(e *Env) (*report.Table, error) {
 		}
 		sel := r.SampleWithoutReplacement(total, rows)
 		sub := m.Problem.SubProblem(sel)
-		x, _, err := solver.SCG(sub, sopt, rng.New(17))
+		x, _, err := solver.SCG(context.Background(), sub, sopt, rng.New(17))
 		if err != nil {
 			return nil, err
 		}
@@ -328,7 +329,7 @@ func Table4(e *Env) (*report.Table, []SolverRow, error) {
 		for _, method := range methods {
 			opt := core.DefaultOptions()
 			opt.Method = method
-			m, err := core.Calibrate(g, sta.DefaultConfig(), opt)
+			m, err := core.Calibrate(context.Background(), g, sta.DefaultConfig(), opt)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -394,7 +395,7 @@ func Table4Scaling(e *Env) (*report.Table, error) {
 		opt := core.DefaultOptions()
 		opt.K = k
 		opt.Method = core.MethodSCGRS
-		m, err := core.Calibrate(g, sta.DefaultConfig(), opt)
+		m, err := core.Calibrate(context.Background(), g, sta.DefaultConfig(), opt)
 		if err != nil {
 			return nil, err
 		}
@@ -402,15 +403,15 @@ func Table4Scaling(e *Env) (*report.Table, error) {
 			continue
 		}
 		p := m.Problem
-		_, gdStats, err := solver.GD(p, solver.DefaultOptions())
+		_, gdStats, err := solver.GD(context.Background(), p, solver.DefaultOptions())
 		if err != nil {
 			return nil, err
 		}
-		_, scgStats, err := solver.SCG(p, solver.DefaultOptions(), rng.New(5))
+		_, scgStats, err := solver.SCG(context.Background(), p, solver.DefaultOptions(), rng.New(5))
 		if err != nil {
 			return nil, err
 		}
-		_, rsStats, err := solver.SCGRS(p, solver.DefaultOptions(), rng.New(5))
+		_, rsStats, err := solver.SCGRS(context.Background(), p, solver.DefaultOptions(), rng.New(5))
 		if err != nil {
 			return nil, err
 		}
@@ -455,7 +456,7 @@ func Table3(e *Env) (*report.Table, []PassRow, error) {
 		}
 		opt := core.DefaultOptions()
 		opt.Method = core.MethodSCGRS
-		m, err := core.Calibrate(g, sta.DefaultConfig(), opt)
+		m, err := core.Calibrate(context.Background(), g, sta.DefaultConfig(), opt)
 		if err != nil {
 			return nil, nil, err
 		}

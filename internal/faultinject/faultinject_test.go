@@ -1,0 +1,90 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDisarmedIsPassthrough(t *testing.T) {
+	Reset()
+	if Armed() {
+		t.Fatal("registry armed after Reset")
+	}
+	if got := Float64(SolverStep, 1.5); got != 1.5 {
+		t.Fatalf("Float64 = %v, want 1.5", got)
+	}
+	v := []float64{1, 2}
+	Slice(SolverGradient, v)
+	if v[0] != 1 || v[1] != 2 {
+		t.Fatalf("Slice mutated vector while disarmed: %v", v)
+	}
+	if err := Err(SolverStart); err != nil {
+		t.Fatalf("Err = %v, want nil", err)
+	}
+	r := strings.NewReader("x")
+	if got := Reader(NetioRead, r); got != io.Reader(r) {
+		t.Fatal("Reader did not pass through while disarmed")
+	}
+}
+
+func TestHooksApplyAndReset(t *testing.T) {
+	defer Reset()
+
+	SetFloat(SolverStep, func(float64) float64 { return math.Inf(1) })
+	if !Armed() {
+		t.Fatal("registry not armed after SetFloat")
+	}
+	if got := Float64(SolverStep, 0.1); !math.IsInf(got, 1) {
+		t.Fatalf("Float64 = %v, want +Inf", got)
+	}
+	// Hook at a different point of the same kind is not affected.
+	if got := Float64(AOCVLookup, 1.1); got != 1.1 {
+		t.Fatalf("Float64(AOCVLookup) = %v, want 1.1", got)
+	}
+
+	SetSlice(SolverGradient, func(v []float64) {
+		for i := range v {
+			v[i] = math.NaN()
+		}
+	})
+	g := []float64{3, 4}
+	Slice(SolverGradient, g)
+	if !math.IsNaN(g[0]) || !math.IsNaN(g[1]) {
+		t.Fatalf("Slice hook not applied: %v", g)
+	}
+
+	want := errors.New("boom")
+	SetError(SolverStart, func() error { return want })
+	if got := Err(SolverStart); !errors.Is(got, want) {
+		t.Fatalf("Err = %v, want %v", got, want)
+	}
+
+	SetReader(NetioRead, func(r io.Reader) io.Reader { return io.LimitReader(r, 2) })
+	b, err := io.ReadAll(Reader(NetioRead, strings.NewReader("hello")))
+	if err != nil || string(b) != "he" {
+		t.Fatalf("wrapped read = %q, %v; want \"he\", nil", b, err)
+	}
+
+	Reset()
+	if Armed() {
+		t.Fatal("registry still armed after Reset")
+	}
+	if got := Float64(SolverStep, 0.1); got != 0.1 {
+		t.Fatalf("hook survived Reset: %v", got)
+	}
+}
+
+func TestNilHookRemoves(t *testing.T) {
+	defer Reset()
+	SetFloat(SolverStep, func(float64) float64 { return 0 })
+	SetFloat(SolverStep, nil)
+	if Armed() {
+		t.Fatal("registry armed after removing last hook")
+	}
+	if got := Float64(SolverStep, 2.5); got != 2.5 {
+		t.Fatalf("Float64 = %v, want 2.5", got)
+	}
+}

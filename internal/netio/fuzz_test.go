@@ -1,0 +1,58 @@
+package netio_test
+
+import (
+	"bytes"
+	"testing"
+
+	"mgba/internal/gen"
+	"mgba/internal/netio"
+)
+
+// FuzzLoad throws arbitrary bytes — seeded with a valid snapshot plus
+// truncations and bit flips of it — at the loader. The contract: Load may
+// reject the input with an error, but must never panic, and a design it
+// does accept must pass full validation.
+func FuzzLoad(f *testing.F) {
+	cfg := gen.Toy()
+	cfg.Gates, cfg.FFs = 80, 10
+	cfg.Name = "fuzz-seed"
+	d, err := gen.Generate(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := netio.Save(&buf, d); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(valid)
+	f.Add([]byte(""))
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"version": 1}`))
+	f.Add([]byte("not json at all"))
+	for _, frac := range []int{4, 2, 10} {
+		f.Add(valid[:len(valid)/frac])
+	}
+	for _, pos := range []int{17, len(valid) / 3, len(valid) / 2, len(valid) - 20} {
+		flipped := append([]byte(nil), valid...)
+		flipped[pos] ^= 0x20
+		f.Add(flipped)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := netio.Load(bytes.NewReader(data))
+		if err != nil {
+			if d != nil {
+				t.Fatal("Load returned both a design and an error")
+			}
+			return
+		}
+		if d == nil {
+			t.Fatal("Load returned nil design with nil error")
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("Load accepted an invalid design: %v", err)
+		}
+	})
+}

@@ -3,20 +3,33 @@
 // and derate libraries are reconstructed from the design's technology node
 // (the library is synthesized deterministically), so the format stores
 // cell *names*, not characterization data.
+//
+// On top of plain design snapshots the package provides atomic file
+// persistence (write to a temp file in the target directory, fsync,
+// rename) and a checkpoint format bundling a design with calibration
+// weights and an opaque flow-state blob — the durability layer of the
+// closure flow's checkpoint/resume mechanism.
 package netio
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"os"
+	"path/filepath"
 
 	"mgba/internal/aocv"
 	"mgba/internal/cells"
+	"mgba/internal/faultinject"
 	"mgba/internal/netlist"
 )
 
-// FormatVersion identifies the on-disk schema.
+// FormatVersion identifies the on-disk design schema.
 const FormatVersion = 1
+
+// CheckpointVersion identifies the on-disk checkpoint schema.
+const CheckpointVersion = 1
 
 type fileDesign struct {
 	Version     int     `json:"version"`
@@ -48,8 +61,8 @@ type fileNet struct {
 	WireDelay float64 `json:"wire_delay_ps"`
 }
 
-// Save writes the design as indented JSON.
-func Save(w io.Writer, d *netlist.Design) error {
+// toFile flattens a design into its serializable form.
+func toFile(d *netlist.Design) fileDesign {
 	fd := fileDesign{
 		Version:     FormatVersion,
 		Name:        d.Name,
@@ -78,24 +91,23 @@ func Save(w io.Writer, d *netlist.Design) error {
 			WireDelay: n.WireDelay,
 		})
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(fd)
+	return fd
 }
 
-// Load reads a design saved by Save and revalidates it. The standard-cell
-// library and AOCV tables are resynthesized from the stored node.
-func Load(r io.Reader) (*netlist.Design, error) {
-	var fd fileDesign
-	dec := json.NewDecoder(r)
-	if err := dec.Decode(&fd); err != nil {
-		return nil, fmt.Errorf("netio: %w", err)
-	}
+// fromFile reconstructs and revalidates a design from its serialized form.
+func fromFile(fd *fileDesign) (*netlist.Design, error) {
 	if fd.Version != FormatVersion {
 		return nil, fmt.Errorf("netio: unsupported format version %d (want %d)", fd.Version, FormatVersion)
 	}
-	lib := cells.Default(fd.Node)
-	d := netlist.New(fd.Name, fd.Node, lib, aocv.Default(fd.Node), fd.ClockPeriod)
+	lib, err := cells.DefaultLibrary(fd.Node)
+	if err != nil {
+		return nil, fmt.Errorf("netio: node %d: %w", fd.Node, err)
+	}
+	derates, err := aocv.DefaultSet(fd.Node)
+	if err != nil {
+		return nil, fmt.Errorf("netio: node %d: %w", fd.Node, err)
+	}
+	d := netlist.New(fd.Name, fd.Node, lib, derates, fd.ClockPeriod)
 	for i, fi := range fd.Instances {
 		cell := lib.ByName(fi.Cell)
 		if cell == nil {
@@ -132,6 +144,172 @@ func Load(r io.Reader) (*netlist.Design, error) {
 		return nil, fmt.Errorf("netio: loaded design invalid: %w", err)
 	}
 	return d, nil
+}
+
+// Save writes the design as indented JSON. For durable on-disk snapshots
+// use SaveFile, which writes atomically.
+func Save(w io.Writer, d *netlist.Design) error {
+	w = faultinject.Writer(faultinject.NetioWrite, w)
+	fd := toFile(d)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(fd); err != nil {
+		return fmt.Errorf("netio: %w", err)
+	}
+	return nil
+}
+
+// Load reads a design saved by Save and revalidates it. The standard-cell
+// library and AOCV tables are resynthesized from the stored node.
+func Load(r io.Reader) (*netlist.Design, error) {
+	r = faultinject.Reader(faultinject.NetioRead, r)
+	var fd fileDesign
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&fd); err != nil {
+		return nil, fmt.Errorf("netio: %w", err)
+	}
+	return fromFile(&fd)
+}
+
+// writeAtomic writes via fn to a temp file alongside path, fsyncs, and
+// renames it over path, so a crash mid-write can never clobber an existing
+// snapshot: readers observe either the old complete file or the new one.
+func writeAtomic(path string, fn func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("netio: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = fn(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("netio: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("netio: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("netio: %w", err)
+	}
+	return nil
+}
+
+// SaveFile atomically writes the design snapshot to path.
+func SaveFile(path string, d *netlist.Design) error {
+	return writeAtomic(path, func(w io.Writer) error { return Save(w, d) })
+}
+
+// LoadFile loads a design snapshot from path.
+func LoadFile(path string) (*netlist.Design, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("netio: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Checkpoint bundles everything needed to resume an interrupted
+// optimization run: the current design, the calibration weights in effect
+// (nil when running pure GBA), and an opaque flow-state blob owned by the
+// flow that wrote the checkpoint.
+type Checkpoint struct {
+	Design  *netlist.Design
+	Weights []float64
+	State   json.RawMessage
+}
+
+type fileCheckpoint struct {
+	Version int             `json:"checkpoint_version"`
+	Design  fileDesign      `json:"design"`
+	Weights []float64       `json:"weights,omitempty"`
+	State   json.RawMessage `json:"state,omitempty"`
+}
+
+// SaveCheckpoint writes the checkpoint as one JSON document.
+func SaveCheckpoint(w io.Writer, c *Checkpoint) error {
+	if c == nil || c.Design == nil {
+		return fmt.Errorf("netio: nil checkpoint design")
+	}
+	if err := validWeights(c.Weights, len(c.Design.Instances)); err != nil {
+		return err
+	}
+	w = faultinject.Writer(faultinject.NetioWrite, w)
+	fc := fileCheckpoint{
+		Version: CheckpointVersion,
+		Design:  toFile(c.Design),
+		Weights: c.Weights,
+		State:   c.State,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(fc); err != nil {
+		return fmt.Errorf("netio: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint, fully
+// revalidating the embedded design and weights: a corrupt or truncated
+// stream yields an error, never a partially valid checkpoint.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	r = faultinject.Reader(faultinject.NetioRead, r)
+	var fc fileCheckpoint
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&fc); err != nil {
+		return nil, fmt.Errorf("netio: %w", err)
+	}
+	if fc.Version != CheckpointVersion {
+		return nil, fmt.Errorf("netio: unsupported checkpoint version %d (want %d)", fc.Version, CheckpointVersion)
+	}
+	d, err := fromFile(&fc.Design)
+	if err != nil {
+		return nil, err
+	}
+	if err := validWeights(fc.Weights, len(d.Instances)); err != nil {
+		return nil, err
+	}
+	return &Checkpoint{Design: d, Weights: fc.Weights, State: fc.State}, nil
+}
+
+// SaveCheckpointFile atomically writes the checkpoint to path.
+func SaveCheckpointFile(path string, c *Checkpoint) error {
+	return writeAtomic(path, func(w io.Writer) error { return SaveCheckpoint(w, c) })
+}
+
+// LoadCheckpointFile loads a checkpoint from path.
+func LoadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("netio: %w", err)
+	}
+	defer f.Close()
+	return LoadCheckpoint(f)
+}
+
+// validWeights checks a calibration weight vector against the design it
+// belongs to: nil is fine (pure GBA), otherwise one positive finite weight
+// per instance.
+func validWeights(w []float64, instances int) error {
+	if w == nil {
+		return nil
+	}
+	if len(w) != instances {
+		return fmt.Errorf("netio: %d weights for %d instances", len(w), instances)
+	}
+	for i, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return fmt.Errorf("netio: weight %d is %v", i, v)
+		}
+	}
+	return nil
 }
 
 // checkRefs bounds-checks every cross-reference before Validate walks them.

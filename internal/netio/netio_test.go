@@ -2,13 +2,20 @@ package netio_test
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"mgba/internal/faultinject"
 	"mgba/internal/gen"
 	"mgba/internal/graph"
 	"mgba/internal/netio"
+	"mgba/internal/netlist"
 	"mgba/internal/sta"
 )
 
@@ -120,5 +127,213 @@ func TestSaveStreams(t *testing.T) {
 	}
 	if !strings.Contains(string(blob), "\"clock_period_ps\"") {
 		t.Fatal("missing clock period field")
+	}
+}
+
+// makeDesign generates a small valid design for file-level tests.
+func makeDesign(t *testing.T) *netlist.Design {
+	t.Helper()
+	cfg := gen.Toy()
+	cfg.Gates, cfg.FFs = 120, 16
+	cfg.Name = "netio-file-test"
+	d, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// failingWriter errors after passing through limit bytes, simulating a
+// disk-full or crash partway through a snapshot write.
+type failingWriter struct {
+	w     io.Writer
+	limit int
+	n     int
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.n+len(p) > f.limit {
+		room := f.limit - f.n
+		if room > 0 {
+			f.w.Write(p[:room])
+			f.n = f.limit
+		}
+		return room, errors.New("injected write failure")
+	}
+	n, err := f.w.Write(p)
+	f.n += n
+	return n, err
+}
+
+func TestSaveFileRoundTrip(t *testing.T) {
+	d := makeDesign(t)
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := netio.SaveFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := netio.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Instances) != len(d.Instances) || len(d2.Nets) != len(d.Nets) {
+		t.Fatalf("round trip lost elements: %d/%d instances, %d/%d nets",
+			len(d2.Instances), len(d.Instances), len(d2.Nets), len(d.Nets))
+	}
+}
+
+// TestSaveFileCrashLeavesOldSnapshot simulates a crash mid-write: the
+// injected writer fails after a partial write, and the previous snapshot
+// must survive untouched with no temp files littering the directory.
+func TestSaveFileCrashLeavesOldSnapshot(t *testing.T) {
+	d := makeDesign(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	if err := netio.SaveFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.SetWriter(faultinject.NetioWrite, func(w io.Writer) io.Writer {
+		return &failingWriter{w: w, limit: 64}
+	})
+	defer faultinject.Reset()
+	if err := netio.SaveFile(path, d); err == nil {
+		t.Fatal("SaveFile succeeded despite injected write failure")
+	}
+	faultinject.Reset()
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed save corrupted the existing snapshot")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("temp litter left behind: %v", names)
+	}
+	if d2, err := netio.LoadFile(path); err != nil || d2.Validate() != nil {
+		t.Fatalf("surviving snapshot unreadable: %v", err)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	d := makeDesign(t)
+	w := make([]float64, len(d.Instances))
+	for i := range w {
+		w[i] = 1 + 0.001*float64(i%7)
+	}
+	state := json.RawMessage(`{"phase":"recovery","round":3}`)
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if err := netio.SaveCheckpointFile(path, &netio.Checkpoint{Design: d, Weights: w, State: state}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := netio.LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Weights) != len(w) {
+		t.Fatalf("weights length drifted: %d vs %d", len(c.Weights), len(w))
+	}
+	for i := range w {
+		if c.Weights[i] != w[i] {
+			t.Fatalf("weight %d drifted: %v vs %v", i, c.Weights[i], w[i])
+		}
+	}
+	var got, want bytes.Buffer
+	if err := json.Compact(&got, c.State); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Compact(&want, state); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("state blob drifted: %s vs %s", got.Bytes(), want.Bytes())
+	}
+	if err := c.Design.Validate(); err != nil {
+		t.Fatalf("loaded checkpoint design invalid: %v", err)
+	}
+}
+
+func TestCheckpointNilWeights(t *testing.T) {
+	d := makeDesign(t)
+	var buf bytes.Buffer
+	if err := netio.SaveCheckpoint(&buf, &netio.Checkpoint{Design: d}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := netio.LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Weights != nil {
+		t.Fatal("nil weights did not round trip as nil")
+	}
+}
+
+func TestCheckpointRejectsBadWeights(t *testing.T) {
+	d := makeDesign(t)
+	bad := [][]float64{
+		make([]float64, len(d.Instances)+1),              // wrong length (also zeros)
+		append(make([]float64, len(d.Instances)-1), -1),  // negative
+		append(make([]float64, len(d.Instances)-1), 0.5), // zeros elsewhere
+	}
+	nan := make([]float64, len(d.Instances))
+	for i := range nan {
+		nan[i] = 1
+	}
+	nan[3] = math.NaN()
+	bad = append(bad, nan)
+	for i, w := range bad {
+		var buf bytes.Buffer
+		if err := netio.SaveCheckpoint(&buf, &netio.Checkpoint{Design: d, Weights: w}); err == nil {
+			t.Fatalf("bad weights %d accepted by SaveCheckpoint", i)
+		}
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	d := makeDesign(t)
+	w := make([]float64, len(d.Instances))
+	for i := range w {
+		w[i] = 1
+	}
+	var buf bytes.Buffer
+	if err := netio.SaveCheckpoint(&buf, &netio.Checkpoint{Design: d, Weights: w}); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	if _, err := netio.LoadCheckpoint(bytes.NewReader(blob[:len(blob)/2])); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+	bad := bytes.Replace(blob, []byte(`"checkpoint_version": 1`), []byte(`"checkpoint_version": 9`), 1)
+	if bytes.Equal(bad, blob) {
+		t.Fatal("checkpoint version field not found")
+	}
+	if _, err := netio.LoadCheckpoint(bytes.NewReader(bad)); err == nil {
+		t.Fatal("wrong checkpoint version accepted")
+	}
+}
+
+// TestLoadReadFault exercises the NetioRead hook: a reader that truncates
+// the stream mid-flight must surface as a load error.
+func TestLoadReadFault(t *testing.T) {
+	blob, _ := genDesign(t)
+	faultinject.SetReader(faultinject.NetioRead, func(r io.Reader) io.Reader {
+		return io.LimitReader(r, int64(len(blob)/3))
+	})
+	defer faultinject.Reset()
+	if _, err := netio.Load(bytes.NewReader(blob)); err == nil {
+		t.Fatal("truncated read accepted")
 	}
 }

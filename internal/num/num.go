@@ -100,6 +100,16 @@ func Add(dst, a, b []float64) []float64 {
 	return dst
 }
 
+// AllFinite reports whether every entry of v is neither NaN nor infinite.
+func AllFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // Copy returns a freshly allocated copy of v.
 func Copy(v []float64) []float64 {
 	out := make([]float64, len(v))

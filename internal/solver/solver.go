@@ -19,10 +19,12 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
+	"mgba/internal/faultinject"
 	"mgba/internal/num"
 	"mgba/internal/rng"
 	"mgba/internal/sparse"
@@ -72,6 +74,9 @@ func (p *Problem) guard(i int) float64 {
 	}
 	return p.Guard[i]
 }
+
+// GuardAt returns row i's guard band, treating a nil Guard as zero.
+func (p *Problem) GuardAt(i int) float64 { return p.guard(i) }
 
 // rowTerm returns the residual and penalty shortfall of row i at Ax_i.
 func (p *Problem) rowTerm(i int, axi float64) (resid, shortfall float64) {
@@ -137,6 +142,62 @@ func (p *Problem) SubProblem(rows []int) *Problem {
 	return &Problem{A: p.A.SelectRows(rows), B: b, Guard: g, Penalty: p.Penalty}
 }
 
+// StopReason records why a solver terminated. It separates genuine
+// convergence from budget exhaustion, cancellation and numerical failure,
+// which the degradation ladder in internal/core needs to tell apart.
+type StopReason int
+
+const (
+	// StopNone means the solver has not run (zero value).
+	StopNone StopReason = iota
+	// StopConverged means the relative-change tolerance was met.
+	StopConverged
+	// StopZeroGrad means an exact stationary point was reached (zero
+	// gradient or degenerate empty system).
+	StopZeroGrad
+	// StopStalled means the method hit its attainable accuracy floor:
+	// machine precision for GD's line search, the stochastic noise floor
+	// for SCG. The solution is as good as the method can make it.
+	StopStalled
+	// StopMaxIters means the iteration budget ran out before the
+	// tolerance was met.
+	StopMaxIters
+	// StopCancelled means the context was cancelled; the returned x is
+	// the best iterate found so far and remains a valid (partial) answer.
+	StopCancelled
+	// StopDiverged means repeated non-finite values made further
+	// progress impossible.
+	StopDiverged
+)
+
+// String returns a short human-readable label for the reason.
+func (r StopReason) String() string {
+	switch r {
+	case StopNone:
+		return "none"
+	case StopConverged:
+		return "converged"
+	case StopZeroGrad:
+		return "zero-gradient"
+	case StopStalled:
+		return "stalled"
+	case StopMaxIters:
+		return "max-iters"
+	case StopCancelled:
+		return "cancelled"
+	case StopDiverged:
+		return "diverged"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(r))
+	}
+}
+
+// terminal reports whether the reason counts as reaching the method's
+// attainable accuracy (as opposed to running out of budget or failing).
+func (r StopReason) terminal() bool {
+	return r == StopConverged || r == StopZeroGrad || r == StopStalled
+}
+
 // Stats describes one solver run.
 type Stats struct {
 	Iters     int           // inner iterations performed
@@ -144,6 +205,37 @@ type Stats struct {
 	RowsUsed  int           // rows of the final (sub)system
 	Objective float64       // objective on the *full* problem at the result
 	Elapsed   time.Duration // wall-clock time of the solve
+
+	// Converged is true when the solver stopped because it reached its
+	// attainable accuracy (tolerance met, exact stationary point, or
+	// noise/precision floor) rather than exhausting its budget, being
+	// cancelled, or diverging.
+	Converged bool
+	// Reason records the precise termination cause.
+	Reason StopReason
+	// NumericalEvents counts non-finite values (NaN/Inf gradients, steps
+	// or objectives) encountered and recovered from during the run. Any
+	// non-zero count marks the solve numerically unhealthy.
+	NumericalEvents int
+	// Reverts counts best-iterate restorations performed by SCG's
+	// divergence safeguard.
+	Reverts int
+	// Improved is true when the final objective is strictly below the
+	// objective at the starting point.
+	Improved bool
+}
+
+// cancelled reports whether ctx is done. A nil context never cancels.
+func cancelled(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
 }
 
 // Options bundles every tunable of the three solvers; zero fields fall
@@ -199,9 +291,14 @@ func DefaultOptions() Options {
 
 // GD is the conventional full-gradient-descent baseline (GD + w/o RS in
 // Table 4): exact gradients over every row, Armijo backtracking line
-// search, relative-change stopping.
-func GD(p *Problem, opt Options) ([]float64, Stats, error) {
+// search, relative-change stopping. A cancelled ctx stops the descent at
+// the current iterate, which is always a valid (monotonically improved)
+// solution; the error return is reserved for invalid problems.
+func GD(ctx context.Context, p *Problem, opt Options) ([]float64, Stats, error) {
 	if err := p.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := faultinject.Err(faultinject.SolverStart); err != nil {
 		return nil, Stats{}, err
 	}
 	start := time.Now()
@@ -209,24 +306,52 @@ func GD(p *Problem, opt Options) ([]float64, Stats, error) {
 	x := make([]float64, n)
 	prev := make([]float64, n)
 	g := make([]float64, n)
-	st := Stats{RowsUsed: p.A.Rows()}
+	st := Stats{RowsUsed: p.A.Rows(), Reason: StopMaxIters}
 	f := p.Objective(x)
+	f0 := f
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		// The problem data itself is non-finite; x = 0 is the only safe
+		// answer.
+		st.NumericalEvents++
+		st.Reason = StopDiverged
+		st.Objective = f
+		st.Elapsed = time.Since(start)
+		return x, st, nil
+	}
 	step := opt.GDStep
 	for st.Iters = 1; st.Iters <= opt.MaxIters; st.Iters++ {
+		if cancelled(ctx) {
+			st.Reason = StopCancelled
+			break
+		}
 		p.Gradient(g, x)
+		faultinject.Slice(faultinject.SolverGradient, g)
+		if !num.AllFinite(g) {
+			// A non-finite gradient leaves no usable descent direction;
+			// the current iterate is still the best finite point seen.
+			st.NumericalEvents++
+			st.Reason = StopDiverged
+			break
+		}
 		gn2 := num.Norm2Sq(g)
 		if gn2 == 0 {
+			st.Reason = StopZeroGrad
 			break
 		}
 		copy(prev, x)
 		// Backtracking Armijo search on f(x - t g).
-		t := step
+		t := faultinject.Float64(faultinject.SolverStep, step)
 		accepted := false
 		for ls := 0; ls < 40; ls++ {
 			for j := range x {
 				x[j] = prev[j] - t*g[j]
 			}
 			fNew := p.Objective(x)
+			if math.IsNaN(fNew) || math.IsInf(fNew, 0) {
+				st.NumericalEvents++
+				t /= 2
+				continue
+			}
 			if fNew <= f-1e-4*t*gn2 {
 				f = fNew
 				accepted = true
@@ -239,13 +364,17 @@ func GD(p *Problem, opt Options) ([]float64, Stats, error) {
 		}
 		if !accepted {
 			copy(x, prev)
+			st.Reason = StopStalled
 			break // no descent direction at machine precision
 		}
 		if num.RelDiff(x, prev) <= opt.Tol {
+			st.Reason = StopConverged
 			break
 		}
 	}
+	st.Converged = st.Reason.terminal()
 	st.Objective = p.Objective(x)
+	st.Improved = st.Objective < f0
 	st.Elapsed = time.Since(start)
 	return x, st, nil
 }
@@ -255,8 +384,11 @@ func GD(p *Problem, opt Options) ([]float64, Stats, error) {
 // (Eq. 11), evaluates the penalized gradient on those rows only,
 // normalizes it, combines it with the previous direction through the
 // Polak-Ribière parameter, and moves by the dynamic step alpha = s/||d||.
-func SCG(p *Problem, opt Options, r *rng.Rand) ([]float64, Stats, error) {
+func SCG(ctx context.Context, p *Problem, opt Options, r *rng.Rand) ([]float64, Stats, error) {
 	if err := p.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := faultinject.Err(faultinject.SolverStart); err != nil {
 		return nil, Stats{}, err
 	}
 	start := time.Now()
@@ -270,6 +402,8 @@ func SCG(p *Problem, opt Options, r *rng.Rand) ([]float64, Stats, error) {
 		copy(x, opt.X0)
 	}
 	if m == 0 {
+		st.Reason = StopZeroGrad
+		st.Converged = true
 		return x, st, nil
 	}
 	weightsVec := p.A.RowNormsSq()
@@ -283,6 +417,8 @@ func SCG(p *Problem, opt Options, r *rng.Rand) ([]float64, Stats, error) {
 	sampler := rng.NewWeightedSampler(weightsVec)
 	if sampler.Total() == 0 {
 		// Degenerate all-zero matrix: nothing to fit.
+		st.Reason = StopZeroGrad
+		st.Converged = true
 		st.Elapsed = time.Since(start)
 		return x, st, nil
 	}
@@ -308,14 +444,41 @@ func SCG(p *Problem, opt Options, r *rng.Rand) ([]float64, Stats, error) {
 	// momentum reset) whenever it has drifted clearly above it, and the
 	// best iterate is what is ultimately returned.
 	const checkEvery = 25
+	// A solve that keeps tripping the non-finite detector is hopeless;
+	// give up deterministically instead of burning the iteration budget.
+	const maxNumericalEvents = 50
 	best := num.Copy(x)
 	bestF := p.Objective(x)
+	if math.IsNaN(bestF) || math.IsInf(bestF, 0) {
+		// A non-finite warm start is unusable; restart from zero, the
+		// always-valid identity point of the correction space.
+		st.NumericalEvents++
+		num.Fill(x, 0)
+		copy(best, x)
+		bestF = p.Objective(x)
+		if math.IsNaN(bestF) || math.IsInf(bestF, 0) {
+			st.Reason = StopDiverged
+			st.Objective = bestF
+			st.Elapsed = time.Since(start)
+			return x, st, nil
+		}
+	}
+	f0 := bestF
 	lastImprove := 0
 	// Smoothed relative solution change: single stochastic steps are far
 	// too noisy for the paper's line-2 test to fire reliably.
 	ema := math.Inf(1)
+	st.Reason = StopMaxIters
 
 	for st.Iters = 1; st.Iters <= opt.MaxIters; st.Iters++ {
+		if cancelled(ctx) {
+			st.Reason = StopCancelled
+			break
+		}
+		if st.NumericalEvents >= maxNumericalEvents {
+			st.Reason = StopDiverged
+			break
+		}
 		// Lines 3-5: sample k'' rows by Eq. (11), gradient on them only.
 		num.Fill(g, 0)
 		for t := 0; t < k; t++ {
@@ -327,8 +490,19 @@ func SCG(p *Problem, opt Options, r *rng.Rand) ([]float64, Stats, error) {
 			active[t] = short > 0
 			p.A.AddScaledRow(g, i, 2*coeffs[t])
 		}
+		faultinject.Slice(faultinject.SolverGradient, g)
 		gn := num.Norm2(g)
+		if math.IsNaN(gn) || math.IsInf(gn, 0) {
+			// Corrupt minibatch gradient: drop the step, restore the best
+			// iterate and restart the conjugate direction.
+			st.NumericalEvents++
+			copy(x, best)
+			num.Fill(d, 0)
+			num.Fill(gPrev, 0)
+			continue
+		}
 		if gn == 0 {
+			st.Reason = StopZeroGrad
 			break // sampled rows are all satisfied exactly
 		}
 		// Line 6: normalize.
@@ -336,10 +510,13 @@ func SCG(p *Problem, opt Options, r *rng.Rand) ([]float64, Stats, error) {
 		// Line 7: Polak-Ribière parameter (g_{k-1} is already normalized,
 		// so its squared norm is 1 after the first iteration).
 		var beta float64
-		if st.Iters > 1 {
+		// Skip the PR parameter right after a momentum reset (gPrev == 0):
+		// dividing by ||g_{k-1}||^2 = 0 would produce an Inf beta that
+		// poisons the conjugate direction with NaNs.
+		if g2 := num.Norm2Sq(gPrev); st.Iters > 1 && g2 > 0 {
 			num.Sub(diff, g, gPrev)
-			beta = num.Dot(g, diff) / num.Norm2Sq(gPrev)
-			if beta < 0 || math.IsNaN(beta) {
+			beta = num.Dot(g, diff) / g2
+			if beta < 0 || math.IsNaN(beta) || math.IsInf(beta, 0) {
 				beta = 0 // PR+ restart, standard practice
 			}
 		}
@@ -349,6 +526,7 @@ func SCG(p *Problem, opt Options, r *rng.Rand) ([]float64, Stats, error) {
 		}
 		dn := num.Norm2(d)
 		if dn == 0 {
+			st.Reason = StopZeroGrad
 			break
 		}
 		// Line 9: dynamic step size. The step alpha* that exactly
@@ -385,6 +563,14 @@ func SCG(p *Problem, opt Options, r *rng.Rand) ([]float64, Stats, error) {
 		if maxDisp := 0.5 * (1 + xn); math.Abs(alpha)*dn > maxDisp {
 			alpha = math.Copysign(maxDisp/dn, alpha)
 		}
+		alpha = faultinject.Float64(faultinject.SolverStep, alpha)
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+			st.NumericalEvents++
+			copy(x, best)
+			num.Fill(d, 0)
+			num.Fill(gPrev, 0)
+			continue
+		}
 		// Line 10: update.
 		num.Axpy(alpha, d, x)
 		copy(gPrev, g)
@@ -396,6 +582,10 @@ func SCG(p *Problem, opt Options, r *rng.Rand) ([]float64, Stats, error) {
 				copy(best, x)
 				lastImprove = st.Iters
 			case f > 5*bestF+1e-12 || math.IsNaN(f) || math.IsInf(f, 1):
+				if math.IsNaN(f) || math.IsInf(f, 1) {
+					st.NumericalEvents++
+				}
+				st.Reverts++
 				copy(x, best)
 				num.Fill(d, 0)
 				num.Fill(gPrev, 0)
@@ -403,6 +593,7 @@ func SCG(p *Problem, opt Options, r *rng.Rand) ([]float64, Stats, error) {
 			// Stagnation stop: the stochastic iteration has reached its
 			// noise floor when the full objective stops improving.
 			if st.Iters-lastImprove >= 8*checkEvery {
+				st.Reason = StopStalled
 				break
 			}
 		}
@@ -421,6 +612,7 @@ func SCG(p *Problem, opt Options, r *rng.Rand) ([]float64, Stats, error) {
 			ema = 0.97*ema + 0.03*rel
 		}
 		if st.Iters > 100 && ema <= opt.Tol {
+			st.Reason = StopConverged
 			break
 		}
 	}
@@ -429,7 +621,9 @@ func SCG(p *Problem, opt Options, r *rng.Rand) ([]float64, Stats, error) {
 		copy(best, x)
 	}
 	copy(x, best)
+	st.Converged = st.Reason.terminal()
 	st.Objective = bestF
+	st.Improved = bestF < f0
 	st.Elapsed = time.Since(start)
 	return x, st, nil
 }
@@ -438,8 +632,11 @@ func SCG(p *Problem, opt Options, r *rng.Rand) ([]float64, Stats, error) {
 // uniformly sample a tiny fraction of the rows, solve the reduced problem
 // with SCG, and double the sampling ratio until the solution stabilizes
 // within eps_u.
-func SCGRS(p *Problem, opt Options, r *rng.Rand) ([]float64, Stats, error) {
+func SCGRS(ctx context.Context, p *Problem, opt Options, r *rng.Rand) ([]float64, Stats, error) {
 	if err := p.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := faultinject.Err(faultinject.SolverStart); err != nil {
 		return nil, Stats{}, err
 	}
 	start := time.Now()
@@ -453,8 +650,11 @@ func SCGRS(p *Problem, opt Options, r *rng.Rand) ([]float64, Stats, error) {
 		copy(x, opt.X0)
 	}
 	if m == 0 {
+		st.Reason = StopZeroGrad
+		st.Converged = true
 		return x, st, nil
 	}
+	f0 := p.Objective(x)
 	// Algorithm 1 doubles the sampling ratio each round; the row count is
 	// floored at MinRows so the doubling acts on the actual system size
 	// from the first round on.
@@ -467,7 +667,12 @@ func SCGRS(p *Problem, opt Options, r *rng.Rand) ([]float64, Stats, error) {
 	}
 	var xPrev []float64
 	inner := opt
+	st.Reason = StopMaxIters
 	for st.Outer = 1; st.Outer <= opt.MaxOuter; st.Outer++ {
+		if cancelled(ctx) {
+			st.Reason = StopCancelled
+			break
+		}
 		sel := r.SampleWithoutReplacement(m, rows)
 		sub := p.SubProblem(sel)
 		var innerStats Stats
@@ -476,17 +681,28 @@ func SCGRS(p *Problem, opt Options, r *rng.Rand) ([]float64, Stats, error) {
 		// sampled systems approximate the same problem, so the previous
 		// optimum is an excellent initial point.
 		inner.X0 = x
-		x, innerStats, err = SCG(sub, inner, r)
+		x, innerStats, err = SCG(ctx, sub, inner, r)
 		if err != nil {
 			return nil, st, err
 		}
 		st.Iters += innerStats.Iters
 		st.RowsUsed = rows
+		st.NumericalEvents += innerStats.NumericalEvents
+		st.Reverts += innerStats.Reverts
+		if innerStats.Reason == StopCancelled || innerStats.Reason == StopDiverged {
+			// Propagate hard stops: the outer doubling cannot fix either.
+			st.Reason = innerStats.Reason
+			break
+		}
 		if xPrev != nil && num.RelDiff(x, xPrev) <= opt.TolU {
+			st.Reason = StopConverged
 			break
 		}
 		if rows == m {
-			break // already solving the full system
+			// Already solving the full system: the inner solve's verdict
+			// is the final one.
+			st.Reason = innerStats.Reason
+			break
 		}
 		xPrev = num.Copy(x)
 		rows *= 2
@@ -494,7 +710,9 @@ func SCGRS(p *Problem, opt Options, r *rng.Rand) ([]float64, Stats, error) {
 			rows = m
 		}
 	}
+	st.Converged = st.Reason.terminal()
 	st.Objective = p.Objective(x)
+	st.Improved = st.Objective < f0
 	st.Elapsed = time.Since(start)
 	return x, st, nil
 }
@@ -505,16 +723,24 @@ func SCGRS(p *Problem, opt Options, r *rng.Rand) ([]float64, Stats, error) {
 // it exactly; the active set is then refreshed and the process repeats
 // until it stops changing. Used to obtain the "optimal x*" of Fig. 3 and
 // as the accuracy yardstick in tests.
-func FullSolve(p *Problem, maxOuter, cgIters int, tol float64) ([]float64, Stats, error) {
+func FullSolve(ctx context.Context, p *Problem, maxOuter, cgIters int, tol float64) ([]float64, Stats, error) {
 	if err := p.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := faultinject.Err(faultinject.SolverStart); err != nil {
 		return nil, Stats{}, err
 	}
 	start := time.Now()
 	m, n := p.A.Rows(), p.A.Cols()
-	st := Stats{RowsUsed: m}
+	st := Stats{RowsUsed: m, Reason: StopMaxIters}
 	x := make([]float64, n)
+	prev := make([]float64, n)
 	active := make([]bool, m)
 	for outer := 0; outer < maxOuter; outer++ {
+		if cancelled(ctx) {
+			st.Reason = StopCancelled
+			break
+		}
 		st.Outer++
 		// Refresh the active set at the current x.
 		ax := p.A.MulVec(nil, x)
@@ -527,6 +753,7 @@ func FullSolve(p *Problem, maxOuter, cgIters int, tol float64) ([]float64, Stats
 			}
 		}
 		if outer > 0 && !changed {
+			st.Reason = StopConverged
 			break
 		}
 		// Solve (A^T W A) x = A^T W b' by CG, where active rows get extra
@@ -551,10 +778,21 @@ func FullSolve(p *Problem, maxOuter, cgIters int, tol float64) ([]float64, Stats
 			}
 		}
 		rhs := p.A.MulTVec(nil, rhsRows)
+		copy(prev, x)
 		cg(matvec, rhs, x, cgIters, tol)
 		st.Iters += cgIters
+		if !num.AllFinite(x) {
+			// CG blew up (ill-conditioned or corrupt data): keep the last
+			// finite iterate and stop.
+			st.NumericalEvents++
+			st.Reason = StopDiverged
+			copy(x, prev)
+			break
+		}
 	}
+	st.Converged = st.Reason.terminal()
 	st.Objective = p.Objective(x)
+	st.Improved = st.Objective < p.Objective(make([]float64, n))
 	st.Elapsed = time.Since(start)
 	return x, st, nil
 }

@@ -1,13 +1,18 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"testing"
 
+	"mgba/internal/faultinject"
 	"mgba/internal/num"
 	"mgba/internal/rng"
 	"mgba/internal/sparse"
 )
+
+// bg is the context used by tests that never cancel.
+var bg = context.Background()
 
 // randProblem builds a consistent system A x* = b with a sparse x*.
 func randProblem(seed uint64, rows, cols, perRow, nnzX int, penalty float64) (*Problem, []float64) {
@@ -136,7 +141,7 @@ func TestSubProblem(t *testing.T) {
 
 func TestGDSolvesConsistentSystem(t *testing.T) {
 	p, _ := randProblem(5, 120, 40, 6, 6, 10)
-	x, st, err := GD(p, DefaultOptions())
+	x, st, err := GD(bg, p, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,12 +152,18 @@ func TestGDSolvesConsistentSystem(t *testing.T) {
 	if st.Iters == 0 || st.Elapsed <= 0 {
 		t.Fatalf("stats not populated: %+v", st)
 	}
+	if !st.Converged || !st.Improved {
+		t.Fatalf("healthy GD solve not marked converged+improved: %+v", st)
+	}
+	if st.NumericalEvents != 0 {
+		t.Fatalf("clean solve recorded numerical events: %+v", st)
+	}
 }
 
 func TestGDZeroRHS(t *testing.T) {
 	p, _ := randProblem(6, 30, 10, 3, 0, 5)
 	// x* = 0 -> b = 0 -> GD should stay at 0 and stop immediately.
-	x, st, err := GD(p, DefaultOptions())
+	x, st, err := GD(bg, p, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,12 +173,15 @@ func TestGDZeroRHS(t *testing.T) {
 	if st.Iters > 2 {
 		t.Fatalf("GD wasted %d iterations on a solved problem", st.Iters)
 	}
+	if !st.Converged || st.Reason != StopZeroGrad {
+		t.Fatalf("exact solution not reported as zero-gradient: %+v", st)
+	}
 }
 
 func TestSCGReducesObjective(t *testing.T) {
 	p, _ := randProblem(7, 400, 80, 8, 10, 10)
 	f0 := p.Objective(make([]float64, 80))
-	x, st, err := SCG(p, DefaultOptions(), rng.New(1))
+	x, st, err := SCG(bg, p, DefaultOptions(), rng.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,8 +193,8 @@ func TestSCGReducesObjective(t *testing.T) {
 
 func TestSCGDeterministicGivenSeed(t *testing.T) {
 	p, _ := randProblem(8, 200, 50, 6, 6, 10)
-	x1, _, _ := SCG(p, DefaultOptions(), rng.New(42))
-	x2, _, _ := SCG(p, DefaultOptions(), rng.New(42))
+	x1, _, _ := SCG(bg, p, DefaultOptions(), rng.New(42))
+	x2, _, _ := SCG(bg, p, DefaultOptions(), rng.New(42))
 	for i := range x1 {
 		if x1[i] != x2[i] {
 			t.Fatal("SCG not deterministic for fixed seed")
@@ -192,7 +206,7 @@ func TestSCGEmptyProblem(t *testing.T) {
 	b := sparse.NewBuilder(5)
 	m := b.Build()
 	p := &Problem{A: m, B: nil}
-	x, _, err := SCG(p, DefaultOptions(), rng.New(1))
+	x, _, err := SCG(bg, p, DefaultOptions(), rng.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +220,7 @@ func TestSCGAllZeroMatrix(t *testing.T) {
 	b.AddRow(nil, nil)
 	b.AddRow(nil, nil)
 	p := &Problem{A: b.Build(), B: []float64{0, 0}}
-	x, _, err := SCG(p, DefaultOptions(), rng.New(1))
+	x, _, err := SCG(bg, p, DefaultOptions(), rng.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +232,7 @@ func TestSCGAllZeroMatrix(t *testing.T) {
 func TestSCGRSConvergesAndUsesFewRows(t *testing.T) {
 	p, _ := randProblem(9, 3000, 60, 6, 8, 10)
 	opt := DefaultOptions()
-	x, st, err := SCGRS(p, opt, rng.New(3))
+	x, st, err := SCGRS(bg, p, opt, rng.New(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,11 +246,14 @@ func TestSCGRSConvergesAndUsesFewRows(t *testing.T) {
 	if st.Outer < 1 {
 		t.Fatal("no outer rounds recorded")
 	}
+	if !st.Converged {
+		t.Fatalf("successful SCGRS run not marked converged: %+v", st)
+	}
 }
 
 func TestFullSolveExactOnConsistentSystem(t *testing.T) {
 	p, xTrue := randProblem(10, 300, 60, 6, 8, 10)
-	x, st, err := FullSolve(p, 8, 400, 1e-12)
+	x, st, err := FullSolve(bg, p, 8, 400, 1e-12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +278,7 @@ func TestPenaltyEnforcesPessimism(t *testing.T) {
 	// Row 0 wants Ax=0, row 1 wants Ax=1 with guard 0.2 (floor 0.8).
 	// Unconstrained LS optimum: x=0.5 -> row 1 violated.
 	free := &Problem{A: m, B: []float64{0, 1}, Guard: []float64{1e9, 0.2}, Penalty: 0}
-	xFree, _, err := FullSolve(free, 4, 100, 1e-12)
+	xFree, _, err := FullSolve(bg, free, 4, 100, 1e-12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +286,7 @@ func TestPenaltyEnforcesPessimism(t *testing.T) {
 		t.Fatalf("unconstrained optimum = %v, want 0.5", xFree[0])
 	}
 	hard := &Problem{A: m, B: []float64{0, 1}, Guard: []float64{1e9, 0.2}, Penalty: 1e4}
-	xHard, _, err := FullSolve(hard, 10, 200, 1e-12)
+	xHard, _, err := FullSolve(bg, hard, 10, 200, 1e-12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,11 +300,11 @@ func TestPenaltyEnforcesPessimism(t *testing.T) {
 func TestSCGRSMatchesGDAccuracy(t *testing.T) {
 	// The Table 4 claim: the accelerated solver keeps similar accuracy.
 	p, _ := randProblem(11, 2000, 50, 6, 6, 10)
-	xGD, _, err := GD(p, DefaultOptions())
+	xGD, _, err := GD(bg, p, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	xRS, _, err := SCGRS(p, DefaultOptions(), rng.New(7))
+	xRS, _, err := SCGRS(bg, p, DefaultOptions(), rng.New(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,11 +320,153 @@ func TestOptionsMaxItersRespected(t *testing.T) {
 	p, _ := randProblem(12, 500, 40, 5, 5, 10)
 	opt := DefaultOptions()
 	opt.MaxIters = 3
-	_, st, err := SCG(p, opt, rng.New(1))
+	_, st, err := SCG(bg, p, opt, rng.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Iters > 4 {
 		t.Fatalf("MaxIters ignored: %d", st.Iters)
+	}
+	// Exhausting the budget is not convergence, and Stats must say so.
+	if st.Converged || st.Reason != StopMaxIters {
+		t.Fatalf("budget exhaustion reported as convergence: %+v", st)
+	}
+}
+
+func TestFullSolveConvergedFlag(t *testing.T) {
+	p, _ := randProblem(13, 200, 40, 5, 5, 10)
+	_, st, err := FullSolve(bg, p, 8, 300, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged || st.Reason != StopConverged {
+		t.Fatalf("stable active set not reported as converged: %+v", st)
+	}
+}
+
+func TestSolversCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p, _ := randProblem(14, 500, 40, 5, 5, 10)
+	type run struct {
+		name string
+		call func() ([]float64, Stats, error)
+	}
+	runs := []run{
+		{"GD", func() ([]float64, Stats, error) { return GD(ctx, p, DefaultOptions()) }},
+		{"SCG", func() ([]float64, Stats, error) { return SCG(ctx, p, DefaultOptions(), rng.New(1)) }},
+		{"SCGRS", func() ([]float64, Stats, error) { return SCGRS(ctx, p, DefaultOptions(), rng.New(1)) }},
+		{"FullSolve", func() ([]float64, Stats, error) { return FullSolve(ctx, p, 8, 300, 1e-10) }},
+	}
+	for _, r := range runs {
+		x, st, err := r.call()
+		if err != nil {
+			t.Fatalf("%s: cancelled solve returned error %v, want valid partial result", r.name, err)
+		}
+		if st.Reason != StopCancelled || st.Converged {
+			t.Fatalf("%s: cancelled solve stats %+v", r.name, st)
+		}
+		if len(x) != p.A.Cols() || !num.AllFinite(x) {
+			t.Fatalf("%s: cancelled solve returned unusable x: %v", r.name, x)
+		}
+		// With zero budget consumed, the partial answer is the start point.
+		if num.Norm2(x) != 0 {
+			t.Fatalf("%s: pre-cancelled solve moved x: %v", r.name, x)
+		}
+	}
+}
+
+func TestSCGMidRunCancellation(t *testing.T) {
+	defer faultinject.Reset()
+	p, _ := randProblem(15, 2000, 60, 6, 8, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel from inside the solve, deterministically, after 10 steps.
+	steps := 0
+	faultinject.SetFloat(faultinject.SolverStep, func(v float64) float64 {
+		if steps++; steps == 10 {
+			cancel()
+		}
+		return v
+	})
+	x, st, err := SCG(ctx, p, DefaultOptions(), rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reason != StopCancelled {
+		t.Fatalf("reason = %v (iters %d), want cancelled", st.Reason, st.Iters)
+	}
+	if st.Iters > 12 {
+		t.Fatalf("solver ran %d iterations past the cancellation", st.Iters)
+	}
+	if !num.AllFinite(x) {
+		t.Fatalf("partial result not finite: %v", x)
+	}
+	if f := p.Objective(x); f > p.Objective(make([]float64, p.A.Cols()))*(1+1e-9) {
+		t.Fatalf("partial result worse than start: %v", f)
+	}
+}
+
+func TestGDInjectedNaNGradient(t *testing.T) {
+	defer faultinject.Reset()
+	p, _ := randProblem(16, 200, 40, 5, 5, 10)
+	calls := 0
+	faultinject.SetSlice(faultinject.SolverGradient, func(g []float64) {
+		if calls++; calls >= 3 {
+			for i := range g {
+				g[i] = math.NaN()
+			}
+		}
+	})
+	x, st, err := GD(bg, p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reason != StopDiverged || st.NumericalEvents == 0 {
+		t.Fatalf("NaN gradient not detected: %+v", st)
+	}
+	if !num.AllFinite(x) {
+		t.Fatalf("GD returned non-finite x under NaN injection: %v", x)
+	}
+}
+
+func TestSCGInjectedNaNGradientStaysFinite(t *testing.T) {
+	defer faultinject.Reset()
+	p, _ := randProblem(17, 400, 60, 6, 8, 10)
+	faultinject.SetSlice(faultinject.SolverGradient, func(g []float64) {
+		for i := range g {
+			g[i] = math.NaN()
+		}
+	})
+	x, st, err := SCG(bg, p, DefaultOptions(), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reason != StopDiverged || st.NumericalEvents == 0 {
+		t.Fatalf("persistent NaN gradients not reported as divergence: %+v", st)
+	}
+	if !num.AllFinite(x) {
+		t.Fatalf("SCG returned non-finite x under NaN injection: %v", x)
+	}
+}
+
+func TestSCGInjectedDivergentStep(t *testing.T) {
+	defer faultinject.Reset()
+	p, _ := randProblem(18, 400, 60, 6, 8, 10)
+	faultinject.SetFloat(faultinject.SolverStep, func(v float64) float64 { return v * 1e12 })
+	x, st, err := SCG(bg, p, DefaultOptions(), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !num.AllFinite(x) {
+		t.Fatalf("SCG returned non-finite x under divergent steps: %v", x)
+	}
+	// The safeguard must have either reverted (and reported it) or the
+	// detector flagged the blow-up; a silent "healthy" run is the bug.
+	if st.Reverts == 0 && st.NumericalEvents == 0 && st.Improved {
+		t.Fatalf("divergent steps went unnoticed: %+v", st)
+	}
+	if f := p.Objective(x); f > p.Objective(make([]float64, p.A.Cols()))*(1+1e-9) {
+		t.Fatalf("returned x worse than start under injection: %v", f)
 	}
 }
