@@ -13,6 +13,7 @@ import (
 	"mgba/internal/aocv"
 	"mgba/internal/closure"
 	"mgba/internal/core"
+	"mgba/internal/engine"
 	"mgba/internal/fixtures"
 	"mgba/internal/gen"
 	"mgba/internal/graph"
@@ -324,4 +325,113 @@ func BenchmarkIncrementalUpdate(b *testing.B) {
 			r = sta.Analyze(g, cfg)
 		}
 	})
+}
+
+// recalibrateFixture cold-calibrates the bench design, then ages it by a
+// batch of accepted upsizes along the selected paths, mirroring what the
+// closure flow's repair phase does between calibrations. It returns the
+// graph, the pre-transform weights and the dirty set a recalibration gets.
+func recalibrateFixture(b *testing.B) (*graph.Graph, []float64, []int) {
+	b.Helper()
+	g := benchDesign(b)
+	m0, err := core.Calibrate(context.Background(), g, sta.DefaultConfig(), core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(m0.Selection.Paths) == 0 {
+		b.Fatal("no violated paths in bench design")
+	}
+	warm := m0.Weights
+	d := g.D
+	seen := make(map[int]bool)
+	var dirty []int
+	note := func(id int) {
+		if !seen[id] {
+			seen[id] = true
+			dirty = append(dirty, id)
+		}
+	}
+	resized := 0
+	for _, p := range m0.Selection.Paths {
+		if resized == 60 {
+			break
+		}
+		for _, id := range p.Cells {
+			if resized == 60 {
+				break
+			}
+			inst := d.Instances[id]
+			if seen[id] || inst.IsFF() {
+				continue
+			}
+			to := d.Lib.Upsize(inst.Cell)
+			if to == nil || d.Resize(inst, to) != nil {
+				continue
+			}
+			resized++
+			note(id)
+			for _, nid := range inst.Inputs {
+				if drv := d.Nets[nid].Driver; drv >= 0 && !g.IsClock(drv) {
+					note(drv)
+				}
+			}
+		}
+	}
+	if resized == 0 {
+		b.Fatal("no gate on the bench selection could be upsized")
+	}
+	return g, warm, dirty
+}
+
+// BenchmarkRecalibrateCold: the full calibration pipeline — serial
+// enumeration, full CSR assembly, solve from dx0 = 0 — re-run from
+// scratch against the aged design, which is what every recalibration
+// costs without the persistent Calibrator.
+func BenchmarkRecalibrateCold(b *testing.B) {
+	g, _, _ := recalibrateFixture(b)
+	sess := engine.NewSession(g)
+	cfg, opt := sta.DefaultConfig(), core.DefaultOptions()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := core.CalibrateWithSession(ctx, sess, cfg, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.MGBA.Release()
+		if m.GBA != m.MGBA {
+			m.GBA.Release()
+		}
+	}
+}
+
+// BenchmarkRecalibrateIncremental: the persistent Calibrator recalibrating
+// the same aged state from its cache and the dirty set, re-solving from
+// the previous fit — the tentpole claim of the incremental session.
+func BenchmarkRecalibrateIncremental(b *testing.B) {
+	g, warm, dirty := recalibrateFixture(b)
+	cal, err := core.NewCalibrator(engine.NewSession(g), sta.DefaultConfig(), core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cal.SetWarmWeights(warm)
+	ctx := context.Background()
+	if _, err := cal.Calibrate(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := cal.Recalibrate(ctx, dirty)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.GBA != m.MGBA {
+			m.MGBA.Release()
+		}
+	}
+	if cal.Stats().Incremental == 0 {
+		b.Fatal("benchmark never took the incremental path")
+	}
 }

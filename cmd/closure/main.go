@@ -39,6 +39,7 @@ func main() {
 	ckpt := flag.String("checkpoint", "", "write resumable checkpoints to this file (atomic)")
 	ckptEvery := flag.Int("checkpoint-every", 50, "accepted transforms between periodic checkpoints")
 	resume := flag.String("resume", "", "resume an interrupted run from this checkpoint file (requires -timer gba or mgba)")
+	coldcal := flag.Bool("coldcal", false, "mgba: full cold calibration at every recalibration point instead of the incremental calibrator (ablation; bit-identical results, just slower)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -54,6 +55,7 @@ func main() {
 			fail(fmt.Errorf("-resume needs one timer: %w", err))
 		}
 		opt := closure.DefaultOptions(kind)
+		opt.ColdRecalibrate = *coldcal
 		opt.CheckpointPath = *resume
 		opt.CheckpointEvery = *ckptEvery
 		res, err := closure.Resume(ctx, *resume, opt)
@@ -94,6 +96,7 @@ func main() {
 			fail(err)
 		}
 		opt := closure.DefaultOptions(kind)
+		opt.ColdRecalibrate = *coldcal
 		opt.CheckpointPath = *ckpt
 		opt.CheckpointEvery = *ckptEvery
 		res, err := closure.Run(ctx, d, opt)

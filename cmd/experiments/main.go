@@ -6,11 +6,13 @@
 //	experiments -quick              # scaled-down suite for a fast pass
 //
 // Artifacts: table1, fig2, sec32, fig3, fig4, table2, table3, table4,
-// table5. Output is plain text; -csv writes each table additionally as CSV
-// into the given directory.
+// table5, bench. Output is plain text; -csv writes each table additionally
+// as CSV into the given directory; -json makes the bench artifact also
+// write its machine-readable result (BENCH_calibration.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +27,7 @@ func main() {
 	runList := flag.String("run", "all", "comma-separated artifacts to regenerate, or 'all'")
 	quick := flag.Bool("quick", false, "use a scaled-down design suite")
 	csvDir := flag.String("csv", "", "directory to also write tables as CSV")
+	jsonOut := flag.Bool("json", false, "bench: also write the result to BENCH_calibration.json")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	flag.Parse()
 
@@ -124,8 +127,24 @@ func main() {
 		}
 		emit("table5", t)
 	}
+	if want["bench"] { // deliberately not part of 'all': minutes of pure timing
+		t, res, err := expt.BenchCalibration(env)
+		if err != nil {
+			fail(err)
+		}
+		emit("bench", t)
+		if *jsonOut {
+			blob, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile("BENCH_calibration.json", append(blob, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
 	if ran == 0 {
-		fail(fmt.Errorf("nothing matched -run=%q; artifacts: table1 fig2 sec32 fig3 fig4 table2 table3 table4 table4x table5 all", *runList))
+		fail(fmt.Errorf("nothing matched -run=%q; artifacts: table1 fig2 sec32 fig3 fig4 table2 table3 table4 table4x table5 bench all", *runList))
 	}
 }
 

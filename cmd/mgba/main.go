@@ -34,6 +34,7 @@ func main() {
 	saveFile := flag.String("save", "", "write the generated design as JSON to this file (atomic)")
 	loadFile := flag.String("load", "", "load a design saved with -save instead of generating")
 	timeout := flag.Duration("timeout", 0, "bound the calibration wall-clock (0: no limit); a timed-out run reports its partial fit")
+	par := flag.Int("par", 0, "worker count for timing propagation and path enumeration (0: GOMAXPROCS, 1: serial; the result is identical at every setting)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -87,7 +88,9 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown method %q", *method))
 	}
-	m, err := core.Calibrate(ctx, g, sta.DefaultConfig(), opt)
+	cfg := sta.DefaultConfig()
+	cfg.Parallelism = *par
+	m, err := core.Calibrate(ctx, g, cfg, opt)
 	if err != nil {
 		fail(err)
 	}

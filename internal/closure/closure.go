@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"mgba/internal/cells"
@@ -64,6 +65,12 @@ type Options struct {
 	RecalibrateEvery  int     // mGBA: recalibrate after this many transforms
 	RecoveryMargin    float64 // downsizing keeps endpoint slack above this, ps
 	MaxViolatedAccept int     // stop when this few endpoints remain violated
+
+	// ColdRecalibrate disables the incremental calibrator and performs
+	// every mid-flow recalibration from scratch. Ablation switch: the two
+	// settings produce bit-identical results; the incremental path is just
+	// faster (see BenchmarkRecalibrateIncremental).
+	ColdRecalibrate bool
 
 	// CheckpointPath, when non-empty, makes the flow periodically write a
 	// resumable checkpoint (design + weights + flow state) to this path.
@@ -188,6 +195,14 @@ type flow struct {
 	sess    *engine.Session
 	r       *sta.Result
 	weights []float64 // nil for GBA
+
+	// cal is the persistent mGBA calibrator bound to the current session;
+	// nil until the first calibration and reset whenever the session is
+	// rebuilt (connectivity changed). dirty accumulates the instances whose
+	// timing changed through accepted transforms since the last calibration
+	// — the seed set for the calibrator's incremental re-enumeration.
+	cal   *core.Calibrator
+	dirty map[int]bool
 
 	res        *Result
 	transforms int // transforms since the last recalibration
@@ -476,6 +491,7 @@ func (f *flow) rebuild() error {
 	}
 	f.g = g
 	f.sess = engine.NewSession(g)
+	f.cal, f.dirty = nil, nil // new session: the old calibrator's cache is stale
 	return f.calibrate()
 }
 
@@ -491,6 +507,7 @@ func (f *flow) refresh() error {
 	}
 	f.g = g
 	f.sess = engine.NewSession(g)
+	f.cal, f.dirty = nil, nil // new session: the old calibrator's cache is stale
 	cfg := f.opt.STA
 	if f.opt.Timer == TimerMGBA && f.weights != nil {
 		for len(f.weights) < len(f.d.Instances) {
@@ -503,9 +520,12 @@ func (f *flow) refresh() error {
 }
 
 // calibrate refreshes the mGBA weights (or simply re-analyzes under GBA),
-// running against the flow's timing session so the per-design state is
-// never recomputed mid-flow. Calibration cannot fail the flow: a solver
-// fault degrades down core's solver ladder — at worst to identity weights
+// running against the flow's persistent calibrator so the per-design state
+// is never recomputed mid-flow: a recalibration re-enumerates only the
+// endpoints reached by the dirty gates' fan-out cones and patches the dirty
+// rows of the cached calibration problem, warm-starting the solve from the
+// previous correction. Calibration cannot fail the flow: a solver fault
+// degrades down core's solver ladder — at worst to identity weights
 // (mGBA == GBA) — and is recorded in the Result.
 func (f *flow) calibrate() error {
 	if f.opt.Timer == TimerGBA {
@@ -513,13 +533,25 @@ func (f *flow) calibrate() error {
 		return nil
 	}
 	t0 := time.Now()
-	opt := f.opt.Core
-	if f.weights != nil {
-		// Recalibration: the netlist changed only incrementally, so the
-		// previous weights warm-start the solver.
-		opt.WarmWeights = f.weights
+	if f.cal == nil {
+		cal, err := core.NewCalibrator(f.sess, f.opt.STA, f.opt.Core)
+		if err != nil {
+			return err
+		}
+		if f.weights != nil {
+			// The previous weights warm-start the first solve on this
+			// session (the calibrator chains its own thereafter).
+			cal.SetWarmWeights(f.weights)
+		}
+		f.cal = cal
 	}
-	model, err := core.CalibrateWithSession(f.ctx, f.sess, f.opt.STA, opt)
+	var model *core.Model
+	var err error
+	if f.opt.ColdRecalibrate {
+		model, err = f.cal.Calibrate(f.ctx)
+	} else {
+		model, err = f.cal.Recalibrate(f.ctx, f.dirtyList())
+	}
 	if err != nil {
 		return err
 	}
@@ -534,14 +566,40 @@ func (f *flow) calibrate() error {
 	}
 	f.weights = model.Weights
 	f.retire(model.MGBA)
-	// The flow keeps only the weighted view; the calibration's baseline
-	// GBA buffers go straight back to the pool (unless degenerate
-	// calibration returned the baseline itself).
-	if model.GBA != model.MGBA {
-		model.GBA.Release()
-	}
+	// The calibration's baseline GBA stays with the calibrator, which
+	// advances it incrementally across recalibrations; the flow must not
+	// release it.
+	f.dirty = nil
 	f.transforms = 0
 	return nil
+}
+
+// noteDirty records instances whose timing changed through an accepted
+// transform, to seed the next incremental recalibration. GBA runs carry no
+// calibration state, so they skip the bookkeeping.
+func (f *flow) noteDirty(ids []int) {
+	if f.opt.Timer != TimerMGBA {
+		return
+	}
+	if f.dirty == nil {
+		f.dirty = make(map[int]bool)
+	}
+	for _, id := range ids {
+		f.dirty[id] = true
+	}
+}
+
+// dirtyList returns the accumulated dirty set in deterministic order.
+func (f *flow) dirtyList() []int {
+	if len(f.dirty) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(f.dirty))
+	for id := range f.dirty {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // maybeRecalibrate refreshes stale mGBA weights on cadence.
@@ -758,11 +816,15 @@ func (f *flow) tryResize(fi, id int, up bool) bool {
 	// repair inside tightly-coupled cones, where upsizing one gate always
 	// taxes a sibling path slightly.
 	if f.r.Slack[fi] > before+1e-9 && f.r.WNS >= beforeWNS-1e-9 {
+		f.noteDirty(mod)
 		return true
 	}
 	// Revert.
 	if err := f.d.Resize(inst, from); err == nil {
 		f.r.Update(mod)
+	} else {
+		// The design kept the trial cell: the gate is dirty after all.
+		f.noteDirty(mod)
 	}
 	return false
 }
@@ -863,10 +925,13 @@ func (f *flow) tryDownsize(id int) bool {
 	// Keep when no violating endpoint got worse and no new violation
 	// appeared.
 	if f.r.WNS >= beforeWNS-1e-9 && f.r.TNS >= beforeTNS-1e-9 {
+		f.noteDirty(mod)
 		return true
 	}
 	if err := f.d.Resize(inst, from); err == nil {
 		f.r.Update(mod)
+	} else {
+		f.noteDirty(mod)
 	}
 	return false
 }

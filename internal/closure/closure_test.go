@@ -217,3 +217,68 @@ func TestRecoveryDoesNotBreakTiming(t *testing.T) {
 		t.Fatalf("recorded timer TNS %v != fresh analysis %v", res.TimerTNS, r.TNS)
 	}
 }
+
+// TestIncrementalCalibrationEquivalence is the closure-level contract of
+// the incremental calibrator: the default flow (dirty-set Recalibrate) and
+// the ColdRecalibrate ablation must walk the exact same transform sequence
+// and land on bit-identical QoR and weights. Any drift here means the
+// incremental path changed the optimization, not just its cost.
+func TestIncrementalCalibrationEquivalence(t *testing.T) {
+	cfg := testDesign(t, 7001)
+
+	runFlow := func(cold bool) *closure.Result {
+		d, err := gen.Generate(*cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := closure.DefaultOptions(closure.TimerMGBA)
+		// Force several mid-flow recalibrations so the incremental path is
+		// actually exercised between transforms.
+		opt.RecalibrateEvery = 25
+		opt.ColdRecalibrate = cold
+		res, err := closure.Optimize(d, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	inc := runFlow(false)
+	cold := runFlow(true)
+
+	if inc.Calibrations < 2 {
+		t.Fatalf("flow calibrated only %d times; fixture too tame", inc.Calibrations)
+	}
+	if inc.ViolatedEndpoints != cold.ViolatedEndpoints {
+		t.Errorf("violated endpoints differ: incremental %d vs cold %d",
+			inc.ViolatedEndpoints, cold.ViolatedEndpoints)
+	}
+	if inc.Area != cold.Area || inc.Leakage != cold.Leakage {
+		t.Errorf("area/leakage differ: %v/%v vs %v/%v",
+			inc.Area, inc.Leakage, cold.Area, cold.Leakage)
+	}
+	if inc.Buffers != cold.Buffers || inc.BuffersAdded != cold.BuffersAdded {
+		t.Errorf("buffer counts differ: %d/%d vs %d/%d",
+			inc.Buffers, inc.BuffersAdded, cold.Buffers, cold.BuffersAdded)
+	}
+	if inc.Upsized != cold.Upsized || inc.Downsized != cold.Downsized {
+		t.Errorf("transform counts differ: up %d/%d, down %d/%d",
+			inc.Upsized, cold.Upsized, inc.Downsized, cold.Downsized)
+	}
+	if inc.TimerWNS != cold.TimerWNS || inc.TimerTNS != cold.TimerTNS {
+		t.Errorf("timer QoR differs: WNS %v vs %v, TNS %v vs %v",
+			inc.TimerWNS, cold.TimerWNS, inc.TimerTNS, cold.TimerTNS)
+	}
+	if inc.SignoffWNS != cold.SignoffWNS || inc.SignoffTNS != cold.SignoffTNS {
+		t.Errorf("signoff QoR differs: WNS %v vs %v, TNS %v vs %v",
+			inc.SignoffWNS, cold.SignoffWNS, inc.SignoffTNS, cold.SignoffTNS)
+	}
+	if len(inc.Weights) != len(cold.Weights) {
+		t.Fatalf("weight vector lengths differ: %d vs %d", len(inc.Weights), len(cold.Weights))
+	}
+	for i := range inc.Weights {
+		if inc.Weights[i] != cold.Weights[i] {
+			t.Fatalf("weights diverge at %d: %v vs %v", i, inc.Weights[i], cold.Weights[i])
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 
 	"mgba/internal/closure"
@@ -307,5 +308,103 @@ func TestGBAFlowCheckpointResume(t *testing.T) {
 	}
 	if res.Validations == 0 {
 		t.Fatal("resumed GBA flow never validated")
+	}
+}
+
+// TestCancelDuringRecalibration: cancelling from inside the calibrator's
+// path enumeration (after the initial cold calibration) must abandon the
+// recalibration non-optimistically — identity weights, Partial recorded —
+// and stop the flow at the next transform boundary with a valid design.
+func TestCancelDuringRecalibration(t *testing.T) {
+	d := faultDesign(t, 8009)
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	faultinject.SetFloat(faultinject.PathEnum, func(v float64) float64 {
+		// Let the initial cold calibration's enumeration pass, then cancel
+		// mid-enumeration of a later (incremental) recalibration.
+		if calls.Add(1) == 60 {
+			cancel()
+		}
+		return v
+	})
+	defer faultinject.Reset()
+	opt := fastOptions(closure.TimerMGBA)
+	opt.RecalibrateEvery = 20
+	res, err := closure.Run(ctx, d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Skip("flow finished before the cancellation point; nothing to assert")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("design invalid after mid-recalibration cancel: %v", err)
+	}
+	if math.IsNaN(res.TimerTNS) || math.IsNaN(res.SignoffTNS) {
+		t.Fatal("non-finite QoR escaped the cancelled flow")
+	}
+	for i, w := range res.Weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w > 1 {
+			t.Fatalf("optimistic or non-finite weight %v at instance %d after abandon", w, i)
+		}
+	}
+	// Epsilon-pessimism safety: the view the flow stopped under must not
+	// promise better timing than sign-off delivers.
+	eps := opt.Core.Epsilon
+	if res.SignoffWNS < res.TimerWNS+eps*math.Abs(res.TimerWNS)-1e-6 {
+		t.Fatalf("interrupted recalibration optimistic: timer WNS %v vs signoff %v",
+			res.TimerWNS, res.SignoffWNS)
+	}
+}
+
+// TestFlowSurvivesCorruptedRowPatch: poisoning every incrementally patched
+// problem row with NaN must push the solve down the degradation ladder to
+// identity weights, invalidate the calibrator's cache (so the following
+// cold calibration is clean), and never leak non-finite state.
+func TestFlowSurvivesCorruptedRowPatch(t *testing.T) {
+	// Seed chosen so the repair trajectory keeps the calibrator's column
+	// map prefix-stable across several recalibrations (rows get patched
+	// rather than the matrix rebuilt).
+	d := faultDesign(t, 8028)
+	patched := 0
+	faultinject.SetSlice(faultinject.SparseRowPatch, func(v []float64) {
+		patched++
+		for i := range v {
+			v[i] = math.NaN()
+		}
+	})
+	defer faultinject.Reset()
+	opt := fastOptions(closure.TimerMGBA)
+	// A tight cadence keeps each dirty batch small, so the calibrator's
+	// column map stays prefix-stable and rows are patched in place (large
+	// batches fall back to a full matrix rebuild, bypassing the hook).
+	opt.RecalibrateEvery = 4
+	res, err := closure.Run(context.Background(), d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("design invalid after corrupted-patch run: %v", err)
+	}
+	if patched == 0 {
+		t.Skip("no incremental row patches happened; fixture too tame")
+	}
+	if res.DegradedCalibrations == 0 && len(res.Faults) == 0 {
+		t.Fatal("corrupted row patches left no degradation or fault record")
+	}
+	for i, w := range res.Weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			t.Fatalf("non-finite weight %v at instance %d", w, i)
+		}
+	}
+	if math.IsNaN(res.TimerTNS) || math.IsNaN(res.SignoffTNS) {
+		t.Fatal("non-finite QoR escaped the flow")
+	}
+	// Non-optimism: sign-off must not be worse than the timer promised
+	// beyond the calibration epsilon.
+	eps := opt.Core.Epsilon
+	if res.SignoffWNS < res.TimerWNS+eps*math.Abs(res.TimerWNS)-1e-6 {
+		t.Fatalf("corrupted calibration optimistic: timer WNS %v vs signoff %v",
+			res.TimerWNS, res.SignoffWNS)
 	}
 }

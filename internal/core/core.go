@@ -197,57 +197,34 @@ func CalibrateOnSelection(ctx context.Context, g *graph.Graph, cfg sta.Config, o
 }
 
 func calibrate(ctx context.Context, s *engine.Session, g *graph.Graph, cfg sta.Config, opt Options, sel *pathsel.Selection) (*Model, error) {
-	if cfg.Weights != nil {
-		return nil, fmt.Errorf("core: calibration config must not carry weights")
-	}
-	if opt.K < 1 {
-		return nil, fmt.Errorf("core: K must be >= 1")
-	}
-	if opt.Epsilon < 0 {
-		return nil, fmt.Errorf("core: negative epsilon")
-	}
-	if opt.MinWeight <= 0 || opt.MaxWeight < opt.MinWeight {
-		return nil, fmt.Errorf("core: bad weight clamp [%v,%v]", opt.MinWeight, opt.MaxWeight)
+	if err := validateOptions(cfg, opt); err != nil {
+		return nil, err
 	}
 	if s == nil {
 		s = engine.NewSession(g)
 	}
-	m := &Model{G: g, Session: s, Cfg: cfg, Opt: opt, SafetyScale: 1}
-	// One baseline timing run is the minimum for a usable model and the
-	// atomic unit of cancellation: it always runs to completion.
-	m.GBA = s.Run(cfg)
-	m.Weights = identity(len(g.D.Instances))
-	if cancelled(ctx) {
-		return m.abandon("cancelled before path selection"), nil
+	// A throwaway Calibrator runs the identical cold pipeline; one-shot
+	// callers never exercise its cache, so the weighted-baseline clone is
+	// skipped rather than leaked.
+	c := &Calibrator{sess: s, cfg: cfg, opt: opt, warm: opt.WarmWeights, oneShot: true}
+	return c.cold(ctx, sel)
+}
+
+// validateOptions rejects configurations the pipeline cannot run on.
+func validateOptions(cfg sta.Config, opt Options) error {
+	if cfg.Weights != nil {
+		return fmt.Errorf("core: calibration config must not carry weights")
 	}
-	an := pba.NewAnalyzer(m.GBA)
-	if sel != nil {
-		m.Selection = sel
-	} else {
-		m.Selection = pathsel.PerEndpointTopK(an, opt.K, opt.MaxPaths)
+	if opt.K < 1 {
+		return fmt.Errorf("core: K must be >= 1")
 	}
-	if len(m.Selection.Paths) == 0 {
-		// Nothing violates: mGBA degenerates to GBA with unit weights.
-		m.MGBA = m.GBA
-		return m, nil
+	if opt.Epsilon < 0 {
+		return fmt.Errorf("core: negative epsilon")
 	}
-	m.Timings = make([]*pba.Timing, len(m.Selection.Paths))
-	for i, p := range m.Selection.Paths {
-		if i%256 == 0 && cancelled(ctx) {
-			return m.abandon("cancelled during PBA retiming"), nil
-		}
-		m.Timings[i] = an.Retime(p)
+	if opt.MinWeight <= 0 || opt.MaxWeight < opt.MinWeight {
+		return fmt.Errorf("core: bad weight clamp [%v,%v]", opt.MinWeight, opt.MaxWeight)
 	}
-	if err := m.assemble(); err != nil {
-		return nil, err
-	}
-	if err := m.solve(ctx); err != nil {
-		return nil, err
-	}
-	wcfg := cfg
-	wcfg.Weights = m.Weights
-	m.MGBA = s.Run(wcfg)
-	return m, nil
+	return nil
 }
 
 // abandon turns a half-built model into the degenerate identity model:
@@ -308,25 +285,12 @@ func (m *Model) assemble() error {
 	targets := make([]float64, len(m.Selection.Paths))
 	guards := make([]float64, len(m.Selection.Paths))
 	for i, p := range m.Selection.Paths {
-		tm := m.Timings[i]
-		idx := make([]int, len(p.Cells))
-		val := make([]float64, len(p.Cells))
-		var gbaSum float64
-		for k, c := range p.Cells {
-			idx[k] = cols[c]
-			val[k] = m.GBA.CellDelay[c]
-			gbaSum += val[k]
-		}
+		idx, val, target, guard := pathRow(m.GBA, m.G, m.Opt.Epsilon, cols, p, m.Timings[i])
 		if err := b.AddRow(idx, val); err != nil {
 			return err
 		}
-		// Fit the *delay correction*: the mGBA path delay should drop by
-		// exactly the pessimism gap — the GBA cell sum minus the PBA cell
-		// sum, minus whatever CRPR credit PBA grants beyond the
-		// conservative credit GBA already applied at this endpoint.
-		crprExtra := tm.CRPR - m.GBA.GBACRPR[m.G.FFIndex(p.Capture)]
-		targets[i] = (tm.CellSum - crprExtra) - gbaSum
-		guards[i] = m.Opt.Epsilon * math.Abs(tm.Slack)
+		targets[i] = target
+		guards[i] = guard
 	}
 	m.Problem = &solver.Problem{
 		A:       b.Build(),
@@ -335,6 +299,29 @@ func (m *Model) assemble() error {
 		Penalty: m.Opt.Penalty,
 	}
 	return m.Problem.Validate()
+}
+
+// pathRow builds one row of the Eq. (9) system: entries a_pj =
+// CellDelay_j (the GBA derated delay of every cell on the path), target
+// b_p fitting the *delay correction* — the mGBA path delay should drop by
+// exactly the pessimism gap: the GBA cell sum minus the PBA cell sum,
+// minus whatever CRPR credit PBA grants beyond the conservative credit
+// GBA already applied at this endpoint — and guard eps*|s_pba| (Eq. 5's
+// tolerance). Shared by the cold assemble and the Calibrator's row
+// patching, so both construct bit-identical rows.
+func pathRow(gba *sta.Result, g *graph.Graph, epsilon float64, cols map[int]int, p *pba.Path, tm *pba.Timing) (idx []int, val []float64, target, guard float64) {
+	idx = make([]int, len(p.Cells))
+	val = make([]float64, len(p.Cells))
+	var gbaSum float64
+	for k, c := range p.Cells {
+		idx[k] = cols[c]
+		val[k] = gba.CellDelay[c]
+		gbaSum += val[k]
+	}
+	crprExtra := tm.CRPR - gba.GBACRPR[g.FFIndex(p.Capture)]
+	target = (tm.CellSum - crprExtra) - gbaSum
+	guard = epsilon * math.Abs(tm.Slack)
+	return idx, val, target, guard
 }
 
 // fallbackChain returns the degradation ladder for a requested method:

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"mgba/internal/core"
+	"mgba/internal/engine"
 	"mgba/internal/faultinject"
 	"mgba/internal/solver"
 )
@@ -254,5 +255,95 @@ func TestConvergedFlagOnHealthyFit(t *testing.T) {
 	}
 	if m.Stats.Reason == solver.StopNone {
 		t.Fatal("stop reason not recorded")
+	}
+}
+
+// TestCorruptedWarmStartRejected: corrupted warm weights must never steer
+// the fit. NaN entries fail the positivity filter and are dropped before
+// the solver (the calibration proceeds exactly as if unseeded); infinite
+// entries pass the filter, trip every rung's non-finite detector, and land
+// the ladder on identity weights. Neither panics, errors, or goes
+// optimistic.
+func TestCorruptedWarmStartRejected(t *testing.T) {
+	g, cfg := smallDesign(t)
+
+	// NaN warm start: filtered out, bitwise-equal to an unseeded run.
+	opt := core.DefaultOptions()
+	opt.WarmWeights = make([]float64, len(g.D.Instances))
+	for i := range opt.WarmWeights {
+		opt.WarmWeights[i] = math.NaN()
+	}
+	m, err := core.Calibrate(context.Background(), g, cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.Calibrate(context.Background(), g, cfg, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Degraded || m.Fault != "" {
+		t.Fatalf("NaN warm start degraded the fit: fault=%q", m.Fault)
+	}
+	for i := range m.Weights {
+		if m.Weights[i] != ref.Weights[i] {
+			t.Fatalf("NaN warm start steered the fit: weight %d is %v, unseeded %v",
+				i, m.Weights[i], ref.Weights[i])
+		}
+	}
+
+	// Infinite warm start: reaches the solver, rejected on every rung.
+	for i := range opt.WarmWeights {
+		opt.WarmWeights[i] = math.Inf(1)
+	}
+	m, err = core.Calibrate(context.Background(), g, cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Degraded || m.Fault == "" {
+		t.Fatalf("infinite warm start not rejected: degraded=%v fault=%q", m.Degraded, m.Fault)
+	}
+	if !allOnes(m.Weights) {
+		t.Fatal("infinite warm start leaked non-identity weights")
+	}
+	for _, a := range m.Attempts {
+		if a.Rejected == "" {
+			t.Fatalf("%v attempt accepted an infinite warm start", a.Method)
+		}
+	}
+}
+
+// TestCalibratorRecoversFromCorruptedWarmStart: a calibrator seeded with a
+// poisoned warm start must degrade to identity on the first calibration and
+// then recover on the next one (the identity outcome replaces the warm
+// start), without any cache poisoning in between.
+func TestCalibratorRecoversFromCorruptedWarmStart(t *testing.T) {
+	g, cfg := smallDesign(t)
+	sess := engine.NewSession(g)
+	cal, err := core.NewCalibrator(sess, cfg, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := make([]float64, len(g.D.Instances))
+	for i := range bad {
+		bad[i] = math.Inf(1)
+	}
+	cal.SetWarmWeights(bad)
+	m0, err := cal.Calibrate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !allOnes(m0.Weights) {
+		t.Fatal("infinite warm start leaked non-identity weights")
+	}
+	m1, err := cal.Recalibrate(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Fault != "" || m1.Degraded {
+		t.Fatalf("calibrator did not recover after poisoned warm start: fault=%q degraded=%v",
+			m1.Fault, m1.Degraded)
+	}
+	if allOnes(m1.Weights) {
+		t.Fatal("recovered calibration produced no correction on a violating design")
 	}
 }

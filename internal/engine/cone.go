@@ -1,0 +1,50 @@
+package engine
+
+// FanoutEndpoints returns the D.FFs positions of every constrained
+// endpoint whose fan-in cone contains one of the modified instances —
+// exactly the endpoints whose timing (and therefore whose selected paths)
+// a resize of those instances can touch. It walks the forward data cone
+// with the same stop-at-flip-flop rule as Result.Update, so the set it
+// reports is the endpoint shadow of the cone Update re-evaluates. A
+// modified flip-flop counts as affecting its own endpoint (its setup and
+// CK->Q arcs changed) in addition to everything downstream of its Q pin.
+// The result is sorted in FF order and deterministic.
+func (s *Session) FanoutEndpoints(modified []int) []int {
+	g := s.G
+	d := g.D
+	if len(modified) == 0 {
+		return nil
+	}
+	seen := make([]bool, len(d.Instances))
+	hit := make([]bool, len(d.FFs))
+	queue := make([]int, 0, len(modified))
+	for _, v := range modified {
+		if v < 0 || v >= len(seen) || seen[v] {
+			continue
+		}
+		seen[v] = true
+		queue = append(queue, v)
+		if d.Instances[v].IsFF() {
+			hit[g.FFIndex(v)] = true
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Fanout[v] {
+			if d.Instances[e.To].IsFF() {
+				hit[g.FFIndex(e.To)] = true
+			} else if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	var out []int
+	for fi, id := range d.FFs {
+		if hit[fi] && len(g.Fanin[id]) > 0 {
+			out = append(out, fi)
+		}
+	}
+	return out
+}

@@ -77,6 +77,11 @@ func workers(p int) int {
 	return p
 }
 
+// Workers resolves a Config.Parallelism setting to a concrete worker count
+// (0 = NumCPU, anything below 1 = sequential). Exported so other stages —
+// the PBA path enumerator — can share the engine's parallelism convention.
+func Workers(p int) int { return workers(p) }
+
 // Analyze runs one cold full analysis: a throwaway Session plus one Run.
 // Callers that re-time the same design repeatedly should hold a Session
 // and call Run themselves — that is the whole point of the session split.

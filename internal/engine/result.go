@@ -83,6 +83,37 @@ func (r *Result) Release() {
 	r.S.scratchMu.Unlock()
 }
 
+// Clone returns an independent copy of the Result backed by its own
+// per-run buffers from the session pool, bitwise equal to the original.
+// The clock-derived slices stay shared (session-owned, read-only). The
+// incremental calibrator uses it to keep a private weighted baseline it
+// advances in place across recalibrations while every caller still owns —
+// and may Release — the result it was handed. Cloning a released Result
+// returns nil.
+func (r *Result) Clone() *Result {
+	if r == nil || r.sc == nil {
+		return nil
+	}
+	sc := r.S.getScratch()
+	copy(sc.backInst, r.sc.backInst)
+	copy(sc.backFF, r.sc.backFF)
+	cl := *r
+	cl.sc = sc
+	cl.NominalDelay = sc.nominalDelay
+	cl.Derate = sc.derate
+	cl.CellDelay = sc.cellDelay
+	cl.WireDelay = sc.wireDelay
+	cl.Slew = sc.slew
+	cl.ArrivalOut = sc.arrivalOut
+	cl.RequiredOut = sc.requiredOut
+	cl.MinArrival = sc.minArrival
+	cl.DataAtD = sc.dataAtD
+	cl.MinAtD = sc.minAtD
+	cl.Slack = sc.slack
+	cl.HoldSlack = sc.holdSlack
+	return &cl
+}
+
 // weight returns the mGBA weighting factor of instance v.
 func (r *Result) weight(v int) float64 {
 	if r.Cfg.Weights == nil {

@@ -1,0 +1,252 @@
+package expt
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"mgba/internal/core"
+	"mgba/internal/engine"
+	"mgba/internal/gen"
+	"mgba/internal/graph"
+	"mgba/internal/netlist"
+	"mgba/internal/report"
+	"mgba/internal/sta"
+)
+
+// CalibBench is the machine-readable outcome of the calibration benchmark:
+// the cost of a cold calibration versus an incremental recalibration of the
+// same design state after a batch of sizing transforms. It backs the
+// BENCH_calibration.json artifact.
+type CalibBench struct {
+	Design     string `json:"design"`
+	Gates      int    `json:"gates"`
+	Endpoints  int    `json:"endpoints"`
+	Transforms int    `json:"transforms"` // accepted upsizes between calibrations
+
+	ColdNsOp      int64 `json:"cold_ns_per_op"`
+	ColdAllocsOp  int64 `json:"cold_allocs_per_op"`
+	WarmNsOp      int64 `json:"cold_warm_ns_per_op"`
+	WarmAllocsOp  int64 `json:"cold_warm_allocs_per_op"`
+	IncrNsOp      int64 `json:"incremental_ns_per_op"`
+	IncrAllocsOp  int64 `json:"incremental_allocs_per_op"`
+	Reenumerated  int   `json:"endpoints_reenumerated"`
+	RowsPatched   int   `json:"rows_patched_per_op"`
+	MatrixRebuilt int   `json:"matrix_rebuilds"`
+
+	Speedup     float64 `json:"speedup"`      // cold / incremental
+	SpeedupWarm float64 `json:"speedup_warm"` // warm-started cold / incremental
+}
+
+// benchScenario builds the benchmark fixture: the D3 stand-in design,
+// cold-calibrated once, then aged by n accepted upsizes along its selected
+// paths (the same move the closure flow's repair phase applies), returning
+// everything needed to time cold and incremental recalibration of the
+// resulting state.
+type benchScenario struct {
+	d     *netlist.Design
+	g     *graph.Graph
+	cfg   sta.Config
+	opt   core.Options
+	warm  []float64 // weights of the pre-transform calibration
+	dirty []int
+	eps   int
+}
+
+func newBenchScenario(e *Env, transforms int) (*benchScenario, error) {
+	cfg := gen.Suite()[2] // D3
+	if e.Quick {
+		cfg.Gates, cfg.FFs = cfg.Gates/4, cfg.FFs/4
+	}
+	d, err := gen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	g, err := graph.Build(d)
+	if err != nil {
+		return nil, err
+	}
+	sc := &benchScenario{d: d, g: g, cfg: sta.DefaultConfig(), opt: core.DefaultOptions()}
+	m0, err := core.CalibrateWithSession(context.Background(), engine.NewSession(g), sc.cfg, sc.opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(m0.Selection.Paths) == 0 {
+		return nil, fmt.Errorf("expt: bench design has no violated paths")
+	}
+	sc.warm = m0.Weights
+	m0.MGBA.Release()
+	if m0.GBA != m0.MGBA {
+		m0.GBA.Release()
+	}
+
+	// Age the design: upsize distinct gates along the selected paths, worst
+	// first, recording the dirty set the closure flow would hand to
+	// Recalibrate (gate + its input-net drivers).
+	seen := make(map[int]bool)
+	note := func(id int) {
+		if !seen[id] {
+			seen[id] = true
+			sc.dirty = append(sc.dirty, id)
+		}
+	}
+	resized := 0
+	for _, p := range m0.Selection.Paths {
+		if resized == transforms {
+			break
+		}
+		for _, id := range p.Cells {
+			if resized == transforms {
+				break
+			}
+			inst := d.Instances[id]
+			if seen[id] || inst.IsFF() {
+				continue
+			}
+			to := d.Lib.Upsize(inst.Cell)
+			if to == nil {
+				continue
+			}
+			if err := d.Resize(inst, to); err != nil {
+				continue
+			}
+			resized++
+			note(id)
+			for _, nid := range inst.Inputs {
+				if drv := d.Nets[nid].Driver; drv >= 0 && !g.IsClock(drv) {
+					note(drv)
+				}
+			}
+		}
+	}
+	if resized == 0 {
+		return nil, fmt.Errorf("expt: no gate on the bench selection could be upsized")
+	}
+	for _, ffID := range g.D.FFs {
+		if len(g.Fanin[ffID]) > 0 {
+			sc.eps++
+		}
+	}
+	return sc, nil
+}
+
+// BenchCalibration measures cold versus incremental recalibration after a
+// batch of sizing transforms on the D3 stand-in (the tentpole claim of the
+// incremental calibrator: same bits, a fraction of the work).
+func BenchCalibration(e *Env) (*report.Table, *CalibBench, error) {
+	transforms := 150
+	if e.Quick {
+		transforms = 40
+	}
+	e.logf("bench: building scenario (D3, %d transforms)...\n", transforms)
+	sc, err := newBenchScenario(e, transforms)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx := context.Background()
+
+	// Cold: a calibration carrying no prior information — full serial
+	// enumeration, full CSR assembly, solve from dx0 = 0 — which is what
+	// every recalibration costs without the persistent calibrator.
+	coldSess := engine.NewSession(sc.g)
+	e.logf("bench: timing cold calibration...\n")
+	cold := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := core.CalibrateWithSession(ctx, coldSess, sc.cfg, sc.opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.MGBA.Release()
+			if m.GBA != m.MGBA {
+				m.GBA.Release()
+			}
+		}
+	})
+
+	// Warm-started cold: the same full pipeline seeded with the previous
+	// calibration's weights, the closure flow's pre-tentpole behavior at a
+	// recalibration event. Reported alongside so the warm start's share of
+	// the win is visible.
+	warmOpt := sc.opt
+	warmOpt.WarmWeights = sc.warm
+	e.logf("bench: timing warm-started cold calibration...\n")
+	warm := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := core.CalibrateWithSession(ctx, coldSess, sc.cfg, warmOpt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.MGBA.Release()
+			if m.GBA != m.MGBA {
+				m.GBA.Release()
+			}
+		}
+	})
+
+	// Incremental: a persistent calibrator over the same design state,
+	// recalibrating from its cache and the dirty set, driven exactly as the
+	// closure flow drives it — seeded once with the pre-transform weights,
+	// then each re-solve warm-starts from the previous fit (the
+	// calibrator's native chaining, which the flow reproduces by feeding
+	// model.Weights back in).
+	cal, err := core.NewCalibrator(engine.NewSession(sc.g), sc.cfg, sc.opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	cal.SetWarmWeights(sc.warm)
+	if _, err := cal.Calibrate(ctx); err != nil {
+		return nil, nil, err
+	}
+	e.logf("bench: timing incremental recalibration...\n")
+	incr := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := cal.Recalibrate(ctx, sc.dirty)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m.GBA != m.MGBA {
+				m.MGBA.Release()
+			}
+		}
+	})
+	st := cal.Stats()
+	if st.Incremental == 0 {
+		return nil, nil, fmt.Errorf("expt: benchmark never took the incremental path (stats %+v)", st)
+	}
+
+	res := &CalibBench{
+		Design:        "D3",
+		Gates:         len(sc.d.Instances),
+		Endpoints:     sc.eps,
+		Transforms:    transforms,
+		ColdNsOp:      cold.NsPerOp(),
+		ColdAllocsOp:  cold.AllocsPerOp(),
+		WarmNsOp:      warm.NsPerOp(),
+		WarmAllocsOp:  warm.AllocsPerOp(),
+		IncrNsOp:      incr.NsPerOp(),
+		IncrAllocsOp:  incr.AllocsPerOp(),
+		Reenumerated:  st.EndpointsReenumerated / st.Incremental,
+		RowsPatched:   st.RowsPatched / st.Incremental,
+		MatrixRebuilt: st.MatrixRebuilds,
+	}
+	if res.IncrNsOp > 0 {
+		res.Speedup = float64(res.ColdNsOp) / float64(res.IncrNsOp)
+		res.SpeedupWarm = float64(res.WarmNsOp) / float64(res.IncrNsOp)
+	}
+
+	t := report.New(fmt.Sprintf("Calibration cost after %d sizing transforms (%s: %d gates, %d endpoints)",
+		transforms, res.Design, res.Gates, res.Endpoints),
+		"path", "ns/op", "allocs/op", "endpoints enumerated")
+	t.AddRow("cold", fmt.Sprintf("%d", res.ColdNsOp), fmt.Sprintf("%d", res.ColdAllocsOp),
+		fmt.Sprintf("%d", res.Endpoints))
+	t.AddRow("cold, warm-started", fmt.Sprintf("%d", res.WarmNsOp), fmt.Sprintf("%d", res.WarmAllocsOp),
+		fmt.Sprintf("%d", res.Endpoints))
+	t.AddRow("incremental", fmt.Sprintf("%d", res.IncrNsOp), fmt.Sprintf("%d", res.IncrAllocsOp),
+		fmt.Sprintf("%d", res.Reenumerated))
+	t.AddNote("speedup vs cold: %.2fx (acceptance floor: 3x); vs warm-started cold: %.2fx",
+		res.Speedup, res.SpeedupWarm)
+	return t, res, nil
+}

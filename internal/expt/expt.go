@@ -39,7 +39,7 @@ func NewEnv(out io.Writer, quick bool) *Env {
 	return &Env{Out: out, Quick: quick, closureRuns: map[string]*ClosureOutcome{}}
 }
 
-func (e *Env) logf(format string, args ...interface{}) {
+func (e *Env) logf(format string, args ...any) {
 	if e.Out != nil {
 		fmt.Fprintf(e.Out, format, args...)
 	}
@@ -153,7 +153,10 @@ func Sec32(e *Env) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	all := pathsel.AllViolated(an, 2000)
+	// One shared enumeration of the violated population; the three selection
+	// schemes are cheap views over it rather than three k-worst searches.
+	pop := pathsel.Enumerate(an, 2000)
+	all := pop.All()
 	if len(all.Paths) == 0 {
 		return nil, fmt.Errorf("expt: toy design has no violated paths")
 	}
@@ -164,9 +167,9 @@ func Sec32(e *Env) (*report.Table, error) {
 		golden[i] = allTimings[i].Slack
 	}
 
-	perEp := pathsel.PerEndpointTopK(an, 20, 0)
+	perEp := pop.TopK(20, 0)
 	budget := len(perEp.Paths)
-	global := pathsel.GlobalTopM(an, budget, 2000)
+	global := pop.GlobalTopM(budget)
 
 	t := report.New(fmt.Sprintf("Sec 3.2 path-selection study (toy: %d violated paths, %d gates in population)",
 		len(all.Paths), len(all.CellSet())),

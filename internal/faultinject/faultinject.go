@@ -35,6 +35,17 @@ const (
 	// AOCVLookup fires with each interpolated derate; a float hook may
 	// replace it (e.g. with NaN) to simulate a corrupt derate table.
 	AOCVLookup
+	// PathEnum fires once per endpoint enumerated by the PBA k-worst path
+	// search, carrying the endpoint's D.FFs position. It is observation
+	// only — the hook's return value is discarded — and exists so tests
+	// can count enumerations or trigger a context cancellation in the
+	// middle of an incremental recalibration.
+	PathEnum
+	// SparseRowPatch fires with the normalized values of a CSR row about
+	// to be patched in place (sparse SetRow/InsertRow); a slice hook may
+	// corrupt the row (e.g. NaN) before it is stored, simulating a bad
+	// incremental assembly.
+	SparseRowPatch
 	numPoints
 )
 

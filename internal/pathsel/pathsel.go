@@ -53,19 +53,64 @@ func (s *Selection) Coverage(ref *Selection) float64 {
 	return float64(n) / float64(len(refSet))
 }
 
-// AllViolated collects the complete violated-path population (capped per
-// endpoint), the reference both schemes select from.
-func AllViolated(a *pba.Analyzer, capPerEndpoint int) *Selection {
-	return &Selection{
-		Scheme: "all-violated",
-		Paths:  a.AllViolated(capPerEndpoint),
-	}
+// Population is one shared enumeration of the violated-path population,
+// grouped per endpoint. Every selection scheme is a cheap view over it, so
+// comparing schemes — or recalibrating incrementally — never re-runs the
+// k-worst search. The per-endpoint groups are in FF order, each group in
+// descending GBA-arrival order, exactly as the enumerator produced them.
+type Population struct {
+	cap       int   // per-endpoint enumeration cap the groups were built with
+	endpoints []int // D.FFs positions, FF order; parallel to groups
+	groups    [][]*pba.Path
+	total     int
 }
 
-// GlobalTopM sorts the violated-path population by ascending GBA slack
-// (worst first) and keeps the m worst.
-func GlobalTopM(a *pba.Analyzer, m, capPerEndpoint int) *Selection {
-	all := a.AllViolated(capPerEndpoint)
+// Enumerate collects up to capPerEndpoint violated paths of every
+// constrained endpoint in one pass, fanning the per-endpoint searches
+// across workers per the analysis' Parallelism setting. The result is
+// identical at every setting.
+func Enumerate(a *pba.Analyzer, capPerEndpoint int) *Population {
+	zero := 0.0
+	eps := a.EndpointIndices()
+	groups := a.KWorstAll(eps, capPerEndpoint, &zero, a.R.Cfg.Parallelism)
+	return FromGroups(eps, groups, capPerEndpoint)
+}
+
+// FromGroups wraps an already-enumerated per-endpoint path partition (as
+// produced by pba.Analyzer.KWorstAll over endpoints in FF order) into a
+// Population without re-running any search.
+func FromGroups(endpoints []int, groups [][]*pba.Path, capPerEndpoint int) *Population {
+	p := &Population{cap: capPerEndpoint, endpoints: endpoints, groups: groups}
+	for _, ps := range groups {
+		p.total += len(ps)
+	}
+	return p
+}
+
+// Total returns the number of enumerated violated paths.
+func (p *Population) Total() int { return p.total }
+
+// Endpoints returns the enumerated endpoints (D.FFs positions, FF order),
+// parallel to Groups. Shared storage; callers must not modify.
+func (p *Population) Endpoints() []int { return p.endpoints }
+
+// Groups returns the per-endpoint path lists, parallel to Endpoints.
+// Shared storage; callers must not modify.
+func (p *Population) Groups() [][]*pba.Path { return p.groups }
+
+// All returns the complete enumerated population, endpoint-major.
+func (p *Population) All() *Selection {
+	sel := &Selection{Scheme: "all-violated"}
+	for _, ps := range p.groups {
+		sel.Paths = append(sel.Paths, ps...)
+	}
+	return sel
+}
+
+// GlobalTopM sorts the population by ascending GBA slack (worst first) and
+// keeps the m worst.
+func (p *Population) GlobalTopM(m int) *Selection {
+	all := p.All().Paths
 	sort.SliceStable(all, func(i, j int) bool { return all[i].GBASlack < all[j].GBASlack })
 	if m > len(all) {
 		m = len(all)
@@ -73,19 +118,17 @@ func GlobalTopM(a *pba.Analyzer, m, capPerEndpoint int) *Selection {
 	return &Selection{Scheme: "global-top-m", Paths: all[:m]}
 }
 
-// PerEndpointTopK keeps the k worst violated paths of every endpoint,
-// then caps the total at mCap (mCap <= 0 means no cap) by dropping the
-// highest per-endpoint ranks first, preserving coverage.
-func PerEndpointTopK(a *pba.Analyzer, k, mCap int) *Selection {
-	ffs := a.R.G.D.FFs
-	zero := 0.0
-	perEndpoint := make([][]*pba.Path, 0, len(ffs))
+// TopK keeps the k worst paths of every endpoint (k must not exceed the
+// population's enumeration cap, or the view would under-report), then caps
+// the total at mCap (mCap <= 0 means no cap) by dropping the highest
+// per-endpoint ranks first, preserving coverage.
+func (p *Population) TopK(k, mCap int) *Selection {
+	perEndpoint := make([][]*pba.Path, 0, len(p.groups))
 	total := 0
-	for fi, ffID := range ffs {
-		if len(a.R.G.Fanin[ffID]) == 0 {
-			continue
+	for _, ps := range p.groups {
+		if len(ps) > k {
+			ps = ps[:k]
 		}
-		ps := a.KWorst(fi, k, &zero)
 		if len(ps) > 0 {
 			perEndpoint = append(perEndpoint, ps)
 			total += len(ps)
@@ -111,4 +154,23 @@ func PerEndpointTopK(a *pba.Analyzer, k, mCap int) *Selection {
 		}
 	}
 	return sel
+}
+
+// AllViolated collects the complete violated-path population (capped per
+// endpoint), the reference both schemes select from.
+func AllViolated(a *pba.Analyzer, capPerEndpoint int) *Selection {
+	return Enumerate(a, capPerEndpoint).All()
+}
+
+// GlobalTopM sorts the violated-path population by ascending GBA slack
+// (worst first) and keeps the m worst.
+func GlobalTopM(a *pba.Analyzer, m, capPerEndpoint int) *Selection {
+	return Enumerate(a, capPerEndpoint).GlobalTopM(m)
+}
+
+// PerEndpointTopK keeps the k worst violated paths of every endpoint,
+// then caps the total at mCap (mCap <= 0 means no cap) by dropping the
+// highest per-endpoint ranks first, preserving coverage.
+func PerEndpointTopK(a *pba.Analyzer, k, mCap int) *Selection {
+	return Enumerate(a, k).TopK(k, mCap)
 }

@@ -13,8 +13,11 @@ package pba
 import (
 	"container/heap"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"mgba/internal/engine"
+	"mgba/internal/faultinject"
 	"mgba/internal/netlist"
 	"mgba/internal/sta"
 )
@@ -147,16 +150,63 @@ type searchState struct {
 
 type stateHeap []*searchState
 
-func (h stateHeap) Len() int            { return len(h) }
-func (h stateHeap) Less(i, j int) bool  { return h[i].bound > h[j].bound }
-func (h stateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *stateHeap) Push(x interface{}) { *h = append(*h, x.(*searchState)) }
-func (h *stateHeap) Pop() interface{} {
+func (h stateHeap) Len() int           { return len(h) }
+func (h stateHeap) Less(i, j int) bool { return h[i].bound > h[j].bound }
+func (h stateHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *stateHeap) Push(x any)        { *h = append(*h, x.(*searchState)) }
+func (h *stateHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]
 	*h = old[:n-1]
 	return x
+}
+
+// stateArena bump-allocates searchStates in fixed-size blocks. Blocks are
+// never reallocated, so parent pointers between states stay valid for the
+// whole enumeration; reset rewinds the arena without freeing the blocks.
+type stateArena struct {
+	blocks [][]searchState
+	block  int // index of the block currently being filled
+	used   int // entries handed out from that block
+}
+
+const arenaBlockSize = 1024
+
+func (a *stateArena) alloc() *searchState {
+	if a.block == len(a.blocks) {
+		a.blocks = append(a.blocks, make([]searchState, arenaBlockSize))
+	}
+	s := &a.blocks[a.block][a.used]
+	a.used++
+	if a.used == arenaBlockSize {
+		a.block++
+		a.used = 0
+	}
+	return s
+}
+
+func (a *stateArena) reset() {
+	a.block = 0
+	a.used = 0
+}
+
+// enumScratch is the per-enumeration working set — the best-first heap and
+// the state arena — pooled so repeated KWorst calls (one per endpoint per
+// recalibration) run allocation-free in steady state.
+type enumScratch struct {
+	heap  stateHeap
+	arena stateArena
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(enumScratch) }}
+
+func getScratch() *enumScratch { return scratchPool.Get().(*enumScratch) }
+
+func putScratch(sc *enumScratch) {
+	sc.heap = sc.heap[:0]
+	sc.arena.reset()
+	scratchPool.Put(sc)
 }
 
 // KWorst enumerates up to k paths ending at endpoint captureIdx (a D.FFs
@@ -169,14 +219,23 @@ func (h *stateHeap) Pop() interface{} {
 // heap pop whose head is a flip-flop completes a genuine next-worst path;
 // the enumeration order is exact, not heuristic.
 func (a *Analyzer) KWorst(captureIdx, k int, stopAtSlack *float64) []*Path {
+	sc := getScratch()
+	out := a.kWorst(sc, captureIdx, k, stopAtSlack)
+	putScratch(sc)
+	return out
+}
+
+func (a *Analyzer) kWorst(sc *enumScratch, captureIdx, k int, stopAtSlack *float64) []*Path {
+	_ = faultinject.Float64(faultinject.PathEnum, float64(captureIdx))
 	r := a.R
 	d := r.G.D
 	ffID := d.FFs[captureIdx]
 	budget := a.Budget(captureIdx)
 
-	h := &stateHeap{}
+	h := &sc.heap
 	for _, e := range r.G.Fanin[ffID] {
-		s := &searchState{
+		s := sc.arena.alloc()
+		*s = searchState{
 			inst: e.From,
 			tail: r.WireDelay[e.From],
 		}
@@ -208,7 +267,8 @@ func (a *Analyzer) KWorst(captureIdx, k int, stopAtSlack *float64) []*Path {
 			continue
 		}
 		for _, e := range r.G.Fanin[s.inst] {
-			ns := &searchState{
+			ns := sc.arena.alloc()
+			*ns = searchState{
 				inst:   e.From,
 				tail:   s.tail + r.CellDelay[s.inst] + r.WireDelay[e.From],
 				parent: s,
@@ -217,6 +277,62 @@ func (a *Analyzer) KWorst(captureIdx, k int, stopAtSlack *float64) []*Path {
 			heap.Push(h, ns)
 		}
 	}
+	sc.heap = sc.heap[:0]
+	sc.arena.reset()
+	return out
+}
+
+// EndpointIndices returns the D.FFs positions of every constrained
+// endpoint — flip-flops with at least one data fanin — in FF order.
+func (a *Analyzer) EndpointIndices() []int {
+	g := a.R.G
+	out := make([]int, 0, len(g.D.FFs))
+	for fi, id := range g.D.FFs {
+		if len(g.Fanin[id]) > 0 {
+			out = append(out, fi)
+		}
+	}
+	return out
+}
+
+// KWorstAll runs KWorst for every endpoint in endpoints (D.FFs positions)
+// and returns the per-endpoint path lists in input order. The independent
+// searches are fanned across a worker pool sized by parallelism (engine
+// convention: 0 = NumCPU, 1 = sequential); because each endpoint's search
+// is self-contained and results are slotted by input position, the output
+// is identical to serial KWorst calls at every parallelism setting.
+func (a *Analyzer) KWorstAll(endpoints []int, k int, stopAtSlack *float64, parallelism int) [][]*Path {
+	out := make([][]*Path, len(endpoints))
+	workers := engine.Workers(parallelism)
+	if workers > len(endpoints) {
+		workers = len(endpoints)
+	}
+	if workers <= 1 {
+		sc := getScratch()
+		for i, fi := range endpoints {
+			out[i] = a.kWorst(sc, fi, k, stopAtSlack)
+		}
+		putScratch(sc)
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := getScratch()
+			defer putScratch(sc)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(endpoints) {
+					return
+				}
+				out[i] = a.kWorst(sc, endpoints[i], k, stopAtSlack)
+			}
+		}()
+	}
+	wg.Wait()
 	return out
 }
 
@@ -232,15 +348,15 @@ func (a *Analyzer) WorstPath(captureIdx int) *Path {
 
 // AllViolated enumerates every negative-GBA-slack path of every endpoint,
 // capped at capPerEndpoint per endpoint (a safety valve: reconvergent
-// designs have exponentially many paths).
+// designs have exponentially many paths). Endpoints are enumerated with
+// the analysis' Parallelism setting; the result is endpoint-major in FF
+// order, identical at every setting.
 func (a *Analyzer) AllViolated(capPerEndpoint int) []*Path {
 	zero := 0.0
+	per := a.KWorstAll(a.EndpointIndices(), capPerEndpoint, &zero, a.R.Cfg.Parallelism)
 	var out []*Path
-	for fi := range a.R.G.D.FFs {
-		if len(a.R.G.Fanin[a.R.G.D.FFs[fi]]) == 0 {
-			continue
-		}
-		out = append(out, a.KWorst(fi, capPerEndpoint, &zero)...)
+	for _, ps := range per {
+		out = append(out, ps...)
 	}
 	return out
 }

@@ -35,7 +35,7 @@ func (t *Table) AddRow(cells ...string) {
 }
 
 // AddNote appends a footnote line.
-func (t *Table) AddNote(format string, args ...interface{}) {
+func (t *Table) AddNote(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 

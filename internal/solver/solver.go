@@ -260,9 +260,13 @@ type Options struct {
 	// GD.
 	GDStep float64 // initial step for backtracking line search (1.0)
 
-	// X0 warm-starts SCG from a previous solution (nil means the zero
-	// vector). Algorithm 1 uses it to carry the solution of one sampling
-	// round into the next.
+	// X0 warm-starts the solve from a previous solution (nil means the
+	// zero vector). All three solvers honor it: Algorithm 1 uses it to
+	// carry the solution of one sampling round into the next, and the
+	// incremental Calibrator seeds each re-solve from the previous fit. A
+	// non-finite warm-start objective resets to the zero vector and counts
+	// a numerical event, so a corrupt X0 is surfaced to the health check
+	// rather than silently trusted.
 	X0 []float64
 
 	// UniformRowSampling replaces Eq. (11)'s norm-proportional minibatch
@@ -304,19 +308,32 @@ func GD(ctx context.Context, p *Problem, opt Options) ([]float64, Stats, error) 
 	start := time.Now()
 	n := p.A.Cols()
 	x := make([]float64, n)
+	if opt.X0 != nil {
+		if len(opt.X0) != n {
+			return nil, Stats{}, fmt.Errorf("solver: X0 has %d entries, want %d", len(opt.X0), n)
+		}
+		copy(x, opt.X0)
+	}
 	prev := make([]float64, n)
 	g := make([]float64, n)
 	st := Stats{RowsUsed: p.A.Rows(), Reason: StopMaxIters}
 	f := p.Objective(x)
 	f0 := f
 	if math.IsNaN(f) || math.IsInf(f, 0) {
-		// The problem data itself is non-finite; x = 0 is the only safe
-		// answer.
+		// A non-finite warm start is unusable; restart from zero, the
+		// always-valid identity point of the correction space.
 		st.NumericalEvents++
-		st.Reason = StopDiverged
-		st.Objective = f
-		st.Elapsed = time.Since(start)
-		return x, st, nil
+		num.Fill(x, 0)
+		f = p.Objective(x)
+		f0 = f
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			// The problem data itself is non-finite; x = 0 is the only
+			// safe answer.
+			st.Reason = StopDiverged
+			st.Objective = f
+			st.Elapsed = time.Since(start)
+			return x, st, nil
+		}
 	}
 	step := opt.GDStep
 	for st.Iters = 1; st.Iters <= opt.MaxIters; st.Iters++ {
@@ -407,6 +424,16 @@ func SCG(ctx context.Context, p *Problem, opt Options, r *rng.Rand) ([]float64, 
 		return x, st, nil
 	}
 	weightsVec := p.A.RowNormsSq()
+	// A corrupted matrix row yields a non-finite norm, which the weighted
+	// sampler rejects by panicking. Excluding such rows from sampling keeps
+	// the solve alive; the full-objective divergence check still sees them,
+	// so a poisoned system ends in a diverged (never optimistic) result.
+	for i, w := range weightsVec {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			weightsVec[i] = 0
+			st.NumericalEvents++
+		}
+	}
 	if opt.UniformRowSampling {
 		for i := range weightsVec {
 			if weightsVec[i] > 0 {

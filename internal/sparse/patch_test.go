@@ -1,0 +1,205 @@
+package sparse
+
+import (
+	"testing"
+
+	"mgba/internal/rng"
+)
+
+// refMatrix mirrors a Matrix as a dense row list so patch operations can be
+// replayed against a from-scratch rebuild.
+type refMatrix struct {
+	cols int
+	rows [][]ent
+}
+
+func (r *refMatrix) build(t *testing.T) *Matrix {
+	t.Helper()
+	return build(t, r.cols, r.rows...)
+}
+
+// sameMatrix compares the CSR internals, not just the dense view: patching
+// must leave the exact representation a fresh build would produce.
+func sameMatrix(t *testing.T, got, want *Matrix, label string) {
+	t.Helper()
+	if got.Rows() != want.Rows() || got.Cols() != want.Cols() || got.NNZ() != want.NNZ() {
+		t.Fatalf("%s: dims %dx%d/%d vs %dx%d/%d", label,
+			got.Rows(), got.Cols(), got.NNZ(), want.Rows(), want.Cols(), want.NNZ())
+	}
+	for i := 0; i < want.Rows(); i++ {
+		gi, gv := got.Row(i)
+		wi, wv := want.Row(i)
+		if len(gi) != len(wi) {
+			t.Fatalf("%s: row %d has %d entries, want %d", label, i, len(gi), len(wi))
+		}
+		for k := range wi {
+			if gi[k] != wi[k] || gv[k] != wv[k] {
+				t.Fatalf("%s: row %d entry %d = (%d,%v), want (%d,%v)",
+					label, i, k, gi[k], gv[k], wi[k], wv[k])
+			}
+		}
+	}
+}
+
+func TestSetRowMatchesRebuild(t *testing.T) {
+	ref := &refMatrix{cols: 5, rows: [][]ent{
+		{{0, 1}, {2, 2}},
+		{{1, 3}, {4, 4}},
+		{{3, 5}},
+	}}
+	m := ref.build(t)
+
+	// Replace the middle row with one that is longer, unordered, and has a
+	// duplicate column — SetRow must normalize exactly like AddRow.
+	ref.rows[1] = []ent{{4, 1}, {0, 2}, {4, 6}}
+	if err := m.SetRow(1, []int{4, 0, 4}, []float64{1, 2, 6}); err != nil {
+		t.Fatal(err)
+	}
+	sameMatrix(t, m, ref.build(t), "longer row")
+
+	// Shrink the same row.
+	ref.rows[1] = []ent{{2, 9}}
+	if err := m.SetRow(1, []int{2}, []float64{9}); err != nil {
+		t.Fatal(err)
+	}
+	sameMatrix(t, m, ref.build(t), "shorter row")
+
+	// Empty it out entirely.
+	ref.rows[1] = nil
+	if err := m.SetRow(1, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	sameMatrix(t, m, ref.build(t), "empty row")
+}
+
+func TestInsertRemoveRowMatchesRebuild(t *testing.T) {
+	ref := &refMatrix{cols: 4, rows: [][]ent{
+		{{0, 1}},
+		{{1, 2}, {3, 3}},
+	}}
+	m := ref.build(t)
+
+	// Insert in the middle, at the front, and at the end.
+	ref.rows = [][]ent{{{2, 7}}, {{0, 1}}, {{1, 5}}, {{1, 2}, {3, 3}}, {{3, 8}}}
+	if err := m.InsertRow(1, []int{1}, []float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InsertRow(0, []int{2}, []float64{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InsertRow(4, []int{3}, []float64{8}); err != nil {
+		t.Fatal(err)
+	}
+	sameMatrix(t, m, ref.build(t), "inserts")
+
+	// Remove from the middle and the ends.
+	if err := m.RemoveRow(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RemoveRow(0); err != nil {
+		t.Fatal(err)
+	}
+	ref.rows = [][]ent{{{0, 1}}, {{1, 2}, {3, 3}}, {{3, 8}}}
+	sameMatrix(t, m, ref.build(t), "removes")
+}
+
+func TestGrowCols(t *testing.T) {
+	m := build(t, 2, []ent{{1, 4}})
+	if err := m.GrowCols(1); err == nil {
+		t.Fatal("column shrink accepted")
+	}
+	if err := m.GrowCols(5); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cols() != 5 {
+		t.Fatalf("cols = %d, want 5", m.Cols())
+	}
+	if err := m.SetRow(0, []int{4}, []float64{2}); err != nil {
+		t.Fatalf("row rejected after growth: %v", err)
+	}
+}
+
+func TestPatchErrors(t *testing.T) {
+	m := build(t, 3, []ent{{0, 1}}, []ent{{1, 2}})
+	if err := m.SetRow(2, nil, nil); err == nil {
+		t.Fatal("out-of-range SetRow accepted")
+	}
+	if err := m.SetRow(-1, nil, nil); err == nil {
+		t.Fatal("negative SetRow accepted")
+	}
+	if err := m.SetRow(0, []int{3}, []float64{1}); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+	if err := m.SetRow(0, []int{0}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := m.InsertRow(3, nil, nil); err == nil {
+		t.Fatal("out-of-range InsertRow accepted")
+	}
+	if err := m.InsertRow(0, []int{-1}, []float64{1}); err == nil {
+		t.Fatal("bad InsertRow mutated nothing but was accepted")
+	}
+	if m.Rows() != 2 {
+		t.Fatalf("failed InsertRow changed row count to %d", m.Rows())
+	}
+	if err := m.RemoveRow(2); err == nil {
+		t.Fatal("out-of-range RemoveRow accepted")
+	}
+}
+
+// TestRandomPatchSequence replays a long random sequence of patch
+// operations against the dense reference, then demands the exact CSR a
+// cold rebuild produces.
+func TestRandomPatchSequence(t *testing.T) {
+	r := rng.New(42)
+	ref := &refMatrix{cols: 8}
+	for i := 0; i < 6; i++ {
+		ref.rows = append(ref.rows, randomRow(r, ref.cols))
+	}
+	m := ref.build(t)
+	for step := 0; step < 300; step++ {
+		switch op := r.Intn(3); {
+		case op == 0 && len(ref.rows) > 0: // SetRow
+			i := r.Intn(len(ref.rows))
+			row := randomRow(r, ref.cols)
+			ref.rows[i] = row
+			idx, val := entSplit(row)
+			if err := m.SetRow(i, idx, val); err != nil {
+				t.Fatal(err)
+			}
+		case op == 1: // InsertRow
+			i := r.Intn(len(ref.rows) + 1)
+			row := randomRow(r, ref.cols)
+			ref.rows = append(ref.rows[:i], append([][]ent{row}, ref.rows[i:]...)...)
+			idx, val := entSplit(row)
+			if err := m.InsertRow(i, idx, val); err != nil {
+				t.Fatal(err)
+			}
+		case op == 2 && len(ref.rows) > 1: // RemoveRow
+			i := r.Intn(len(ref.rows))
+			ref.rows = append(ref.rows[:i], ref.rows[i+1:]...)
+			if err := m.RemoveRow(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sameMatrix(t, m, ref.build(t), "random sequence")
+}
+
+func randomRow(r *rng.Rand, cols int) []ent {
+	n := r.Intn(4)
+	row := make([]ent, n)
+	for k := range row {
+		row[k] = ent{r.Intn(cols), float64(r.Intn(9) + 1)}
+	}
+	return row
+}
+
+func entSplit(row []ent) ([]int, []float64) {
+	idx := make([]int, len(row))
+	val := make([]float64, len(row))
+	for k, e := range row {
+		idx[k], val[k] = e.j, e.v
+	}
+	return idx, val
+}

@@ -5,21 +5,63 @@
 //
 // The solvers need exactly four operations — y = A x, g = A^T r, per-row
 // Euclidean norms (Eq. 11 sampling probabilities), and row subsetting
-// (Algorithm 1's uniform sampling) — so that is the whole API. Row subsets
-// are cheap views that share the parent's storage.
+// (Algorithm 1's uniform sampling) — so that is most of the API. On top of
+// that, incremental recalibration patches a built matrix in place: SetRow,
+// InsertRow and RemoveRow splice individual rows (and GrowCols widens the
+// column space) so a mostly-unchanged system is updated without a rebuild.
 package sparse
 
 import (
 	"fmt"
 	"sort"
+
+	"mgba/internal/faultinject"
 )
 
-// Matrix is an immutable CSR matrix.
+// Matrix is a CSR matrix. It is immutable under the solver-facing
+// operations; the row-patching methods (SetRow, InsertRow, RemoveRow,
+// GrowCols) mutate it in place and invalidate slices previously returned
+// by Row.
 type Matrix struct {
 	rows, cols int
 	rowPtr     []int     // len rows+1
 	colIdx     []int     // len nnz
 	val        []float64 // len nnz
+}
+
+// normalizeRow validates one row's parallel index/value slices against the
+// column count and returns the row in canonical CSR form: column-sorted
+// with duplicate columns summed (a gate appearing twice on a reconvergent
+// path contributes twice). Builder.AddRow and the patching methods share
+// it, so a patched row is bit-identical to the same row built from
+// scratch.
+func normalizeRow(cols int, indices []int, values []float64) ([]int, []float64, error) {
+	if len(indices) != len(values) {
+		return nil, nil, fmt.Errorf("sparse: %d indices for %d values", len(indices), len(values))
+	}
+	type ent struct {
+		j int
+		v float64
+	}
+	ents := make([]ent, 0, len(indices))
+	for k, j := range indices {
+		if j < 0 || j >= cols {
+			return nil, nil, fmt.Errorf("sparse: column %d out of range [0,%d)", j, cols)
+		}
+		ents = append(ents, ent{j, values[k]})
+	}
+	sort.Slice(ents, func(x, y int) bool { return ents[x].j < ents[y].j })
+	ci := make([]int, 0, len(ents))
+	vv := make([]float64, 0, len(ents))
+	for k := 0; k < len(ents); k++ {
+		if k > 0 && ents[k].j == ents[k-1].j {
+			vv[len(vv)-1] += ents[k].v
+			continue
+		}
+		ci = append(ci, ents[k].j)
+		vv = append(vv, ents[k].v)
+	}
+	return ci, vv, nil
 }
 
 // Builder accumulates rows for a Matrix. Rows are appended in order; the
@@ -45,30 +87,12 @@ func NewBuilder(cols int) *Builder {
 // twice on a reconvergent path contributes twice). It returns an error for
 // out-of-range indices or mismatched slice lengths.
 func (b *Builder) AddRow(indices []int, values []float64) error {
-	if len(indices) != len(values) {
-		return fmt.Errorf("sparse: %d indices for %d values", len(indices), len(values))
+	ci, vv, err := normalizeRow(b.cols, indices, values)
+	if err != nil {
+		return err
 	}
-	type ent struct {
-		j int
-		v float64
-	}
-	ents := make([]ent, 0, len(indices))
-	for k, j := range indices {
-		if j < 0 || j >= b.cols {
-			return fmt.Errorf("sparse: column %d out of range [0,%d)", j, b.cols)
-		}
-		ents = append(ents, ent{j, values[k]})
-	}
-	sort.Slice(ents, func(x, y int) bool { return ents[x].j < ents[y].j })
-	for k := 0; k < len(ents); k++ {
-		if k > 0 && ents[k].j == ents[k-1].j {
-			// Merge duplicate columns.
-			b.val[len(b.val)-1] += ents[k].v
-			continue
-		}
-		b.colIdx = append(b.colIdx, ents[k].j)
-		b.val = append(b.val, ents[k].v)
-	}
+	b.colIdx = append(b.colIdx, ci...)
+	b.val = append(b.val, vv...)
 	b.rowPtr = append(b.rowPtr, len(b.colIdx))
 	return nil
 }
@@ -211,6 +235,95 @@ func (m *Matrix) SelectRows(rows []int) *Matrix {
 		vv = append(vv, m.val[m.rowPtr[i]:m.rowPtr[i+1]]...)
 	}
 	return &Matrix{rows: len(rows), cols: m.cols, rowPtr: rp, colIdx: ci, val: vv}
+}
+
+// GrowCols widens the column space to cols. Existing entries keep their
+// columns; new columns start empty. It returns an error when cols would
+// shrink the matrix.
+func (m *Matrix) GrowCols(cols int) error {
+	if cols < m.cols {
+		return fmt.Errorf("sparse: GrowCols from %d to %d would shrink", m.cols, cols)
+	}
+	m.cols = cols
+	return nil
+}
+
+// SetRow replaces row i in place. The new row may have a different entry
+// count: storage after the row is spliced and later row offsets shift.
+// Indices follow AddRow's contract (unordered, duplicates summed). Slices
+// previously returned by Row become stale after a successful SetRow.
+func (m *Matrix) SetRow(i int, indices []int, values []float64) error {
+	if i < 0 || i >= m.rows {
+		return fmt.Errorf("sparse: SetRow index %d out of range [0,%d)", i, m.rows)
+	}
+	ci, vv, err := normalizeRow(m.cols, indices, values)
+	if err != nil {
+		return err
+	}
+	faultinject.Slice(faultinject.SparseRowPatch, vv)
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	d := len(vv) - (hi - lo)
+	if d > 0 {
+		n := len(m.val)
+		m.colIdx = append(m.colIdx, make([]int, d)...)
+		m.val = append(m.val, make([]float64, d)...)
+		copy(m.colIdx[hi+d:], m.colIdx[hi:n])
+		copy(m.val[hi+d:], m.val[hi:n])
+	} else if d < 0 {
+		n := len(m.val)
+		copy(m.colIdx[hi+d:], m.colIdx[hi:])
+		copy(m.val[hi+d:], m.val[hi:])
+		m.colIdx = m.colIdx[:n+d]
+		m.val = m.val[:n+d]
+	}
+	copy(m.colIdx[lo:lo+len(ci)], ci)
+	copy(m.val[lo:lo+len(vv)], vv)
+	if d != 0 {
+		for r := i + 1; r < len(m.rowPtr); r++ {
+			m.rowPtr[r] += d
+		}
+	}
+	return nil
+}
+
+// InsertRow inserts a new row before position i (i == Rows appends). The
+// entries follow AddRow's contract.
+func (m *Matrix) InsertRow(i int, indices []int, values []float64) error {
+	if i < 0 || i > m.rows {
+		return fmt.Errorf("sparse: InsertRow index %d out of range [0,%d]", i, m.rows)
+	}
+	p := m.rowPtr[i]
+	m.rowPtr = append(m.rowPtr, 0)
+	copy(m.rowPtr[i+1:], m.rowPtr[i:])
+	m.rowPtr[i] = p // new empty row: rowPtr[i] == rowPtr[i+1]
+	m.rows++
+	if err := m.SetRow(i, indices, values); err != nil {
+		// Roll the empty row back out so a validation failure is clean.
+		copy(m.rowPtr[i:], m.rowPtr[i+1:])
+		m.rowPtr = m.rowPtr[:len(m.rowPtr)-1]
+		m.rows--
+		return err
+	}
+	return nil
+}
+
+// RemoveRow deletes row i in place; later rows shift up.
+func (m *Matrix) RemoveRow(i int) error {
+	if i < 0 || i >= m.rows {
+		return fmt.Errorf("sparse: RemoveRow index %d out of range [0,%d)", i, m.rows)
+	}
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	d := hi - lo
+	copy(m.colIdx[lo:], m.colIdx[hi:])
+	copy(m.val[lo:], m.val[hi:])
+	m.colIdx = m.colIdx[:len(m.colIdx)-d]
+	m.val = m.val[:len(m.val)-d]
+	for r := i + 1; r < len(m.rowPtr)-1; r++ {
+		m.rowPtr[r] = m.rowPtr[r+1] - d
+	}
+	m.rowPtr = m.rowPtr[:len(m.rowPtr)-1]
+	m.rows--
+	return nil
 }
 
 // Dense expands the matrix to row-major dense form; intended for tests and
