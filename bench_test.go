@@ -8,6 +8,7 @@ package mgba_test
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"mgba/internal/aocv"
@@ -433,5 +434,64 @@ func BenchmarkRecalibrateIncremental(b *testing.B) {
 	}
 	if cal.Stats().Incremental == 0 {
 		b.Fatal("benchmark never took the incremental path")
+	}
+}
+
+// benchBigProblem row-tiles the bench calibration system until it crosses
+// the solver kernels' parallel cutoff, so the blocked paths are what gets
+// measured (the raw bench system is deliberately below the cutoff, where
+// the kernels stay serial).
+func benchBigProblem(b *testing.B) *solver.Problem {
+	b.Helper()
+	base := benchProblem(b)
+	tile := 1
+	for base.A.NNZ()*tile < 4*(1<<15) {
+		tile *= 2
+	}
+	sel := make([]int, 0, base.A.Rows()*tile)
+	for t := 0; t < tile; t++ {
+		for i := 0; i < base.A.Rows(); i++ {
+			sel = append(sel, i)
+		}
+	}
+	return base.SubProblem(sel)
+}
+
+// PR4: the Eq. (6) solve on a calibration-scale system at serial versus
+// 8-worker kernels. Results are bit-identical across the legs; the delta
+// is pure wall-clock.
+func BenchmarkSolverSCGRS(b *testing.B) {
+	p := benchBigProblem(b)
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("par%d", workers), func(b *testing.B) {
+			p.A.SetParallelism(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := solver.SCGRS(context.Background(), p, solver.DefaultOptions(), rng.New(42)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// PR4: the fused one-pass Objective+Gradient kernel — the steady-state
+// inner loop of GD — which must run allocation-free once the Problem
+// scratch is warm.
+func BenchmarkSolverObjectiveGradient(b *testing.B) {
+	p := benchBigProblem(b)
+	x := make([]float64, p.A.Cols())
+	g := make([]float64, p.A.Cols())
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("par%d", workers), func(b *testing.B) {
+			p.A.SetParallelism(workers)
+			p.ObjectiveGradient(g, x) // warm the scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.ObjectiveGradient(g, x)
+			}
+		})
 	}
 }

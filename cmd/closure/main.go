@@ -28,6 +28,7 @@ import (
 
 	"mgba/internal/closure"
 	"mgba/internal/gen"
+	"mgba/internal/prof"
 	"mgba/internal/report"
 )
 
@@ -40,7 +41,20 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 50, "accepted transforms between periodic checkpoints")
 	resume := flag.String("resume", "", "resume an interrupted run from this checkpoint file (requires -timer gba or mgba)")
 	coldcal := flag.Bool("coldcal", false, "mgba: full cold calibration at every recalibration point instead of the incremental calibrator (ablation; bit-identical results, just slower)")
+	par := flag.Int("par", 0, "worker count for timing propagation, path enumeration and solver kernels (0: GOMAXPROCS, 1: serial; the result is identical at every setting)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "closure:", err)
+		}
+	}()
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -58,6 +72,7 @@ func main() {
 		opt.ColdRecalibrate = *coldcal
 		opt.CheckpointPath = *resume
 		opt.CheckpointEvery = *ckptEvery
+		opt.STA.Parallelism = *par
 		res, err := closure.Resume(ctx, *resume, opt)
 		if err != nil {
 			fail(err)
@@ -99,6 +114,7 @@ func main() {
 		opt.ColdRecalibrate = *coldcal
 		opt.CheckpointPath = *ckpt
 		opt.CheckpointEvery = *ckptEvery
+		opt.STA.Parallelism = *par
 		res, err := closure.Run(ctx, d, opt)
 		if err != nil {
 			fail(err)

@@ -6,9 +6,10 @@
 //	experiments -quick              # scaled-down suite for a fast pass
 //
 // Artifacts: table1, fig2, sec32, fig3, fig4, table2, table3, table4,
-// table5, bench. Output is plain text; -csv writes each table additionally
-// as CSV into the given directory; -json makes the bench artifact also
-// write its machine-readable result (BENCH_calibration.json).
+// table5, bench, benchsolver. Output is plain text; -csv writes each table
+// additionally as CSV into the given directory; -json makes the bench
+// artifacts also write their machine-readable results
+// (BENCH_calibration.json, BENCH_solver.json).
 package main
 
 import (
@@ -27,7 +28,7 @@ func main() {
 	runList := flag.String("run", "all", "comma-separated artifacts to regenerate, or 'all'")
 	quick := flag.Bool("quick", false, "use a scaled-down design suite")
 	csvDir := flag.String("csv", "", "directory to also write tables as CSV")
-	jsonOut := flag.Bool("json", false, "bench: also write the result to BENCH_calibration.json")
+	jsonOut := flag.Bool("json", false, "bench artifacts: also write BENCH_calibration.json / BENCH_solver.json")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	flag.Parse()
 
@@ -143,8 +144,24 @@ func main() {
 			}
 		}
 	}
+	if want["benchsolver"] { // deliberately not part of 'all': pure timing
+		t, res, err := expt.BenchSolver(env)
+		if err != nil {
+			fail(err)
+		}
+		emit("benchsolver", t)
+		if *jsonOut {
+			blob, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile("BENCH_solver.json", append(blob, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
 	if ran == 0 {
-		fail(fmt.Errorf("nothing matched -run=%q; artifacts: table1 fig2 sec32 fig3 fig4 table2 table3 table4 table4x table5 bench all", *runList))
+		fail(fmt.Errorf("nothing matched -run=%q; artifacts: table1 fig2 sec32 fig3 fig4 table2 table3 table4 table4x table5 bench benchsolver all", *runList))
 	}
 }
 

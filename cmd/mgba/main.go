@@ -21,6 +21,7 @@ import (
 	"mgba/internal/graph"
 	"mgba/internal/netio"
 	"mgba/internal/netlist"
+	"mgba/internal/prof"
 	"mgba/internal/report"
 	"mgba/internal/sta"
 )
@@ -34,8 +35,20 @@ func main() {
 	saveFile := flag.String("save", "", "write the generated design as JSON to this file (atomic)")
 	loadFile := flag.String("load", "", "load a design saved with -save instead of generating")
 	timeout := flag.Duration("timeout", 0, "bound the calibration wall-clock (0: no limit); a timed-out run reports its partial fit")
-	par := flag.Int("par", 0, "worker count for timing propagation and path enumeration (0: GOMAXPROCS, 1: serial; the result is identical at every setting)")
+	par := flag.Int("par", 0, "worker count for timing propagation, path enumeration and solver kernels (0: GOMAXPROCS, 1: serial; the result is identical at every setting)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "mgba:", err)
+		}
+	}()
 
 	ctx := context.Background()
 	if *timeout > 0 {

@@ -323,6 +323,7 @@ func (c *Calibrator) Recalibrate(ctx context.Context, dirty []int) (*Model, erro
 		flatB = append(flatB, c.targets[s]...)
 		flatG = append(flatG, c.guards[s]...)
 	}
+	c.mat.SetParallelism(engine.Workers(c.cfg.Parallelism))
 	m.Problem = &solver.Problem{A: c.mat, B: flatB, Guard: flatG, Penalty: c.opt.Penalty}
 	if err := m.Problem.Validate(); err != nil {
 		return nil, err

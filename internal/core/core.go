@@ -292,8 +292,13 @@ func (m *Model) assemble() error {
 		targets[i] = target
 		guards[i] = guard
 	}
+	a := b.Build()
+	// One Parallelism knob drives every stage: the same setting that sizes
+	// level-parallel propagation and PBA enumeration configures the solver
+	// kernels (whose results are bitwise identical at every worker count).
+	a.SetParallelism(engine.Workers(m.Cfg.Parallelism))
 	m.Problem = &solver.Problem{
-		A:       b.Build(),
+		A:       a,
 		B:       targets,
 		Guard:   guards,
 		Penalty: m.Opt.Penalty,
@@ -417,7 +422,7 @@ func (m *Model) solve(ctx context.Context) error {
 		}
 		m.Opt.Solver.X0 = x0
 	}
-	identityF := m.Problem.Objective(make([]float64, len(m.Columns)))
+	identityF := m.Problem.ObjectiveAtZero()
 	for rung, meth := range fallbackChain(m.Opt.Method) {
 		x, st, err := m.runSolver(ctx, meth)
 		att := Attempt{Method: meth, Stats: st}

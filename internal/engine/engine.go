@@ -28,9 +28,8 @@
 package engine
 
 import (
-	"runtime"
-
 	"mgba/internal/graph"
+	"mgba/internal/par"
 )
 
 // Config selects the analysis features of one run. The zero value is a
@@ -66,16 +65,9 @@ func DefaultConfig() Config {
 	return Config{DerateData: true, DerateClock: true}
 }
 
-// workers resolves a Parallelism setting to a concrete worker count.
-func workers(p int) int {
-	if p == 0 {
-		return runtime.NumCPU()
-	}
-	if p < 1 {
-		return 1
-	}
-	return p
-}
+// workers resolves a Parallelism setting to a concrete worker count,
+// using the repo-wide convention of internal/par.
+func workers(p int) int { return par.Workers(p) }
 
 // Workers resolves a Config.Parallelism setting to a concrete worker count
 // (0 = NumCPU, anything below 1 = sequential). Exported so other stages —

@@ -1,36 +1,20 @@
 package engine
 
-import "sync"
+import "mgba/internal/par"
 
 // grain is the smallest range worth handing to its own worker: below it,
-// goroutine startup and the WaitGroup rendezvous cost more than the work.
+// scheduling overhead costs more than the work.
 const grain = 64
 
-// parallelFor runs fn over [0, n) split into at most r.par contiguous
-// chunks, one goroutine each. fn(lo, hi) must touch only state owned by
-// its range — under that contract the schedule is free of data races and
-// the output is bitwise identical to the sequential order.
+// parallelFor runs fn over [0, n) in grain-sized blocks on the shared
+// internal/par pool, using up to r.par workers. fn(lo, hi) must touch
+// only state owned by its range — under that contract the schedule is
+// free of data races and the output is bitwise identical to the
+// sequential order (the block boundaries are fixed by n alone).
 func (r *Result) parallelFor(n int, fn func(lo, hi int)) {
 	if r.par <= 1 || n <= grain {
 		fn(0, n)
 		return
 	}
-	chunks := (n + grain - 1) / grain
-	if chunks > r.par {
-		chunks = r.par
-	}
-	size := (n + chunks - 1) / chunks
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += size {
-		hi := lo + size
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	par.For(r.par, n, grain, fn)
 }

@@ -129,8 +129,13 @@ func Fill(v []float64, x float64) {
 // ||a-b|| so that convergence from the all-zero initial point is still
 // detected (a common situation on the first solver iteration).
 func RelDiff(a, b []float64) float64 {
+	return RelDiffInto(make([]float64, len(a)), a, b)
+}
+
+// RelDiffInto is RelDiff with a caller-supplied difference buffer, for
+// per-iteration convergence tests that must not allocate.
+func RelDiffInto(d, a, b []float64) float64 {
 	checkLen(len(a), len(b))
-	d := make([]float64, len(a))
 	Sub(d, a, b)
 	nb := Norm2(b)
 	nd := Norm2(d)

@@ -1,0 +1,220 @@
+// Package par is the repo's single shared parallel-compute layer: one
+// persistent worker pool plus blocked parallel-for primitives whose block
+// decomposition is a function of the problem shape only — never of the
+// worker count — so every result built on them is bit-identical at every
+// Parallelism setting.
+//
+// The determinism contract has two halves. First, Blocks/ForBody split
+// [0, n) at fixed grain-sized boundaries; which worker executes which
+// block is dynamic (an atomic counter), but a block's range never moves.
+// Second, callers that reduce across blocks must combine per-block
+// partial results in ascending block order. Slot-writing kernels (each
+// index written by exactly one block) are deterministic for free;
+// reducing kernels get determinism from the fixed boundaries plus the
+// ordered combine. Crucially, ForBody with workers <= 1 still walks the
+// same blocks in ascending order, so the sequential path and every
+// parallel path share one floating-point summation tree.
+//
+// Pool lifecycle: the pool is started lazily on first use, holds
+// max(2, NumCPU) goroutines for the life of the process, and is never
+// torn down. Work is submitted with a non-blocking send; when the queue
+// is full (deep nesting, tiny machines) the submitting caller simply
+// executes the remaining blocks itself, so nested ForBody calls cannot
+// deadlock and a call always completes even if no pool worker ever picks
+// it up.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Parallelism knob to a concrete worker count using
+// the repo-wide convention: 0 means runtime.NumCPU(), anything below 1 is
+// sequential.
+func Workers(p int) int {
+	if p == 0 {
+		return runtime.NumCPU()
+	}
+	if p < 1 {
+		return 1
+	}
+	return p
+}
+
+// Body is one blocked computation: Chunk processes block b, which spans
+// [lo, hi) of the iteration range. Implementations that must not allocate
+// per call keep a reusable Body value and reset its fields between calls.
+type Body interface {
+	Chunk(b, lo, hi int)
+}
+
+// Blocks returns the number of fixed grain-sized blocks [0, n) splits
+// into. Block b spans [b*grain, min(n, (b+1)*grain)). The boundaries
+// depend only on n and grain, which is what makes blocked results
+// bit-identical at every worker count.
+func Blocks(n, grain int) int {
+	if n <= 0 {
+		return 0
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	return (n + grain - 1) / grain
+}
+
+// forState is one in-flight ForBody call, shared by the caller and every
+// pool worker helping it. States are pooled so a steady-state ForBody
+// call performs no heap allocation.
+type forState struct {
+	body     Body
+	n, grain int
+	blocks   int
+	next     atomic.Int64
+	wg       sync.WaitGroup
+}
+
+var statePool = sync.Pool{New: func() any { return new(forState) }}
+
+// run drains blocks from the shared counter until none remain. Dynamic
+// assignment balances load; determinism is unaffected because each block's
+// range is fixed and blocks touch disjoint slots (or slotted partials).
+func (st *forState) run() {
+	for {
+		b := int(st.next.Add(1)) - 1
+		if b >= st.blocks {
+			return
+		}
+		lo := b * st.grain
+		hi := lo + st.grain
+		if hi > st.n {
+			hi = st.n
+		}
+		st.body.Chunk(b, lo, hi)
+	}
+}
+
+var (
+	poolOnce sync.Once
+	queue    chan *forState
+)
+
+func startPool() {
+	w := runtime.NumCPU()
+	if w < 2 {
+		w = 2 // always at least one helper, so -race sees real concurrency
+	}
+	queue = make(chan *forState, 8*w)
+	for i := 0; i < w; i++ {
+		go func() {
+			for st := range queue {
+				st.run()
+				st.wg.Done()
+			}
+		}()
+	}
+}
+
+// submit offers st to the pool without blocking; a full queue is reported
+// to the caller, which then does the work itself.
+func submit(st *forState) bool {
+	poolOnce.Do(startPool)
+	select {
+	case queue <- st:
+		return true
+	default:
+		return false
+	}
+}
+
+// ForBody runs body.Chunk over every grain-sized block of [0, n), using
+// up to `workers` concurrent executors (the caller participates, so at
+// most workers-1 pool goroutines are recruited). With workers <= 1 the
+// blocks run sequentially in ascending order — the same boundaries, the
+// same summation trees, hence bit-identical results at every worker
+// count. ForBody returns only after every block has completed.
+func ForBody(workers, n, grain int, body Body) {
+	if grain < 1 {
+		grain = 1
+	}
+	blocks := Blocks(n, grain)
+	if blocks == 0 {
+		return
+	}
+	if workers <= 1 || blocks == 1 {
+		for b := 0; b < blocks; b++ {
+			lo := b * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			body.Chunk(b, lo, hi)
+		}
+		return
+	}
+	st := statePool.Get().(*forState)
+	st.body, st.n, st.grain, st.blocks = body, n, grain, blocks
+	st.next.Store(0)
+	helpers := workers - 1
+	if helpers > blocks-1 {
+		helpers = blocks - 1
+	}
+	st.wg.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		if !submit(st) {
+			// Queue full: release the unsubmitted shares and let the
+			// caller finish the remaining blocks itself.
+			for ; i < helpers; i++ {
+				st.wg.Done()
+			}
+			break
+		}
+	}
+	st.run()
+	// Help-while-waiting: drain other in-flight states from the queue
+	// before blocking. A waiter only blocks once the queue is empty, at
+	// which point every outstanding share (of any state) is actively being
+	// executed by some goroutine, so the wait always terminates; without
+	// this, nested ForBody calls on a saturated pool could all park in
+	// Wait with their work stranded in the queue.
+	for {
+		select {
+		case other := <-queue:
+			other.run()
+			other.wg.Done()
+		default:
+			st.wg.Wait()
+			st.body = nil
+			statePool.Put(st)
+			return
+		}
+	}
+}
+
+// funcBody adapts a plain function to Body for call sites where a
+// per-call closure allocation is acceptable.
+type funcBody func(b, lo, hi int)
+
+func (f funcBody) Chunk(b, lo, hi int) { f(b, lo, hi) }
+
+// For runs fn over [0, n) in grain-sized blocks. It is the convenience
+// form of ForBody for slot-writing loops that do not need the block
+// index; it allocates one closure per call, so allocation-free hot paths
+// should implement Body on a reusable struct instead.
+func For(workers, n, grain int, fn func(lo, hi int)) {
+	ForBody(workers, n, grain, funcBody(func(_, lo, hi int) { fn(lo, hi) }))
+}
+
+// Run invokes fn exactly `workers` times, up to `workers`-way
+// concurrently (the caller participates). It exists for fan-outs that do
+// their own dynamic load balancing — each fn invocation typically loops
+// over an atomic work counter with worker-local scratch. fn must be safe
+// to call concurrently; with workers <= 1 it is called once, inline.
+func Run(workers int, fn func()) {
+	if workers <= 1 {
+		fn()
+		return
+	}
+	ForBody(workers, workers, 1, funcBody(func(_, _, _ int) { fn() }))
+}

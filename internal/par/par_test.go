@@ -1,0 +1,124 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Fatalf("Workers(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	for p, want := range map[int]int{-3: 1, 1: 1, 2: 2, 8: 8} {
+		if got := Workers(p); got != want {
+			t.Fatalf("Workers(%d) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	cases := []struct{ n, grain, want int }{
+		{0, 10, 0}, {-5, 10, 0}, {1, 10, 1}, {10, 10, 1},
+		{11, 10, 2}, {100, 10, 10}, {7, 0, 7}, {7, -1, 7},
+	}
+	for _, c := range cases {
+		if got := Blocks(c.n, c.grain); got != c.want {
+			t.Fatalf("Blocks(%d, %d) = %d, want %d", c.n, c.grain, got, c.want)
+		}
+	}
+}
+
+// TestForCoversRange checks every index is visited exactly once at every
+// worker count, including degenerate grains.
+func TestForCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 33} {
+		for _, grain := range []int{0, 1, 7, 64, 1000} {
+			n := 501
+			hits := make([]int32, n)
+			For(workers, n, grain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d grain=%d: index %d visited %d times", workers, grain, i, h)
+				}
+			}
+		}
+	}
+}
+
+type rangeRecorder struct {
+	lo, hi []int64 // slot-written per block
+}
+
+func (r *rangeRecorder) Chunk(b, lo, hi int) {
+	r.lo[b] = int64(lo)
+	r.hi[b] = int64(hi)
+}
+
+// TestForBodyFixedBoundaries checks the block decomposition is identical
+// at every worker count — the heart of the determinism contract.
+func TestForBodyFixedBoundaries(t *testing.T) {
+	n, grain := 1003, 57
+	blocks := Blocks(n, grain)
+	ref := &rangeRecorder{lo: make([]int64, blocks), hi: make([]int64, blocks)}
+	ForBody(1, n, grain, ref)
+	if ref.lo[0] != 0 || ref.hi[blocks-1] != int64(n) {
+		t.Fatalf("serial decomposition does not span [0, %d): %v %v", n, ref.lo, ref.hi)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		got := &rangeRecorder{lo: make([]int64, blocks), hi: make([]int64, blocks)}
+		ForBody(workers, n, grain, got)
+		for b := 0; b < blocks; b++ {
+			if got.lo[b] != ref.lo[b] || got.hi[b] != ref.hi[b] {
+				t.Fatalf("workers=%d: block %d spans [%d,%d), want [%d,%d)",
+					workers, b, got.lo[b], got.hi[b], ref.lo[b], ref.hi[b])
+			}
+		}
+	}
+}
+
+func TestRunInvocationCount(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 16} {
+		var calls atomic.Int64
+		Run(workers, func() { calls.Add(1) })
+		if int(calls.Load()) != workers {
+			t.Fatalf("Run(%d) invoked fn %d times", workers, calls.Load())
+		}
+	}
+}
+
+// TestNestedForBody checks that a For inside a pool-executed block cannot
+// deadlock: the non-blocking submit path guarantees the caller can always
+// finish its own blocks.
+func TestNestedForBody(t *testing.T) {
+	var total atomic.Int64
+	For(8, 64, 1, func(lo, hi int) {
+		For(8, 64, 1, func(ilo, ihi int) {
+			total.Add(int64(ihi - ilo))
+		})
+	})
+	if total.Load() != 64*64 {
+		t.Fatalf("nested For covered %d indices, want %d", total.Load(), 64*64)
+	}
+}
+
+// TestForBodyReusedState hammers the pooled forState across many calls to
+// catch reuse races under -race.
+func TestForBodyReusedState(t *testing.T) {
+	for iter := 0; iter < 200; iter++ {
+		n := 97 + iter%13
+		sum := make([]int64, Blocks(n, 5))
+		ForBody(4, n, 5, funcBody(func(b, lo, hi int) { sum[b] = int64(hi - lo) }))
+		var got int64
+		for _, s := range sum {
+			got += s
+		}
+		if got != int64(n) {
+			t.Fatalf("iter %d: covered %d of %d", iter, got, n)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"mgba/internal/engine"
 	"mgba/internal/faultinject"
 	"mgba/internal/netlist"
+	"mgba/internal/par"
 	"mgba/internal/sta"
 )
 
@@ -315,24 +316,21 @@ func (a *Analyzer) KWorstAll(endpoints []int, k int, stopAtSlack *float64, paral
 		putScratch(sc)
 		return out
 	}
+	// Fan out on the shared internal/par pool: each worker drains an
+	// atomic endpoint counter with its own pooled scratch (endpoint costs
+	// are wildly uneven, so dynamic balancing beats fixed ranges).
 	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sc := getScratch()
-			defer putScratch(sc)
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(endpoints) {
-					return
-				}
-				out[i] = a.kWorst(sc, endpoints[i], k, stopAtSlack)
+	par.Run(workers, func() {
+		sc := getScratch()
+		defer putScratch(sc)
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(endpoints) {
+				return
 			}
-		}()
-	}
-	wg.Wait()
+			out[i] = a.kWorst(sc, endpoints[i], k, stopAtSlack)
+		}
+	})
 	return out
 }
 

@@ -1,0 +1,53 @@
+// Package prof wires the standard pprof outputs into the command-line
+// tools: a CPU profile covering the run and a heap profile written at
+// exit. It exists so every cmd exposes the same -cpuprofile/-memprofile
+// contract with one line of setup.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the requested profiles. cpuPath and memPath may each be
+// empty to disable that profile. The returned stop function ends the CPU
+// profile and writes the heap profile; call it exactly once, before the
+// process exits (a profile is silently incomplete otherwise).
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			runtime.GC() // materialize the live set before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("prof: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,183 @@
+package solver
+
+import (
+	"runtime"
+	"testing"
+
+	"mgba/internal/num"
+	"mgba/internal/rng"
+)
+
+// bigProblem returns a problem comfortably above evalCutoffNNZ so the
+// evaluation kernels take the blocked path, with an evaluation point that
+// leaves a mix of penalty-active and satisfied rows.
+func bigProblem(t testing.TB) (*Problem, []float64) {
+	t.Helper()
+	p, xTrue := randProblem(17, 6000, 800, 8, 60, 4) // 48000 nnz > cutoff
+	if p.A.NNZ() < evalCutoffNNZ {
+		t.Fatalf("fixture too small: %d nnz", p.A.NNZ())
+	}
+	x := make([]float64, len(xTrue))
+	r := rng.New(23)
+	for j := range x {
+		x[j] = xTrue[j] + 0.01*(r.Float64()-0.5)
+	}
+	return p, x
+}
+
+// TestObjectiveGradientMatchesSeparate: the fused kernel must be
+// bit-identical to separate Objective and Gradient calls (GD's line
+// search relies on this to reuse the trial gradient).
+func TestObjectiveGradientMatchesSeparate(t *testing.T) {
+	p, x := bigProblem(t)
+	for _, w := range []int{1, 4} {
+		p.A.SetParallelism(w)
+		fSep := p.Objective(x)
+		gSep := p.Gradient(nil, x)
+		fFused, gFused := p.ObjectiveGradient(make([]float64, p.A.Cols()), x)
+		if fFused != fSep {
+			t.Fatalf("workers=%d: fused objective %v, separate %v", w, fFused, fSep)
+		}
+		for j := range gSep {
+			if gFused[j] != gSep[j] {
+				t.Fatalf("workers=%d: fused gradient[%d] = %v, separate %v", w, j, gFused[j], gSep[j])
+			}
+		}
+	}
+}
+
+// TestEvalKernelsBitIdenticalAcrossWorkers is the determinism contract at
+// the Problem level: Objective, Gradient and ViolationCount must produce
+// bit-identical results at every Parallelism setting (run under -race in
+// CI, which also proves the blocked kernels race-free).
+func TestEvalKernelsBitIdenticalAcrossWorkers(t *testing.T) {
+	p, x := bigProblem(t)
+	p.A.SetParallelism(1)
+	refF := p.Objective(x)
+	refG := p.Gradient(nil, x)
+	refV := p.ViolationCount(x)
+	refZ := p.ObjectiveAtZero()
+	for _, w := range []int{2, 3, 8} {
+		p.A.SetParallelism(w)
+		if f := p.Objective(x); f != refF {
+			t.Fatalf("workers=%d: Objective %v, want %v", w, f, refF)
+		}
+		g := p.Gradient(nil, x)
+		for j := range refG {
+			if g[j] != refG[j] {
+				t.Fatalf("workers=%d: Gradient[%d] = %v, want %v", w, j, g[j], refG[j])
+			}
+		}
+		if v := p.ViolationCount(x); v != refV {
+			t.Fatalf("workers=%d: ViolationCount %d, want %d", w, v, refV)
+		}
+		if z := p.ObjectiveAtZero(); z != refZ {
+			t.Fatalf("workers=%d: ObjectiveAtZero %v, want %v", w, z, refZ)
+		}
+	}
+}
+
+// TestObjectiveAtZeroMatchesZeroVector: the matvec-free fast path must be
+// bit-identical to evaluating an explicit zero vector.
+func TestObjectiveAtZeroMatchesZeroVector(t *testing.T) {
+	p, _ := bigProblem(t)
+	for _, w := range []int{1, 8} {
+		p.A.SetParallelism(w)
+		want := p.Objective(make([]float64, p.A.Cols()))
+		if got := p.ObjectiveAtZero(); got != want {
+			t.Fatalf("workers=%d: ObjectiveAtZero %v, Objective(0) %v", w, got, want)
+		}
+	}
+}
+
+// solveAt runs one GD solve (blocked eval kernels: 6000x800, 48000 nnz),
+// one SCG solve on a tall system whose minibatch exceeds miniGrain (so
+// the blocked step reduction runs multi-block), and one SCGRS solve
+// (outer sampling loop), all at the given worker count. Fresh Problems
+// and RNGs per call: the solves must be bit-for-bit reproducible
+// functions of (problem, seed, workers).
+func solveAt(t *testing.T, workers int) (gd, scg, scgrs []float64) {
+	t.Helper()
+	opt := DefaultOptions()
+	opt.MaxIters = 120
+	pGD, _ := bigProblem(t)
+	pGD.A.SetParallelism(workers)
+	gd, _, err := GD(nil, pGD, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	optS := DefaultOptions()
+	optS.MaxIters = 300
+	pSCG, _ := randProblem(21, 16000, 200, 6, 20, 4) // k = 320 > miniGrain
+	pSCG.A.SetParallelism(workers)
+	scg, _, err = SCG(nil, pSCG, optS, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	optRS := DefaultOptions()
+	optRS.MaxIters = 300
+	optRS.MaxOuter = 4
+	pRS, _ := randProblem(22, 3000, 60, 6, 8, 10)
+	pRS.A.SetParallelism(workers)
+	scgrs, _, err = SCGRS(nil, pRS, optRS, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gd, scg, scgrs
+}
+
+// TestSolversBitIdenticalAcrossWorkers: entire GD, SCG and SCGRS solves —
+// every line-search trial, every stochastic minibatch, every convergence
+// test — must be bit-identical at every Parallelism setting.
+func TestSolversBitIdenticalAcrossWorkers(t *testing.T) {
+	refGD, refSCG, refSCGRS := solveAt(t, 1)
+	if num.Norm2(refGD) == 0 || num.Norm2(refSCG) == 0 || num.Norm2(refSCGRS) == 0 {
+		t.Fatal("reference solves did not move; fixture is degenerate")
+	}
+	for _, w := range []int{2, 3, 8} {
+		gd, scg, scgrs := solveAt(t, w)
+		for j := range refGD {
+			if gd[j] != refGD[j] {
+				t.Fatalf("workers=%d: GD x[%d] = %v, want %v", w, j, gd[j], refGD[j])
+			}
+		}
+		for j := range refSCG {
+			if scg[j] != refSCG[j] {
+				t.Fatalf("workers=%d: SCG x[%d] = %v, want %v", w, j, scg[j], refSCG[j])
+			}
+		}
+		for j := range refSCGRS {
+			if scgrs[j] != refSCGRS[j] {
+				t.Fatalf("workers=%d: SCGRS x[%d] = %v, want %v", w, j, scgrs[j], refSCGRS[j])
+			}
+		}
+	}
+}
+
+// TestEvalSteadyStateAllocs: once the Problem scratch is warm, the
+// evaluation kernels must not allocate at all. The scratch is owned by
+// the Problem (not a sync.Pool), so the bound is strict zero — but the
+// check is meaningless under -race, where the runtime itself allocates.
+func TestEvalSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	p, x := bigProblem(t)
+	g := make([]float64, p.A.Cols())
+	for _, w := range []int{1, 4} {
+		p.A.SetParallelism(w)
+		p.ObjectiveGradient(g, x) // warm the scratch
+		runtime.GC()
+		if a := testing.AllocsPerRun(20, func() { p.Objective(x) }); a != 0 {
+			t.Errorf("workers=%d: Objective allocates %.1f/op", w, a)
+		}
+		if a := testing.AllocsPerRun(20, func() { p.ObjectiveGradient(g, x) }); a != 0 {
+			t.Errorf("workers=%d: ObjectiveGradient allocates %.1f/op", w, a)
+		}
+		if a := testing.AllocsPerRun(20, func() { p.ViolationCount(x) }); a != 0 {
+			t.Errorf("workers=%d: ViolationCount allocates %.1f/op", w, a)
+		}
+	}
+}

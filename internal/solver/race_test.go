@@ -1,0 +1,7 @@
+//go:build race
+
+package solver
+
+// raceEnabled gates allocation-count assertions: the race runtime
+// instruments allocations and makes AllocsPerRun unreliable.
+const raceEnabled = true

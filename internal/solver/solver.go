@@ -26,6 +26,7 @@ import (
 
 	"mgba/internal/faultinject"
 	"mgba/internal/num"
+	"mgba/internal/par"
 	"mgba/internal/rng"
 	"mgba/internal/sparse"
 )
@@ -44,6 +45,9 @@ type Problem struct {
 	B       []float64 // per-row target (length A.Rows())
 	Guard   []float64 // per-row allowed shortfall, >= 0 (nil means zero)
 	Penalty float64   // w of Eq. (6); 0 disables the constraint term
+
+	// scratch holds the reusable evaluation buffers; see EnsureScratch.
+	scratch *Scratch
 }
 
 // Validate reports the first shape inconsistency.
@@ -89,40 +93,297 @@ func (p *Problem) rowTerm(i int, axi float64) (resid, shortfall float64) {
 	return resid, shortfall
 }
 
-// Objective evaluates Eq. (6) at x.
-func (p *Problem) Objective(x []float64) float64 {
-	ax := p.A.MulVec(nil, x)
+// evalCutoffNNZ is the system size below which the evaluation kernels
+// run as a single block; above it they use evalBlocks fixed row blocks.
+// Both constants depend only on the problem shape — never on the worker
+// count — so every Parallelism setting produces bit-identical values.
+const evalCutoffNNZ = 1 << 15
+
+// evalBlocks is the fixed block count of the blocked evaluation kernels:
+// each block owns an objective partial and (for gradients) a column-sized
+// accumulator, combined in ascending block order.
+const evalBlocks = 8
+
+// evalMergeGrain is the column grain of the (slot-writing) gradient
+// accumulator merge.
+const evalMergeGrain = 2048
+
+// miniGrain is the sample-block grain of SCG's minibatch kernels.
+const miniGrain = 256
+
+// evalGeometry returns the fixed row-block decomposition of the
+// evaluation kernels: a function of the matrix shape alone.
+func (p *Problem) evalGeometry() (grain, blocks int) {
+	rows := p.A.Rows()
+	if rows == 0 {
+		return 1, 0
+	}
+	if p.A.NNZ() < evalCutoffNNZ || rows < evalBlocks {
+		return rows, 1
+	}
+	grain = (rows + evalBlocks - 1) / evalBlocks
+	return grain, par.Blocks(rows, grain)
+}
+
+// Scratch holds every reusable buffer of the Problem evaluation kernels,
+// so steady-state solver iterations run without heap allocation. It is
+// attached lazily by EnsureScratch (the solvers do this on entry); a
+// Problem with scratch attached must not be evaluated concurrently with
+// itself — distinct Problems (SubProblem never shares scratch) remain
+// independent.
+type Scratch struct {
+	partials []float64   // per-block objective/violation partials
+	acc      [][]float64 // per-block gradient accumulators
+	alphaN   []float64   // per-block SCG step numerator partials
+	alphaD   []float64   // per-block SCG step denominator partials
+
+	eval  evalBody  // reusable blocked evaluation body
+	merge mergeBody // reusable accumulator-merge body
+	mini  miniBody  // reusable SCG minibatch-dot body
+	alpha alphaBody // reusable SCG step-reduction body
+}
+
+func (sc *Scratch) ensurePartials(blocks int) []float64 {
+	if cap(sc.partials) < blocks {
+		sc.partials = make([]float64, blocks)
+	}
+	sc.partials = sc.partials[:blocks]
+	return sc.partials
+}
+
+// ensureAcc returns blocks column-sized gradient accumulators. Contents
+// are stale; evalBody zeroes each block before scattering.
+func (sc *Scratch) ensureAcc(blocks, cols int) [][]float64 {
+	for len(sc.acc) < blocks {
+		sc.acc = append(sc.acc, nil)
+	}
+	for b := 0; b < blocks; b++ {
+		if cap(sc.acc[b]) < cols {
+			sc.acc[b] = make([]float64, cols)
+		}
+		sc.acc[b] = sc.acc[b][:cols]
+	}
+	return sc.acc[:blocks]
+}
+
+// EnsureScratch attaches (and returns) the problem's reusable evaluation
+// scratch. Idempotent; called automatically by the solvers.
+func (p *Problem) EnsureScratch() *Scratch {
+	if p.scratch == nil {
+		p.scratch = &Scratch{}
+	}
+	return p.scratch
+}
+
+// evalBody is one row block of the fused evaluation kernel: a single
+// sweep computes <a_i, x>, the penalized row terms, the block's objective
+// partial and — when grad is set — scatters the gradient coefficients
+// into the block's private accumulator (or straight into dst when the
+// kernel runs as a single block).
+type evalBody struct {
+	p        *Problem
+	x        []float64 // nil means the zero vector
+	grad     bool
+	count    bool // count guard-floor violations instead of the objective
+	partials []float64
+	acc      [][]float64 // per-block accumulators; nil when single-block
+	dst      []float64   // direct gradient target when acc is nil
+}
+
+func (e *evalBody) Chunk(b, lo, hi int) {
+	p := e.p
+	var g []float64
+	if e.grad {
+		if e.acc != nil {
+			g = e.acc[b]
+		} else {
+			g = e.dst
+		}
+		for j := range g {
+			g[j] = 0
+		}
+	}
 	var f float64
-	for i, axi := range ax {
+	for i := lo; i < hi; i++ {
+		var axi float64
+		if e.x != nil {
+			axi = p.A.RowDot(i, e.x)
+		}
+		if e.count {
+			if axi < p.B[i]-p.guard(i)-1e-12 {
+				f++
+			}
+			continue
+		}
 		r, s := p.rowTerm(i, axi)
 		f += r*r + p.Penalty*s*s
+		if e.grad {
+			p.A.AddScaledRow(g, i, 2*(r-p.Penalty*s))
+		}
 	}
+	e.partials[b] = f
+}
+
+// mergeBody combines the per-block gradient accumulators in ascending
+// block order, one dst slot per column — deterministic at every worker
+// count.
+type mergeBody struct {
+	dst []float64
+	acc [][]float64
+}
+
+func (b *mergeBody) Chunk(_, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		s := b.acc[0][j]
+		for t := 1; t < len(b.acc); t++ {
+			s += b.acc[t][j]
+		}
+		b.dst[j] = s
+	}
+}
+
+// miniBody computes SCG's per-sample row terms: coeffs[t] and active[t]
+// are slot-written, so the kernel is bit-identical at every worker count.
+// The gradient scatter stays serial in the caller (it preserves the exact
+// accumulation order of the reference implementation).
+type miniBody struct {
+	p      *Problem
+	x      []float64
+	rows   []int
+	coeffs []float64
+	active []bool
+}
+
+func (mb *miniBody) Chunk(_, lo, hi int) {
+	p := mb.p
+	for t := lo; t < hi; t++ {
+		axi := p.A.RowDot(mb.rows[t], mb.x)
+		resid, short := p.rowTerm(mb.rows[t], axi)
+		mb.coeffs[t] = resid - p.Penalty*short
+		mb.active[t] = short > 0
+	}
+}
+
+// alphaBody is the blocked reduction behind SCG's exact minibatch step:
+// per-block numerator/denominator partials over fixed miniGrain-sized
+// sample blocks, combined in block order by the caller.
+type alphaBody struct {
+	p            *Problem
+	d            []float64
+	rows         []int
+	coeffs       []float64
+	active       []bool
+	numer, denom []float64 // per-block partials
+}
+
+func (ab *alphaBody) Chunk(b, lo, hi int) {
+	p := ab.p
+	var nPart, dPart float64
+	for t := lo; t < hi; t++ {
+		ad := p.A.RowDot(ab.rows[t], ab.d)
+		w := 1.0
+		if ab.active[t] {
+			w += p.Penalty // penalty-active rows carry extra curvature
+		}
+		nPart += ab.coeffs[t] * ad
+		dPart += w * ad * ad
+	}
+	ab.numer[b] = nPart
+	ab.denom[b] = dPart
+}
+
+// ensureAlpha returns the per-block partial buffers of the SCG step
+// reduction.
+func (sc *Scratch) ensureAlpha(blocks int) ([]float64, []float64) {
+	if cap(sc.alphaN) < blocks {
+		sc.alphaN = make([]float64, blocks)
+		sc.alphaD = make([]float64, blocks)
+	}
+	sc.alphaN, sc.alphaD = sc.alphaN[:blocks], sc.alphaD[:blocks]
+	return sc.alphaN, sc.alphaD
+}
+
+// objGrad is the shared one-pass kernel behind Objective, Gradient and
+// ObjectiveGradient: blocked over rows with fixed boundaries, per-block
+// partials combined in block order. x == nil evaluates at the zero vector
+// without touching the matrix values' dot products.
+func (p *Problem) objGrad(dst, x []float64, grad, count bool) float64 {
+	if x != nil && len(x) != p.A.Cols() {
+		panic(fmt.Sprintf("solver: evaluation point has %d entries, want %d", len(x), p.A.Cols()))
+	}
+	rows := p.A.Rows()
+	if rows == 0 {
+		if grad {
+			num.Fill(dst, 0)
+		}
+		return 0
+	}
+	sc := p.EnsureScratch()
+	grain, blocks := p.evalGeometry()
+	partials := sc.ensurePartials(blocks)
+	w := p.A.Parallelism()
+	e := &sc.eval
+	e.p, e.x, e.grad, e.count, e.partials = p, x, grad, count, partials
+	if grad && blocks > 1 {
+		e.acc, e.dst = sc.ensureAcc(blocks, p.A.Cols()), nil
+	} else {
+		e.acc, e.dst = nil, dst
+	}
+	par.ForBody(w, rows, grain, e)
+	var f float64
+	for b := 0; b < blocks; b++ {
+		f += partials[b]
+	}
+	if grad && blocks > 1 {
+		mg := &sc.merge
+		mg.dst, mg.acc = dst, sc.acc[:blocks]
+		par.ForBody(w, p.A.Cols(), evalMergeGrain, mg)
+		mg.dst, mg.acc = nil, nil
+	}
+	e.p, e.x, e.partials, e.acc, e.dst = nil, nil, nil, nil, nil
 	return f
+}
+
+// Objective evaluates Eq. (6) at x.
+func (p *Problem) Objective(x []float64) float64 {
+	return p.objGrad(nil, x, false, false)
+}
+
+// ObjectiveAtZero evaluates Eq. (6) at the zero vector — ||B||^2 plus the
+// penalty terms — without any matrix-vector product. It is bit-identical
+// to Objective on an all-zero x (same blocked summation), which the
+// health checks comparing a fit against the identity correction rely on.
+func (p *Problem) ObjectiveAtZero() float64 {
+	return p.objGrad(nil, nil, false, false)
 }
 
 // Gradient writes the full gradient of the objective into dst (allocating
 // when nil) and returns it.
 func (p *Problem) Gradient(dst, x []float64) []float64 {
-	ax := p.A.MulVec(nil, x)
-	coeff := make([]float64, len(ax))
-	for i, axi := range ax {
-		r, s := p.rowTerm(i, axi)
-		coeff[i] = 2 * (r - p.Penalty*s)
+	if dst == nil {
+		dst = make([]float64, p.A.Cols())
 	}
-	return p.A.MulTVec(dst, coeff)
+	p.objGrad(dst, x, true, false)
+	return dst
+}
+
+// ObjectiveGradient fuses Objective and Gradient into one pass over the
+// matrix: per row block the dot product, the penalized row terms and the
+// gradient scatter happen in a single sweep, which roughly halves the
+// memory traffic of a GD iteration. The returned value and gradient are
+// bit-identical to separate Objective and Gradient calls.
+func (p *Problem) ObjectiveGradient(dst, x []float64) (float64, []float64) {
+	if dst == nil {
+		dst = make([]float64, p.A.Cols())
+	}
+	f := p.objGrad(dst, x, true, false)
+	return f, dst
 }
 
 // ViolationCount returns the number of rows whose modelled delay is below
 // the guard floor at x — the "violated path set" size of Eq. (6).
 func (p *Problem) ViolationCount(x []float64) int {
-	ax := p.A.MulVec(nil, x)
-	n := 0
-	for i, axi := range ax {
-		if axi < p.B[i]-p.guard(i)-1e-12 {
-			n++
-		}
-	}
-	return n
+	return int(p.objGrad(nil, x, false, true))
 }
 
 // SubProblem returns the problem restricted to the given rows (Algorithm
@@ -316,6 +577,8 @@ func GD(ctx context.Context, p *Problem, opt Options) ([]float64, Stats, error) 
 	}
 	prev := make([]float64, n)
 	g := make([]float64, n)
+	gNext := make([]float64, n)
+	diff := make([]float64, n)
 	st := Stats{RowsUsed: p.A.Rows(), Reason: StopMaxIters}
 	f := p.Objective(x)
 	f0 := f
@@ -336,12 +599,20 @@ func GD(ctx context.Context, p *Problem, opt Options) ([]float64, Stats, error) 
 		}
 	}
 	step := opt.GDStep
+	// The fused ObjectiveGradient kernel makes every accepted line-search
+	// trial also produce the gradient at the new iterate, so the explicit
+	// per-iteration gradient pass is only needed on the first iteration
+	// (and the trial values stay bit-identical to separate Objective
+	// calls, because both run the same blocked kernel).
+	haveGrad := false
 	for st.Iters = 1; st.Iters <= opt.MaxIters; st.Iters++ {
 		if cancelled(ctx) {
 			st.Reason = StopCancelled
 			break
 		}
-		p.Gradient(g, x)
+		if !haveGrad {
+			p.Gradient(g, x)
+		}
 		faultinject.Slice(faultinject.SolverGradient, g)
 		if !num.AllFinite(g) {
 			// A non-finite gradient leaves no usable descent direction;
@@ -363,7 +634,7 @@ func GD(ctx context.Context, p *Problem, opt Options) ([]float64, Stats, error) 
 			for j := range x {
 				x[j] = prev[j] - t*g[j]
 			}
-			fNew := p.Objective(x)
+			fNew, _ := p.ObjectiveGradient(gNext, x)
 			if math.IsNaN(fNew) || math.IsInf(fNew, 0) {
 				st.NumericalEvents++
 				t /= 2
@@ -375,6 +646,9 @@ func GD(ctx context.Context, p *Problem, opt Options) ([]float64, Stats, error) 
 				// Gentle growth so the next search starts near the
 				// accepted scale.
 				step = t * 2
+				// The accepted trial's gradient is next iteration's g.
+				g, gNext = gNext, g
+				haveGrad = true
 				break
 			}
 			t /= 2
@@ -384,13 +658,16 @@ func GD(ctx context.Context, p *Problem, opt Options) ([]float64, Stats, error) 
 			st.Reason = StopStalled
 			break // no descent direction at machine precision
 		}
-		if num.RelDiff(x, prev) <= opt.Tol {
+		if num.RelDiffInto(diff, x, prev) <= opt.Tol {
 			st.Reason = StopConverged
 			break
 		}
 	}
 	st.Converged = st.Reason.terminal()
-	st.Objective = p.Objective(x)
+	// f tracks the objective at x on every exit path (x only moves on an
+	// accepted trial, whose fused evaluation set f), so no final pass is
+	// needed and the value is bit-identical to re-evaluating.
+	st.Objective = f
 	st.Improved = st.Objective < f0
 	st.Elapsed = time.Since(start)
 	return x, st, nil
@@ -465,6 +742,20 @@ func SCG(ctx context.Context, p *Problem, opt Options, r *rng.Rand) ([]float64, 
 	coeffs := make([]float64, k)
 	active := make([]bool, k)
 
+	// Reusable minibatch kernels: sampling stays serial (preserving the
+	// RNG stream and the reference gradient exactly), the per-sample dot
+	// products and the step reduction run blocked. x and d are updated in
+	// place throughout the loop, so the bodies are wired up once here.
+	sc := p.EnsureScratch()
+	kWorkers := p.A.Parallelism()
+	kBlocks := par.Blocks(k, miniGrain)
+	alphaN, alphaD := sc.ensureAlpha(kBlocks)
+	mb := &sc.mini
+	mb.p, mb.x, mb.rows, mb.coeffs, mb.active = p, x, rows, coeffs, active
+	ab := &sc.alpha
+	ab.p, ab.d, ab.rows, ab.coeffs, ab.active = p, d, rows, coeffs, active
+	ab.numer, ab.denom = alphaN, alphaD
+
 	// Divergence safeguard: stochastic exact steps on tiny minibatches can
 	// occasionally compound into a blow-up, so the full objective is
 	// checked periodically; the method reverts to the best iterate (with a
@@ -507,15 +798,17 @@ func SCG(ctx context.Context, p *Problem, opt Options, r *rng.Rand) ([]float64, 
 			break
 		}
 		// Lines 3-5: sample k'' rows by Eq. (11), gradient on them only.
+		// The draw is serial (one RNG stream), the row terms are computed
+		// by the blocked slot-writing kernel, and the scatter back into g
+		// is serial in sample order — together bit-identical to the
+		// reference single-loop implementation at every worker count.
+		for t := 0; t < k; t++ {
+			rows[t] = sampler.Sample(r)
+		}
+		par.ForBody(kWorkers, k, miniGrain, mb)
 		num.Fill(g, 0)
 		for t := 0; t < k; t++ {
-			i := sampler.Sample(r)
-			axi := p.A.RowDot(i, x)
-			resid, short := p.rowTerm(i, axi)
-			rows[t] = i
-			coeffs[t] = resid - p.Penalty*short
-			active[t] = short > 0
-			p.A.AddScaledRow(g, i, 2*coeffs[t])
+			p.A.AddScaledRow(g, rows[t], 2*coeffs[t])
 		}
 		faultinject.Slice(faultinject.SolverGradient, g)
 		gn := num.Norm2(g)
@@ -562,15 +855,11 @@ func SCG(ctx context.Context, p *Problem, opt Options, r *rng.Rand) ([]float64, 
 		// displacement; the paper's s/||d|| rule serves as fallback when
 		// the minibatch curvature vanishes, and a trust region bounds the
 		// displacement against minibatch noise.
+		par.ForBody(kWorkers, k, miniGrain, ab)
 		var numer, denom float64
-		for t := 0; t < k; t++ {
-			ad := p.A.RowDot(rows[t], d)
-			w := 1.0
-			if active[t] {
-				w += p.Penalty // penalty-active rows carry extra curvature
-			}
-			numer += coeffs[t] * ad
-			denom += w * ad * ad
+		for b := 0; b < kBlocks; b++ {
+			numer += alphaN[b]
+			denom += alphaD[b]
 		}
 		var alpha float64
 		if denom > 0 {
@@ -763,6 +1052,27 @@ func FullSolve(ctx context.Context, p *Problem, maxOuter, cgIters int, tol float
 	x := make([]float64, n)
 	prev := make([]float64, n)
 	active := make([]bool, m)
+	// Every buffer of the outer loop (including CG's workspace) is
+	// allocated once per solve, so the iterations themselves are
+	// allocation-free.
+	av := make([]float64, m)
+	rhsRows := make([]float64, m)
+	rhs := make([]float64, n)
+	cgR := make([]float64, n)
+	cgAp := make([]float64, n)
+	cgP := make([]float64, n)
+	// (A^T W A) v, where active rows carry extra weight Penalty. The
+	// conditional form skips the no-op *= 1.0 of inactive rows, which is a
+	// bitwise identity.
+	matvec := func(dst, v []float64) {
+		p.A.MulVec(av, v)
+		for i := range av {
+			if active[i] {
+				av[i] *= 1 + p.Penalty
+			}
+		}
+		p.A.MulTVec(dst, av)
+	}
 	for outer := 0; outer < maxOuter; outer++ {
 		if cancelled(ctx) {
 			st.Reason = StopCancelled
@@ -770,9 +1080,9 @@ func FullSolve(ctx context.Context, p *Problem, maxOuter, cgIters int, tol float
 		}
 		st.Outer++
 		// Refresh the active set at the current x.
-		ax := p.A.MulVec(nil, x)
+		p.A.MulVec(av, x)
 		changed := false
-		for i, axi := range ax {
+		for i, axi := range av {
 			a := p.Penalty > 0 && axi < p.B[i]-p.guard(i)
 			if a != active[i] {
 				active[i] = a
@@ -785,18 +1095,6 @@ func FullSolve(ctx context.Context, p *Problem, maxOuter, cgIters int, tol float
 		}
 		// Solve (A^T W A) x = A^T W b' by CG, where active rows get extra
 		// weight Penalty and a target at their guard floor.
-		matvec := func(dst, v []float64) {
-			av := p.A.MulVec(nil, v)
-			for i := range av {
-				w := 1.0
-				if active[i] {
-					w += p.Penalty
-				}
-				av[i] *= w
-			}
-			p.A.MulTVec(dst, av)
-		}
-		rhsRows := make([]float64, m)
 		for i := 0; i < m; i++ {
 			rhsRows[i] = p.B[i]
 			if active[i] {
@@ -804,9 +1102,9 @@ func FullSolve(ctx context.Context, p *Problem, maxOuter, cgIters int, tol float
 				rhsRows[i] += p.Penalty * (p.B[i] - p.guard(i))
 			}
 		}
-		rhs := p.A.MulTVec(nil, rhsRows)
+		p.A.MulTVec(rhs, rhsRows)
 		copy(prev, x)
-		cg(matvec, rhs, x, cgIters, tol)
+		cg(matvec, rhs, x, cgIters, tol, cgR, cgAp, cgP)
 		st.Iters += cgIters
 		if !num.AllFinite(x) {
 			// CG blew up (ill-conditioned or corrupt data): keep the last
@@ -819,20 +1117,18 @@ func FullSolve(ctx context.Context, p *Problem, maxOuter, cgIters int, tol float
 	}
 	st.Converged = st.Reason.terminal()
 	st.Objective = p.Objective(x)
-	st.Improved = st.Objective < p.Objective(make([]float64, n))
+	st.Improved = st.Objective < p.ObjectiveAtZero()
 	st.Elapsed = time.Since(start)
 	return x, st, nil
 }
 
 // cg runs conjugate gradient on the SPD system matvec(x)=rhs, warm-started
-// from x, stopping at relative residual tol.
-func cg(matvec func(dst, v []float64), rhs, x []float64, iters int, tol float64) {
-	n := len(x)
-	r := make([]float64, n)
-	ap := make([]float64, n)
+// from x, stopping at relative residual tol. r, ap and pdir are
+// caller-supplied n-vectors of workspace.
+func cg(matvec func(dst, v []float64), rhs, x []float64, iters int, tol float64, r, ap, pdir []float64) {
 	matvec(ap, x)
 	num.Sub(r, rhs, ap)
-	pdir := num.Copy(r)
+	copy(pdir, r)
 	rs := num.Norm2Sq(r)
 	rhsN := num.Norm2(rhs)
 	if rhsN == 0 {

@@ -1,0 +1,8 @@
+//go:build race
+
+package sparse
+
+// raceEnabled reports that the race detector is active; sync.Pool
+// deliberately drops items under -race, so steady-state allocation
+// assertions are skipped.
+const raceEnabled = true

@@ -13,9 +13,10 @@ package sparse
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
 	"mgba/internal/faultinject"
+	"mgba/internal/par"
 )
 
 // Matrix is a CSR matrix. It is immutable under the solver-facing
@@ -27,41 +28,73 @@ type Matrix struct {
 	rowPtr     []int     // len rows+1
 	colIdx     []int     // len nnz
 	val        []float64 // len nnz
+	par        int       // worker count for the bulk kernels (<=1: serial)
 }
 
-// normalizeRow validates one row's parallel index/value slices against the
-// column count and returns the row in canonical CSR form: column-sorted
-// with duplicate columns summed (a gate appearing twice on a reconvergent
-// path contributes twice). Builder.AddRow and the patching methods share
-// it, so a patched row is bit-identical to the same row built from
-// scratch.
-func normalizeRow(cols int, indices []int, values []float64) ([]int, []float64, error) {
-	if len(indices) != len(values) {
-		return nil, nil, fmt.Errorf("sparse: %d indices for %d values", len(indices), len(values))
-	}
-	type ent struct {
-		j int
-		v float64
-	}
-	ents := make([]ent, 0, len(indices))
-	for k, j := range indices {
-		if j < 0 || j >= cols {
-			return nil, nil, fmt.Errorf("sparse: column %d out of range [0,%d)", j, cols)
-		}
-		ents = append(ents, ent{j, values[k]})
-	}
-	sort.Slice(ents, func(x, y int) bool { return ents[x].j < ents[y].j })
-	ci := make([]int, 0, len(ents))
-	vv := make([]float64, 0, len(ents))
-	for k := 0; k < len(ents); k++ {
-		if k > 0 && ents[k].j == ents[k-1].j {
-			vv[len(vv)-1] += ents[k].v
+// rowScratch is the pooled working set of normalizeRowInto: one row's
+// index/value pairs, sorted and deduplicated in place so builder-heavy
+// paths (cold calibration, SelectRows-driven subsampling, incremental row
+// patching) add rows without a per-row allocation.
+type rowScratch struct {
+	idx []int
+	val []float64
+}
+
+var rowPool = sync.Pool{New: func() any { return new(rowScratch) }}
+
+// shellGaps is the Ciura gap sequence; rows are path cells, so their
+// length is bounded by path depth and shellsort is comfortably fast.
+var shellGaps = [...]int{701, 301, 132, 57, 23, 10, 4, 1}
+
+// sortPairs sorts the parallel index/value slices by index using an
+// in-place shellsort: no allocation, no closure, and a deterministic
+// order for any input.
+func sortPairs(idx []int, val []float64) {
+	n := len(idx)
+	for _, gap := range shellGaps {
+		if gap >= n {
 			continue
 		}
-		ci = append(ci, ents[k].j)
-		vv = append(vv, ents[k].v)
+		for i := gap; i < n; i++ {
+			j, v := idx[i], val[i]
+			k := i
+			for ; k >= gap && idx[k-gap] > j; k -= gap {
+				idx[k], val[k] = idx[k-gap], val[k-gap]
+			}
+			idx[k], val[k] = j, v
+		}
 	}
-	return ci, vv, nil
+}
+
+// normalizeRowInto validates one row's parallel index/value slices
+// against the column count and leaves the row in canonical CSR form in sc:
+// column-sorted with duplicate columns summed (a gate appearing twice on
+// a reconvergent path contributes twice). Builder.AddRow and the patching
+// methods share it, so a patched row is bit-identical to the same row
+// built from scratch.
+func normalizeRowInto(sc *rowScratch, cols int, indices []int, values []float64) error {
+	if len(indices) != len(values) {
+		return fmt.Errorf("sparse: %d indices for %d values", len(indices), len(values))
+	}
+	for _, j := range indices {
+		if j < 0 || j >= cols {
+			return fmt.Errorf("sparse: column %d out of range [0,%d)", j, cols)
+		}
+	}
+	sc.idx = append(sc.idx[:0], indices...)
+	sc.val = append(sc.val[:0], values...)
+	sortPairs(sc.idx, sc.val)
+	w := 0
+	for k := 0; k < len(sc.idx); k++ {
+		if w > 0 && sc.idx[k] == sc.idx[w-1] {
+			sc.val[w-1] += sc.val[k]
+			continue
+		}
+		sc.idx[w], sc.val[w] = sc.idx[k], sc.val[k]
+		w++
+	}
+	sc.idx, sc.val = sc.idx[:w], sc.val[:w]
+	return nil
 }
 
 // Builder accumulates rows for a Matrix. Rows are appended in order; the
@@ -87,12 +120,13 @@ func NewBuilder(cols int) *Builder {
 // twice on a reconvergent path contributes twice). It returns an error for
 // out-of-range indices or mismatched slice lengths.
 func (b *Builder) AddRow(indices []int, values []float64) error {
-	ci, vv, err := normalizeRow(b.cols, indices, values)
-	if err != nil {
+	sc := rowPool.Get().(*rowScratch)
+	defer rowPool.Put(sc)
+	if err := normalizeRowInto(sc, b.cols, indices, values); err != nil {
 		return err
 	}
-	b.colIdx = append(b.colIdx, ci...)
-	b.val = append(b.val, vv...)
+	b.colIdx = append(b.colIdx, sc.idx...)
+	b.val = append(b.val, sc.val...)
 	b.rowPtr = append(b.rowPtr, len(b.colIdx))
 	return nil
 }
@@ -127,6 +161,157 @@ func (m *Matrix) Row(i int) (indices []int, values []float64) {
 	return m.colIdx[lo:hi], m.val[lo:hi]
 }
 
+// SetParallelism sets the worker count used by the bulk kernels (MulVec,
+// MulTVec, RowNormsSq). The value is a resolved worker count (as returned
+// by par.Workers); 0 and 1 both keep the kernels on the calling
+// goroutine. The setting never changes results: whenever the matrix is
+// large enough to use the blocked decomposition, the decomposition is a
+// function of the matrix shape alone, so every worker count — including
+// sequential execution of the same blocks — produces bit-identical
+// output. SelectRows propagates the setting to submatrices.
+func (m *Matrix) SetParallelism(workers int) { m.par = workers }
+
+// Parallelism returns the worker count set by SetParallelism.
+func (m *Matrix) Parallelism() int { return m.par }
+
+// parCutoffNNZ is the stored-entry count below which the bulk kernels
+// stay on the plain sequential path: under it, block bookkeeping costs
+// more than the work. Like the block grain, the cutoff depends only on
+// the matrix shape, never on the worker count.
+const parCutoffNNZ = 1 << 15
+
+// accBlocks is the fixed number of row blocks used by the blocked
+// transpose product: each block scatters into its own column-sized
+// accumulator and the accumulators are merged in ascending block order.
+// Fixed (rather than per-worker) accumulators are what keep the result
+// bit-identical at every worker count; 8 bounds both the merge cost and
+// the useful parallelism of MulTVec.
+const accBlocks = 8
+
+// mergeGrain is the column-block grain of the (slot-writing, hence
+// trivially deterministic) accumulator merge.
+const mergeGrain = 2048
+
+// rowGrain is the row-block grain of the row-partitioned kernels, sized
+// so one block carries roughly 4096 stored entries.
+func (m *Matrix) rowGrain() int {
+	nnz := len(m.val)
+	if m.rows == 0 || nnz == 0 {
+		return 1
+	}
+	g := m.rows * 4096 / nnz
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// mulBody is the row-partitioned A*x kernel: each dst slot is written by
+// exactly one block, so the parallel result is bitwise the serial one.
+type mulBody struct {
+	m   *Matrix
+	x   []float64
+	dst []float64
+}
+
+func (b *mulBody) Chunk(_, lo, hi int) {
+	m := b.m
+	for i := lo; i < hi; i++ {
+		var s float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.val[k] * b.x[m.colIdx[k]]
+		}
+		b.dst[i] = s
+	}
+}
+
+// mulTBody is one row block of the blocked transpose product: scatter
+// into this block's private column accumulator.
+type mulTBody struct {
+	m   *Matrix
+	y   []float64
+	acc [][]float64
+}
+
+func (b *mulTBody) Chunk(blk, lo, hi int) {
+	a := b.acc[blk]
+	for j := range a {
+		a[j] = 0
+	}
+	m := b.m
+	for i := lo; i < hi; i++ {
+		yi := b.y[i]
+		if yi == 0 {
+			continue
+		}
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			a[m.colIdx[k]] += m.val[k] * yi
+		}
+	}
+}
+
+// mergeBody combines the per-block accumulators in ascending block order,
+// one dst slot per column — deterministic at any worker count.
+type mergeBody struct {
+	dst []float64
+	acc [][]float64
+}
+
+func (b *mergeBody) Chunk(_, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		s := b.acc[0][j]
+		for t := 1; t < len(b.acc); t++ {
+			s += b.acc[t][j]
+		}
+		b.dst[j] = s
+	}
+}
+
+// normsBody is the row-partitioned squared-norm kernel.
+type normsBody struct {
+	m   *Matrix
+	dst []float64
+}
+
+func (b *normsBody) Chunk(_, lo, hi int) {
+	m := b.m
+	for i := lo; i < hi; i++ {
+		var s float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.val[k] * m.val[k]
+		}
+		b.dst[i] = s
+	}
+}
+
+// kernelScratch pools the reusable bodies and accumulators of the bulk
+// kernels so their steady state allocates nothing.
+type kernelScratch struct {
+	mul   mulBody
+	mulT  mulTBody
+	merge mergeBody
+	norms normsBody
+	acc   [][]float64
+}
+
+var kernelPool = sync.Pool{New: func() any { return new(kernelScratch) }}
+
+// accumulators returns blocks column-sized accumulators, reusing the
+// scratch storage. Contents are stale; mulTBody zeroes each block before
+// scattering.
+func (sc *kernelScratch) accumulators(blocks, cols int) [][]float64 {
+	for len(sc.acc) < blocks {
+		sc.acc = append(sc.acc, nil)
+	}
+	for b := 0; b < blocks; b++ {
+		if cap(sc.acc[b]) < cols {
+			sc.acc[b] = make([]float64, cols)
+		}
+		sc.acc[b] = sc.acc[b][:cols]
+	}
+	return sc.acc[:blocks]
+}
+
 // MulVec writes A*x into dst and returns dst; dst is allocated when nil.
 func (m *Matrix) MulVec(dst, x []float64) []float64 {
 	if len(x) != m.cols {
@@ -136,6 +321,16 @@ func (m *Matrix) MulVec(dst, x []float64) []float64 {
 		dst = make([]float64, m.rows)
 	} else if len(dst) != m.rows {
 		panic("sparse: MulVec dst length mismatch")
+	}
+	// Row-partitioned output slots make the parallel path bitwise equal to
+	// the serial loop, so this one may gate on the worker count.
+	if m.par > 1 && len(m.val) >= parCutoffNNZ {
+		sc := kernelPool.Get().(*kernelScratch)
+		sc.mul = mulBody{m: m, x: x, dst: dst}
+		par.ForBody(m.par, m.rows, m.rowGrain(), &sc.mul)
+		sc.mul = mulBody{}
+		kernelPool.Put(sc)
+		return dst
 	}
 	for i := 0; i < m.rows; i++ {
 		var s float64
@@ -147,7 +342,10 @@ func (m *Matrix) MulVec(dst, x []float64) []float64 {
 	return dst
 }
 
-// MulTVec writes A^T*y into dst and returns dst; dst is allocated when nil.
+// MulTVec writes A^T*y into dst and returns dst; dst is allocated when
+// nil. Above the nnz cutoff it always uses the blocked decomposition —
+// per-block column accumulators merged in ascending block order — even
+// sequentially, so the result is bit-identical at every worker count.
 func (m *Matrix) MulTVec(dst, y []float64) []float64 {
 	if len(y) != m.rows {
 		panic(fmt.Sprintf("sparse: MulTVec y has %d entries, want %d", len(y), m.rows))
@@ -156,6 +354,20 @@ func (m *Matrix) MulTVec(dst, y []float64) []float64 {
 		dst = make([]float64, m.cols)
 	} else if len(dst) != m.cols {
 		panic("sparse: MulTVec dst length mismatch")
+	}
+	if len(m.val) >= parCutoffNNZ && m.rows >= accBlocks {
+		grain := (m.rows + accBlocks - 1) / accBlocks
+		blocks := par.Blocks(m.rows, grain)
+		sc := kernelPool.Get().(*kernelScratch)
+		acc := sc.accumulators(blocks, m.cols)
+		sc.mulT = mulTBody{m: m, y: y, acc: acc}
+		par.ForBody(m.par, m.rows, grain, &sc.mulT)
+		sc.merge = mergeBody{dst: dst, acc: acc}
+		par.ForBody(m.par, m.cols, mergeGrain, &sc.merge)
+		sc.mulT = mulTBody{}
+		sc.merge = mergeBody{}
+		kernelPool.Put(sc)
+		return dst
 	}
 	for j := range dst {
 		dst[j] = 0
@@ -189,9 +401,17 @@ func (m *Matrix) AddScaledRow(dst []float64, i int, alpha float64) {
 }
 
 // RowNormsSq returns ||a_i||^2 for every row — the sampling weights of
-// Eq. (11).
+// Eq. (11). Slot-written per row, so parallel and serial agree bitwise.
 func (m *Matrix) RowNormsSq() []float64 {
 	out := make([]float64, m.rows)
+	if m.par > 1 && len(m.val) >= parCutoffNNZ {
+		sc := kernelPool.Get().(*kernelScratch)
+		sc.norms = normsBody{m: m, dst: out}
+		par.ForBody(m.par, m.rows, m.rowGrain(), &sc.norms)
+		sc.norms = normsBody{}
+		kernelPool.Put(sc)
+		return out
+	}
 	for i := 0; i < m.rows; i++ {
 		var s float64
 		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
@@ -234,7 +454,7 @@ func (m *Matrix) SelectRows(rows []int) *Matrix {
 		ci = append(ci, m.colIdx[m.rowPtr[i]:m.rowPtr[i+1]]...)
 		vv = append(vv, m.val[m.rowPtr[i]:m.rowPtr[i+1]]...)
 	}
-	return &Matrix{rows: len(rows), cols: m.cols, rowPtr: rp, colIdx: ci, val: vv}
+	return &Matrix{rows: len(rows), cols: m.cols, rowPtr: rp, colIdx: ci, val: vv, par: m.par}
 }
 
 // GrowCols widens the column space to cols. Existing entries keep their
@@ -256,10 +476,12 @@ func (m *Matrix) SetRow(i int, indices []int, values []float64) error {
 	if i < 0 || i >= m.rows {
 		return fmt.Errorf("sparse: SetRow index %d out of range [0,%d)", i, m.rows)
 	}
-	ci, vv, err := normalizeRow(m.cols, indices, values)
-	if err != nil {
+	sc := rowPool.Get().(*rowScratch)
+	defer rowPool.Put(sc)
+	if err := normalizeRowInto(sc, m.cols, indices, values); err != nil {
 		return err
 	}
+	ci, vv := sc.idx, sc.val
 	faultinject.Slice(faultinject.SparseRowPatch, vv)
 	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
 	d := len(vv) - (hi - lo)
