@@ -28,6 +28,7 @@ import (
 
 	"mgba/internal/closure"
 	"mgba/internal/gen"
+	"mgba/internal/obs"
 	"mgba/internal/prof"
 	"mgba/internal/report"
 )
@@ -44,6 +45,9 @@ func main() {
 	par := flag.Int("par", 0, "worker count for timing propagation, path enumeration and solver kernels (0: GOMAXPROCS, 1: serial; the result is identical at every setting)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/summary on this host:port (enables run metrics; :0 picks a free port, printed to stderr)")
+	debugHold := flag.Duration("debug-hold", 0, "keep the -debug-addr server up this long after the run finishes, for post-run inspection")
+	events := flag.String("events", "", "append structured JSONL run events (spans, checkpoints, ladder transitions) to this file")
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -55,6 +59,31 @@ func main() {
 			fmt.Fprintln(os.Stderr, "closure:", err)
 		}
 	}()
+
+	if *events != "" {
+		f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		obs.Enable(true)
+		obs.SetSink(f)
+		defer obs.SetSink(nil)
+	}
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "closure: debug server listening on %s\n", srv.Addr())
+		defer func() {
+			if *debugHold > 0 {
+				fmt.Fprintf(os.Stderr, "closure: holding debug server for %s\n", *debugHold)
+				time.Sleep(*debugHold)
+			}
+			srv.Close()
+		}()
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {

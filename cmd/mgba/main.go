@@ -21,6 +21,7 @@ import (
 	"mgba/internal/graph"
 	"mgba/internal/netio"
 	"mgba/internal/netlist"
+	"mgba/internal/obs"
 	"mgba/internal/prof"
 	"mgba/internal/report"
 	"mgba/internal/sta"
@@ -38,6 +39,8 @@ func main() {
 	par := flag.Int("par", 0, "worker count for timing propagation, path enumeration and solver kernels (0: GOMAXPROCS, 1: serial; the result is identical at every setting)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/summary on this host:port (enables run metrics; :0 picks a free port, printed to stderr)")
+	events := flag.String("events", "", "append structured JSONL run events (spans, ladder transitions) to this file")
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -49,6 +52,25 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mgba:", err)
 		}
 	}()
+
+	if *events != "" {
+		f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		obs.Enable(true)
+		obs.SetSink(f)
+		defer obs.SetSink(nil)
+	}
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "mgba: debug server listening on %s\n", srv.Addr())
+		defer srv.Close()
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {

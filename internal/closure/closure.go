@@ -33,6 +33,7 @@ import (
 	"mgba/internal/graph"
 	"mgba/internal/netio"
 	"mgba/internal/netlist"
+	"mgba/internal/obs"
 	"mgba/internal/pba"
 	"mgba/internal/sta"
 )
@@ -319,6 +320,7 @@ func run(ctx context.Context, d *netlist.Design, opt Options, st *ckptState, wei
 
 	for ph < phaseDone && !f.stopped() {
 		f.curPhase = ph
+		sp := obs.StartSpan("closure." + phaseName(ph))
 		switch ph {
 		case phaseRepair:
 			// Repair in rounds: each round fixes what its timing view can
@@ -333,6 +335,7 @@ func run(ctx context.Context, d *netlist.Design, opt Options, st *ckptState, wei
 			// weights, which are PBA-accurate by construction.
 			for ; round < 3; round++ {
 				f.curRound = round
+				obsRepairRounds.Inc()
 				f.checkpoint()
 				if err := f.fixViolations(); err != nil {
 					return nil, err
@@ -394,6 +397,7 @@ func run(ctx context.Context, d *netlist.Design, opt Options, st *ckptState, wei
 				ph = phaseDone
 			}
 		}
+		sp.End()
 	}
 
 	f.finish()
@@ -427,15 +431,12 @@ func (f *flow) restore(st *ckptState, weights []float64) {
 	r.Faults = append([]string(nil), st.Faults...)
 }
 
-// checkpoint atomically writes the current design, weights and flow state
-// to Options.CheckpointPath. Failures are recorded as faults, not errors:
-// losing a checkpoint must never lose the run.
-func (f *flow) checkpoint() {
-	f.sinceCkpt = 0
-	if f.opt.CheckpointPath == "" {
-		return
-	}
-	st := ckptState{
+// snapshot builds the serializable flow-progress state of a checkpoint.
+// Faults is copied defensively: f.res.Faults keeps growing after the
+// snapshot is taken (a failed checkpoint appends to it itself), so the
+// state to be marshalled must not alias the live slice.
+func (f *flow) snapshot() ckptState {
+	return ckptState{
 		Timer:           int(f.opt.Timer),
 		Phase:           int(f.curPhase),
 		Round:           f.curRound,
@@ -450,8 +451,19 @@ func (f *flow) checkpoint() {
 		Validations:     f.res.Validations,
 		Degraded:        f.res.DegradedCalibrations,
 		Checkpoints:     f.res.Checkpoints + 1,
-		Faults:          f.res.Faults,
+		Faults:          append([]string(nil), f.res.Faults...),
 	}
+}
+
+// checkpoint atomically writes the current design, weights and flow state
+// to Options.CheckpointPath. Failures are recorded as faults, not errors:
+// losing a checkpoint must never lose the run.
+func (f *flow) checkpoint() {
+	f.sinceCkpt = 0
+	if f.opt.CheckpointPath == "" {
+		return
+	}
+	st := f.snapshot()
 	blob, err := json.Marshal(&st)
 	if err == nil {
 		err = netio.SaveCheckpointFile(f.opt.CheckpointPath, &netio.Checkpoint{
@@ -461,9 +473,12 @@ func (f *flow) checkpoint() {
 		})
 	}
 	if err != nil {
+		obsCheckpointsFail.Inc()
+		obs.Event("checkpoint_failed", "err", err.Error())
 		f.res.Faults = append(f.res.Faults, fmt.Sprintf("checkpoint: %v", err))
 		return
 	}
+	obsCheckpointsOK.Inc()
 	f.res.Checkpoints++
 	if f.opt.OnCheckpoint != nil {
 		f.opt.OnCheckpoint(f.opt.CheckpointPath)
@@ -473,6 +488,7 @@ func (f *flow) checkpoint() {
 // noteTransform accounts one accepted transform and writes a periodic
 // checkpoint when the cadence says so.
 func (f *flow) noteTransform() {
+	obsTransforms.Inc()
 	f.res.Transforms++
 	f.transforms++
 	f.sinceCkpt++
@@ -556,6 +572,7 @@ func (f *flow) calibrate() error {
 		return err
 	}
 	f.res.Calibrations++
+	obsCalibrations.Inc()
 	f.res.CalibElapsed += time.Since(t0)
 	if model.Degraded || model.Partial {
 		f.res.DegradedCalibrations++
@@ -701,6 +718,7 @@ func (f *flow) fixViolations() error {
 func (f *flow) validateViolators() int {
 	t0 := time.Now()
 	f.res.Validations++
+	obsValidations.Inc()
 	an := pba.NewAnalyzer(f.r)
 	real := 0
 	for fi, s := range f.r.Slack {
@@ -728,6 +746,7 @@ func (f *flow) violatedCount() int {
 			n++
 		}
 	}
+	obsViolated.SetInt(n)
 	return n
 }
 

@@ -1,0 +1,32 @@
+package closure
+
+import "mgba/internal/obs"
+
+// Closure-flow metrics: accepted transforms, checkpoint outcomes,
+// repair-loop progress. Phase timings come from the closure.<phase>
+// spans opened in run(). Observation-only per the obs inertness
+// contract — in particular the violated-endpoints gauge reuses counts
+// the flow computes anyway.
+var (
+	obsTransforms      = obs.NewCounter("closure.transforms")
+	obsCheckpointsOK   = obs.NewCounter("closure.checkpoints.ok")
+	obsCheckpointsFail = obs.NewCounter("closure.checkpoints.failed")
+	obsCalibrations    = obs.NewCounter("closure.calibrations")
+	obsValidations     = obs.NewCounter("closure.validations")
+	obsRepairRounds    = obs.NewCounter("closure.repair.rounds")
+	obsViolated        = obs.NewGauge("closure.last.violated_endpoints")
+)
+
+// phaseName names a flow phase for spans and events.
+func phaseName(ph phase) string {
+	switch ph {
+	case phaseRepair:
+		return "repair"
+	case phaseRecovery:
+		return "recovery"
+	case phaseFinal:
+		return "final"
+	default:
+		return "done"
+	}
+}

@@ -1,0 +1,85 @@
+package closure_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mgba/internal/closure"
+	"mgba/internal/gen"
+	"mgba/internal/obs"
+)
+
+// TestObsOnOffClosureBitIdentical extends the obs inertness contract to
+// the whole closure flow on the D3 suite design: with metrics, phase
+// spans and the event sink live, the flow must accept the exact same
+// transform sequence and land on bit-identical QoR and weights as an
+// uninstrumented run, at serial and parallel settings.
+func TestObsOnOffClosureBitIdentical(t *testing.T) {
+	cfg := gen.Suite()[2] // D3
+
+	run := func(par int, on bool) *closure.Result {
+		t.Helper()
+		prev := obs.Enabled()
+		defer obs.Enable(prev)
+		obs.Enable(on)
+		if on {
+			var sink bytes.Buffer
+			obs.SetSink(&sink)
+			defer obs.SetSink(nil)
+		}
+		d, err := gen.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := closure.DefaultOptions(closure.TimerMGBA)
+		// Force mid-flow recalibrations so the instrumented incremental
+		// calibrator path is exercised, not just the cold one.
+		opt.RecalibrateEvery = 25
+		opt.STA.Parallelism = par
+		res, err := closure.Optimize(d, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	for _, par := range []int{1, 4} {
+		t.Run(fmt.Sprintf("par%d", par), func(t *testing.T) {
+			off := run(par, false)
+			on := run(par, true)
+			if on.Transforms != off.Transforms {
+				t.Fatalf("transform counts differ: obs-on %d vs obs-off %d",
+					on.Transforms, off.Transforms)
+			}
+			if on.Upsized != off.Upsized || on.Downsized != off.Downsized ||
+				on.BuffersAdded != off.BuffersAdded {
+				t.Fatalf("transform mix differs: up %d/%d down %d/%d buf %d/%d",
+					on.Upsized, off.Upsized, on.Downsized, off.Downsized,
+					on.BuffersAdded, off.BuffersAdded)
+			}
+			if on.Calibrations != off.Calibrations || on.Validations != off.Validations {
+				t.Fatalf("pipeline counts differ: calib %d/%d validate %d/%d",
+					on.Calibrations, off.Calibrations, on.Validations, off.Validations)
+			}
+			if on.TimerWNS != off.TimerWNS || on.TimerTNS != off.TimerTNS ||
+				on.SignoffWNS != off.SignoffWNS || on.SignoffTNS != off.SignoffTNS {
+				t.Fatalf("QoR differs: timer %v/%v %v/%v signoff %v/%v %v/%v",
+					on.TimerWNS, off.TimerWNS, on.TimerTNS, off.TimerTNS,
+					on.SignoffWNS, off.SignoffWNS, on.SignoffTNS, off.SignoffTNS)
+			}
+			if on.Area != off.Area || on.Leakage != off.Leakage {
+				t.Fatalf("area/leakage differ: %v/%v vs %v/%v",
+					on.Area, off.Area, on.Leakage, off.Leakage)
+			}
+			if len(on.Weights) != len(off.Weights) {
+				t.Fatalf("weight lengths differ: %d vs %d", len(on.Weights), len(off.Weights))
+			}
+			for i := range off.Weights {
+				if on.Weights[i] != off.Weights[i] {
+					t.Fatalf("weights diverge at %d: %v vs %v", i, on.Weights[i], off.Weights[i])
+				}
+			}
+		})
+	}
+}

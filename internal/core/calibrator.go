@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"mgba/internal/engine"
+	"mgba/internal/obs"
 	"mgba/internal/pathsel"
 	"mgba/internal/pba"
 	"mgba/internal/solver"
@@ -134,6 +135,9 @@ func (c *Calibrator) cold(ctx context.Context, sel *pathsel.Selection) (*Model, 
 	}
 	c.Invalidate()
 	c.stats.Cold++
+	obsCalibCold.Inc()
+	sp := obs.StartSpan("calibrate.cold")
+	defer sp.End()
 	m := &Model{G: c.sess.G, Session: c.sess, Cfg: c.cfg, Opt: c.opt, SafetyScale: 1}
 	m.Opt.WarmWeights = c.warm
 	// One baseline timing run is the minimum for a usable model and the
@@ -144,6 +148,7 @@ func (c *Calibrator) cold(ctx context.Context, sel *pathsel.Selection) (*Model, 
 		return c.finish(m.abandon("cancelled before path selection")), nil
 	}
 	an := pba.NewAnalyzer(m.GBA)
+	spEnum := sp.Child("enumerate")
 	var pop *pathsel.Population
 	if sel != nil {
 		m.Selection = sel
@@ -152,6 +157,7 @@ func (c *Calibrator) cold(ctx context.Context, sel *pathsel.Selection) (*Model, 
 		m.Selection = pop.TopK(c.opt.K, c.opt.MaxPaths)
 	}
 	if len(m.Selection.Paths) == 0 {
+		spEnum.End()
 		// Nothing violates: mGBA degenerates to GBA with unit weights.
 		m.MGBA = m.GBA
 		return c.finish(m), nil
@@ -159,19 +165,29 @@ func (c *Calibrator) cold(ctx context.Context, sel *pathsel.Selection) (*Model, 
 	m.Timings = make([]*pba.Timing, len(m.Selection.Paths))
 	for i, p := range m.Selection.Paths {
 		if i%256 == 0 && cancelled(ctx) {
+			spEnum.End()
 			return c.finish(m.abandon("cancelled during PBA retiming")), nil
 		}
 		m.Timings[i] = an.Retime(p)
 	}
+	spEnum.End()
+	spAsm := sp.Child("assemble")
 	if err := m.assemble(); err != nil {
+		spAsm.End()
 		return nil, err
 	}
+	spAsm.End()
+	spSolve := sp.Child("solve")
 	if err := m.solve(ctx); err != nil {
+		spSolve.End()
 		return nil, err
 	}
+	spSolve.End()
+	spVal := sp.Child("validate")
 	wcfg := c.cfg
 	wcfg.Weights = m.Weights
 	m.MGBA = c.sess.Run(wcfg)
+	spVal.End()
 	// Fill the cache only when the model is trustworthy and the selection
 	// is the plain endpoint-major concatenation (an mCap-truncated
 	// round-robin selection cannot be patched per endpoint).
@@ -239,6 +255,9 @@ func (c *Calibrator) Recalibrate(ctx context.Context, dirty []int) (*Model, erro
 		}
 	}
 	c.stats.Incremental++
+	obsCalibIncremental.Inc()
+	sp := obs.StartSpan("calibrate.recalibrate")
+	defer sp.End()
 	m := &Model{G: c.sess.G, Session: c.sess, Cfg: c.cfg, Opt: c.opt, SafetyScale: 1}
 	m.Opt.WarmWeights = c.warm
 	c.gba.Update(dirty)
@@ -249,6 +268,7 @@ func (c *Calibrator) Recalibrate(ctx context.Context, dirty []int) (*Model, erro
 		return c.finish(m.abandon("cancelled before path selection")), nil
 	}
 	an := pba.NewAnalyzer(m.GBA)
+	spEnum := sp.Child("enumerate")
 	var slots []int
 	for _, fi := range c.sess.FanoutEndpoints(dirty) {
 		if s, ok := c.slotOf[fi]; ok {
@@ -263,7 +283,9 @@ func (c *Calibrator) Recalibrate(ctx context.Context, dirty []int) (*Model, erro
 	zero := 0.0
 	newGroups := an.KWorstAll(affected, c.opt.K, &zero, c.cfg.Parallelism)
 	c.stats.EndpointsReenumerated += len(affected)
+	obsEndpointsReenum.Add(int64(len(affected)))
 	if cancelled(ctx) {
+		spEnum.End()
 		c.Invalidate()
 		return c.finish(m.abandon("cancelled before path selection")), nil
 	}
@@ -273,6 +295,7 @@ func (c *Calibrator) Recalibrate(ctx context.Context, dirty []int) (*Model, erro
 		newTimings[i] = make([]*pba.Timing, len(g))
 		for j, p := range g {
 			if retimed%256 == 0 && cancelled(ctx) {
+				spEnum.End()
 				c.Invalidate()
 				return c.finish(m.abandon("cancelled during PBA retiming")), nil
 			}
@@ -280,6 +303,7 @@ func (c *Calibrator) Recalibrate(ctx context.Context, dirty []int) (*Model, erro
 			retimed++
 		}
 	}
+	spEnum.End()
 	oldCounts := make([]int, len(c.groups))
 	for s, g := range c.groups {
 		oldCounts[s] = len(g)
@@ -297,8 +321,10 @@ func (c *Calibrator) Recalibrate(ctx context.Context, dirty []int) (*Model, erro
 		// truncation, which the per-endpoint cache cannot reproduce.
 		return c.cold(ctx, nil)
 	}
+	spAsm := sp.Child("assemble")
 	newCols, colOf := c.columnMap()
 	if err := c.refreshRows(m, slots, oldCounts, newCols, colOf); err != nil {
+		spAsm.End()
 		return nil, err
 	}
 	c.cols = newCols
@@ -311,6 +337,7 @@ func (c *Calibrator) Recalibrate(ctx context.Context, dirty []int) (*Model, erro
 		m.Timings = append(m.Timings, tg...)
 	}
 	if len(m.Selection.Paths) == 0 {
+		spAsm.End()
 		// All violations repaired: degenerate to GBA, and drop the cache —
 		// an empty matrix is not worth patching back to life.
 		m.MGBA = m.GBA
@@ -326,11 +353,18 @@ func (c *Calibrator) Recalibrate(ctx context.Context, dirty []int) (*Model, erro
 	c.mat.SetParallelism(engine.Workers(c.cfg.Parallelism))
 	m.Problem = &solver.Problem{A: c.mat, B: flatB, Guard: flatG, Penalty: c.opt.Penalty}
 	if err := m.Problem.Validate(); err != nil {
+		spAsm.End()
 		return nil, err
 	}
+	spAsm.End()
+	spSolve := sp.Child("solve")
 	if err := m.solve(ctx); err != nil {
+		spSolve.End()
 		return nil, err
 	}
+	spSolve.End()
+	spVal := sp.Child("validate")
+	defer spVal.End()
 	wcfg := c.cfg
 	wcfg.Weights = m.Weights
 	if c.mgba != nil {

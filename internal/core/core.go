@@ -24,6 +24,7 @@ import (
 	"mgba/internal/engine"
 	"mgba/internal/graph"
 	"mgba/internal/num"
+	"mgba/internal/obs"
 	"mgba/internal/pathsel"
 	"mgba/internal/pba"
 	"mgba/internal/rng"
@@ -232,6 +233,8 @@ func validateOptions(cfg sta.Config, opt Options) error {
 // always pessimism-safe (GBA never under-estimates a path delay that PBA
 // would increase).
 func (m *Model) abandon(why string) *Model {
+	obsCalibAbandoned.Inc()
+	obs.Event("calibration_abandoned", "why", why)
 	m.Selection = &pathsel.Selection{}
 	m.Timings = nil
 	m.Problem = nil
@@ -414,6 +417,7 @@ func (m *Model) solve(ctx context.Context) error {
 		return fmt.Errorf("core: unknown method %v", m.Opt.Method)
 	}
 	if m.Opt.WarmWeights != nil {
+		obsWarmStartHits.Inc()
 		x0 := make([]float64, len(m.Columns))
 		for k, c := range m.Columns {
 			if c < len(m.Opt.WarmWeights) && m.Opt.WarmWeights[c] > 0 {
@@ -435,7 +439,15 @@ func (m *Model) solve(ctx context.Context) error {
 			att.Rejected = err.Error()
 		}
 		m.Attempts = append(m.Attempts, att)
+		obsLadderAttempts.Inc()
+		if att.Rejected != "" {
+			obsLadderRejected.Inc()
+			obs.Event("ladder_reject", "method", meth.String(), "reason", att.Rejected)
+		}
 		if err == nil && att.Rejected == "" {
+			if rung > 0 {
+				obsCalibDegraded.Inc()
+			}
 			m.Correction = x
 			m.Stats = st
 			m.Degraded = rung > 0
@@ -456,6 +468,7 @@ func (m *Model) solve(ctx context.Context) error {
 		}
 	}
 	// Total failure: identity weights (mGBA == GBA on every path).
+	obsCalibDegraded.Inc()
 	m.Correction = make([]float64, len(m.Columns))
 	m.Weights = identity(len(m.G.D.Instances))
 	m.Stats = solver.Stats{}

@@ -1,0 +1,18 @@
+package core
+
+import "mgba/internal/obs"
+
+// Calibration metrics: pipeline outcomes, warm-start reuse, and the
+// solver degradation ladder. Phase timings live in the span histograms
+// (span.calibrate.cold.*, span.calibrate.recalibrate.*) emitted by the
+// Calibrator. Observation-only per the obs inertness contract.
+var (
+	obsCalibCold        = obs.NewCounter("core.calibrations.cold")
+	obsCalibIncremental = obs.NewCounter("core.calibrations.incremental")
+	obsCalibDegraded    = obs.NewCounter("core.calibrations.degraded")
+	obsCalibAbandoned   = obs.NewCounter("core.calibrations.abandoned")
+	obsWarmStartHits    = obs.NewCounter("core.warm_start.hits")
+	obsLadderAttempts   = obs.NewCounter("core.ladder.attempts")
+	obsLadderRejected   = obs.NewCounter("core.ladder.rejected")
+	obsEndpointsReenum  = obs.NewCounter("core.endpoints.reenumerated")
+)

@@ -1,0 +1,87 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"mgba/internal/core"
+	"mgba/internal/gen"
+	"mgba/internal/graph"
+	"mgba/internal/obs"
+	"mgba/internal/sta"
+)
+
+// TestObsOnOffCalibrationBitIdentical is the inertness contract of the
+// observability layer at the calibration level: enabling metrics, spans
+// and the JSONL event sink must not move a single bit of the fitted
+// model — same RNG streams, same ordered combines, same weights — at
+// serial and parallel settings alike (the D3 suite design, Parallelism
+// 1 and 4).
+func TestObsOnOffCalibrationBitIdentical(t *testing.T) {
+	cfg := gen.Suite()[2] // D3
+	d, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	calibrate := func(par int, on bool) *core.Model {
+		t.Helper()
+		prev := obs.Enabled()
+		defer obs.Enable(prev)
+		obs.Enable(on)
+		if on {
+			// Exercise the full instrumented path, sink included.
+			var sink bytes.Buffer
+			obs.SetSink(&sink)
+			defer obs.SetSink(nil)
+		}
+		scfg := sta.DefaultConfig()
+		scfg.Parallelism = par
+		m, err := core.Calibrate(context.Background(), g, scfg, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	for _, par := range []int{1, 4} {
+		t.Run(fmt.Sprintf("par%d", par), func(t *testing.T) {
+			off := calibrate(par, false)
+			on := calibrate(par, true)
+			if len(off.Selection.Paths) == 0 {
+				t.Fatal("fixture too tame: no violated paths selected")
+			}
+			if len(on.Weights) != len(off.Weights) {
+				t.Fatalf("weight lengths differ: %d vs %d", len(on.Weights), len(off.Weights))
+			}
+			for i := range off.Weights {
+				if on.Weights[i] != off.Weights[i] {
+					t.Fatalf("weights diverge at %d: obs-on %v vs obs-off %v",
+						i, on.Weights[i], off.Weights[i])
+				}
+			}
+			if len(on.Correction) != len(off.Correction) {
+				t.Fatalf("correction lengths differ: %d vs %d", len(on.Correction), len(off.Correction))
+			}
+			for i := range off.Correction {
+				if on.Correction[i] != off.Correction[i] {
+					t.Fatalf("correction diverges at %d: %v vs %v",
+						i, on.Correction[i], off.Correction[i])
+				}
+			}
+			if on.Stats.Iters != off.Stats.Iters || on.Stats.Objective != off.Stats.Objective {
+				t.Fatalf("solver trajectory differs: iters %d/%d, objective %v/%v",
+					on.Stats.Iters, off.Stats.Iters, on.Stats.Objective, off.Stats.Objective)
+			}
+			if on.Degraded != off.Degraded {
+				t.Fatalf("degradation differs: %v vs %v", on.Degraded, off.Degraded)
+			}
+		})
+	}
+}

@@ -1,0 +1,17 @@
+package engine
+
+import "mgba/internal/obs"
+
+// Engine metrics: full analysis runs, incremental updates, and the two
+// level-parallel sweep timings. All hooks are observation-only — they
+// never change sweep order or worker assignment (inertness contract in
+// package obs).
+var (
+	obsRuns    = obs.NewCounter("engine.runs")
+	obsUpdates = obs.NewCounter("engine.updates")
+
+	obsRunNS      = obs.NewHistogram("engine.run_ns", obs.DurationBuckets)
+	obsForwardNS  = obs.NewHistogram("engine.forward_ns", obs.DurationBuckets)
+	obsBackwardNS = obs.NewHistogram("engine.backward_ns", obs.DurationBuckets)
+	obsUpdateNS   = obs.NewHistogram("engine.update_ns", obs.DurationBuckets)
+)

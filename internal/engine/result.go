@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"mgba/internal/graph"
+	"mgba/internal/obs"
 )
 
 // Result holds one complete forward/backward GBA analysis of a design.
@@ -383,6 +384,11 @@ func (r *Result) Update(modified []int) {
 	if len(modified) == 0 {
 		return
 	}
+	tUpd := obs.Clock()
+	defer func() {
+		obsUpdates.Inc()
+		obsUpdateNS.ObserveSince(tUpd)
+	}()
 	d := r.G.D
 	dirty := make(map[int]bool, len(modified))
 	queue := append([]int(nil), modified...)

@@ -7,6 +7,7 @@ import (
 
 	"mgba/internal/graph"
 	"mgba/internal/netlist"
+	"mgba/internal/obs"
 )
 
 // Session owns everything derivable from the design alone: the timing
@@ -366,6 +367,7 @@ func (s *Session) RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 }
 
 func (s *Session) run(ctx context.Context, cfg Config) (*Result, error) {
+	tRun := obs.Clock()
 	cs := s.clockState(cfg)
 	sc := s.getScratch()
 	r := &Result{
@@ -398,13 +400,19 @@ func (s *Session) run(ctx context.Context, cfg Config) (*Result, error) {
 		par: workers(cfg.Parallelism),
 		ctx: ctx,
 	}
+	tFwd := obs.Clock()
 	r.forwardAll()
+	obsForwardNS.ObserveSince(tFwd)
+	tBwd := obs.Clock()
 	r.backwardAll()
+	obsBackwardNS.ObserveSince(tBwd)
 	if r.aborted {
 		r.Release()
 		return nil, ctx.Err()
 	}
 	r.ctx = nil // cancellation applies to this run only, not later Updates
 	r.endpointSlacks()
+	obsRuns.Inc()
+	obsRunNS.ObserveSince(tRun)
 	return r, nil
 }

@@ -46,6 +46,10 @@ const (
 	// corrupt the row (e.g. NaN) before it is stored, simulating a bad
 	// incremental assembly.
 	SparseRowPatch
+	// NetioSyncDir fires before netio's atomic writer fsyncs the parent
+	// directory after the rename; an error hook simulates a directory
+	// sync failing in the rename-then-crash window.
+	NetioSyncDir
 	numPoints
 )
 

@@ -171,9 +171,13 @@ func Load(r io.Reader) (*netlist.Design, error) {
 	return fromFile(&fd)
 }
 
-// writeAtomic writes via fn to a temp file alongside path, fsyncs, and
-// renames it over path, so a crash mid-write can never clobber an existing
-// snapshot: readers observe either the old complete file or the new one.
+// writeAtomic writes via fn to a temp file alongside path, fsyncs, renames
+// it over path, and fsyncs the parent directory, so a crash at any point
+// can never clobber or lose an existing snapshot: readers observe either
+// the old complete file or the new one. The directory sync is what makes
+// the rename itself durable — without it, a power loss shortly after a
+// "successful" checkpoint can roll the directory entry back to the old
+// file (or to nothing, for a first write).
 func writeAtomic(path string, fn func(io.Writer) error) (err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
@@ -198,7 +202,30 @@ func writeAtomic(path string, fn func(io.Writer) error) (err error) {
 	if err = os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("netio: %w", err)
 	}
+	if err = syncDir(dir); err != nil {
+		// The rename has happened and the new snapshot is complete on
+		// disk; only its durability against power loss is in doubt, which
+		// the caller must hear about.
+		return fmt.Errorf("netio: sync dir after rename: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a preceding rename in it is durable.
+func syncDir(dir string) error {
+	if err := faultinject.Err(faultinject.NetioSyncDir); err != nil {
+		return err
+	}
+	df, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := df.Sync()
+	cerr := df.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
 }
 
 // SaveFile atomically writes the design snapshot to path.

@@ -228,6 +228,75 @@ func TestSaveFileCrashLeavesOldSnapshot(t *testing.T) {
 	}
 }
 
+// TestSaveFileDirSyncFault exercises the rename-then-crash window: the
+// rename itself succeeds but the parent-directory fsync that makes it
+// durable fails. The writer must surface that as an error — a caller told
+// "checkpoint ok" while the directory entry could still roll back on power
+// loss is exactly the bug this sync exists to close — while the renamed
+// file (already complete on disk) must load cleanly.
+func TestSaveFileDirSyncFault(t *testing.T) {
+	d := makeDesign(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+
+	faultinject.SetError(faultinject.NetioSyncDir, func() error {
+		return errors.New("injected dir sync failure")
+	})
+	defer faultinject.Reset()
+	err := netio.SaveFile(path, d)
+	faultinject.Reset()
+	if err == nil {
+		t.Fatal("SaveFile reported success despite the directory sync failing")
+	}
+	if !strings.Contains(err.Error(), "sync dir") {
+		t.Fatalf("error does not identify the directory sync: %v", err)
+	}
+
+	// The rename happened before the failed sync: the new snapshot is
+	// complete and readable, and no temp litter remains.
+	d2, err := netio.LoadFile(path)
+	if err != nil {
+		t.Fatalf("renamed snapshot unreadable after dir-sync failure: %v", err)
+	}
+	if len(d2.Instances) != len(d.Instances) {
+		t.Fatalf("snapshot incomplete: %d/%d instances", len(d2.Instances), len(d.Instances))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("unexpected directory contents: %v", entries)
+	}
+
+	// A clean retry over the same path must succeed and stay durable.
+	if err := netio.SaveFile(path, d); err != nil {
+		t.Fatalf("retry after dir-sync fault failed: %v", err)
+	}
+}
+
+// TestCheckpointFileDirSyncFault runs the same window through the
+// checkpoint writer, which is what the closure flow calls mid-run.
+func TestCheckpointFileDirSyncFault(t *testing.T) {
+	d := makeDesign(t)
+	w := make([]float64, len(d.Instances))
+	for i := range w {
+		w[i] = 1
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	faultinject.SetError(faultinject.NetioSyncDir, func() error {
+		return errors.New("injected dir sync failure")
+	})
+	defer faultinject.Reset()
+	if err := netio.SaveCheckpointFile(path, &netio.Checkpoint{Design: d, Weights: w}); err == nil {
+		t.Fatal("checkpoint save reported success despite the directory sync failing")
+	}
+	faultinject.Reset()
+	if _, err := netio.LoadCheckpointFile(path); err != nil {
+		t.Fatalf("renamed checkpoint unreadable: %v", err)
+	}
+}
+
 func TestCheckpointRoundTrip(t *testing.T) {
 	d := makeDesign(t)
 	w := make([]float64, len(d.Instances))

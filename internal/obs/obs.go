@@ -1,0 +1,317 @@
+// Package obs is the run-wide observability layer: an atomic metrics
+// registry (counters, gauges, bounded histograms), hierarchical phase
+// spans, a structured JSONL event sink, and an HTTP debug endpoint
+// (/debug/vars, /debug/pprof, /debug/summary). Every other layer —
+// solver iterations, engine runs, calibration attempts, closure
+// transforms, PBA enumerations — reports into it, and the command-line
+// tools expose it via -debug-addr.
+//
+// The layer is built around two contracts.
+//
+// Inertness: instrumentation only *observes*. No metric, span or event
+// ever feeds back into a computation — no RNG draw, no ordering change,
+// no extra combine — so a run with obs enabled produces bit-identical
+// results to the same run with obs disabled (enforced by
+// TestObsOnOffCalibrationBitIdentical and friends).
+//
+// Cost: the disabled fast path of every hot-path primitive is one atomic
+// load and a branch, with zero heap allocations; the enabled counter and
+// gauge paths are a single atomic add/store, still allocation-free
+// (enforced by testing.AllocsPerRun assertions). Spans and events may
+// allocate when enabled — they run at phase granularity, never inside
+// solver or propagation loops.
+//
+// Metric naming scheme: `<package>.<subsystem>.<event>` in lowercase
+// snake case (e.g. solver.scg.iters, closure.checkpoints.failed);
+// duration histograms end in `_ns` and record nanoseconds; span timings
+// are recorded under `span.<dotted.hierarchy>_ns`.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled is the master switch consulted by every instrumentation
+// primitive. Off by default: an uninstrumented binary pays one atomic
+// load per hook point and nothing else.
+var enabled atomic.Bool
+
+// Enable turns the observability layer on or off process-wide.
+func Enable(on bool) { enabled.Store(on) }
+
+// Enabled reports whether the layer is collecting.
+func Enabled() bool { return enabled.Load() }
+
+// Clock returns the current time when obs is enabled and the zero time
+// otherwise, so instrumented code can bracket a region with
+//
+//	t0 := obs.Clock()
+//	... work ...
+//	hist.ObserveSince(t0)
+//
+// without paying for time.Now() (or branching on Enabled itself) when
+// the layer is off.
+func Clock() time.Time {
+	if !enabled.Load() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Inc adds 1 when obs is enabled.
+func (c *Counter) Inc() {
+	if !enabled.Load() {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n when obs is enabled.
+func (c *Counter) Add(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge holds one float64 value, written atomically.
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Set stores v when obs is enabled.
+func (g *Gauge) Set(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetInt stores an integer value when obs is enabled.
+func (g *Gauge) SetInt(v int) { g.Set(float64(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Histogram is a bounded histogram with fixed bucket upper bounds (the
+// last bucket is implicitly +Inf). Buckets, count and sum are updated
+// atomically; Observe never allocates.
+type Histogram struct {
+	name    string
+	bounds  []float64 // ascending upper bounds; len(buckets) == len(bounds)+1
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 accumulated via CAS
+}
+
+// Observe records v when obs is enabled.
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	b := 0
+	for b < len(h.bounds) && v > h.bounds[b] {
+		b++
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the nanoseconds elapsed since t0, treating the
+// zero time (an obs-disabled Clock) as "nothing to record".
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if t0.IsZero() {
+		return
+	}
+	h.Observe(float64(time.Since(t0).Nanoseconds()))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// HistogramSnapshot is one histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"`
+}
+
+// DurationBuckets are the decade nanosecond bounds used for every
+// duration histogram: 1µs up to 100s, plus the implicit overflow bucket.
+var DurationBuckets = []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11}
+
+// registry is the process-global metric store. Metrics are registered
+// once (get-or-create by name) and live for the life of the process;
+// hot paths hold the returned pointer and never touch the lock again.
+type registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+var reg = &registry{
+	counters: make(map[string]*Counter),
+	gauges:   make(map[string]*Gauge),
+	hists:    make(map[string]*Histogram),
+}
+
+// NewCounter returns the counter registered under name, creating it on
+// first use. Safe for concurrent use; idempotent per name.
+func NewCounter(name string) *Counter {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if c, ok := reg.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	reg.counters[name] = c
+	return c
+}
+
+// NewGauge returns the gauge registered under name, creating it on
+// first use.
+func NewGauge(name string) *Gauge {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if g, ok := reg.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name}
+	reg.gauges[name] = g
+	return g
+}
+
+// NewHistogram returns the histogram registered under name with the
+// given ascending bucket upper bounds, creating it on first use (an
+// existing histogram keeps its original bounds).
+func NewHistogram(name string, bounds []float64) *Histogram {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if h, ok := reg.hists[name]; ok {
+		return h
+	}
+	h := &Histogram{
+		name:    name,
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+	reg.hists[name] = h
+	return h
+}
+
+// Reset zeroes every registered metric's value (registrations survive —
+// pointers held by instrumented code stay valid). Tests and long-lived
+// servers use it to delimit runs.
+func Reset() {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	for _, c := range reg.counters {
+		c.v.Store(0)
+	}
+	for _, g := range reg.gauges {
+		g.bits.Store(0)
+	}
+	for _, h := range reg.hists {
+		h.count.Store(0)
+		h.sumBits.Store(0)
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+	}
+}
+
+// Snapshot returns every registered metric's current value keyed by
+// name: counters as int64, gauges as float64, histograms as
+// HistogramSnapshot. The map is freshly built; mutating it is safe.
+func Snapshot() map[string]any {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	out := make(map[string]any, len(reg.counters)+len(reg.gauges)+len(reg.hists))
+	for name, c := range reg.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range reg.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range reg.hists {
+		hs := HistogramSnapshot{
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+			Bounds: append([]float64(nil), h.bounds...),
+		}
+		hs.Buckets = make([]int64, len(h.buckets))
+		for i := range h.buckets {
+			hs.Buckets[i] = h.buckets[i].Load()
+		}
+		out[name] = hs
+	}
+	return out
+}
+
+// WriteVars writes the snapshot as one JSON object in expvar's wire
+// format: `{"name": value, ...}` with names sorted, so the output of
+// /debug/vars diffs cleanly between scrapes.
+func WriteVars(w io.Writer) error {
+	snap := Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if _, err := fmt.Fprint(w, "{"); err != nil {
+		return err
+	}
+	for i, name := range names {
+		sep := ",\n"
+		if i == 0 {
+			sep = "\n"
+		}
+		blob, err := json.Marshal(snap[name])
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%q: %s", sep, name, blob); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprint(w, "\n}\n")
+	return err
+}

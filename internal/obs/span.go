@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed region of a run, named by its position in the phase
+// hierarchy (e.g. calibrate.cold.solve). Spans nest: Child starts a
+// sub-span whose path extends the parent's, and End records the
+// elapsed time both in the span.<path>_ns histogram and as a JSONL
+// event when a sink is attached.
+//
+// When obs is disabled, StartSpan and Child return a shared inert span
+// and End is a no-op, so span-bracketed code allocates nothing.
+type Span struct {
+	path  string
+	start time.Time
+	live  bool
+}
+
+// noopSpan is handed out whenever obs is disabled; all its methods
+// no-op, so callers never need to nil-check.
+var noopSpan = &Span{}
+
+// StartSpan opens a top-level span with the given path.
+func StartSpan(path string) *Span {
+	if !enabled.Load() {
+		return noopSpan
+	}
+	s := &Span{path: path, start: time.Now(), live: true}
+	emit(event{Kind: "span_start", Span: s.path, At: s.start})
+	return s
+}
+
+// Child opens a sub-span named parent-path.name.
+func (s *Span) Child(name string) *Span {
+	if !s.live || !enabled.Load() {
+		return noopSpan
+	}
+	return StartSpan(s.path + "." + name)
+}
+
+// Path returns the span's dotted hierarchy path ("" for the inert span).
+func (s *Span) Path() string { return s.path }
+
+// End closes the span, recording its duration under span.<path>_ns and
+// emitting a span_end event. Safe to call on the inert span and
+// idempotent per span.
+func (s *Span) End() {
+	if !s.live {
+		return
+	}
+	s.live = false
+	d := time.Since(s.start)
+	NewHistogram("span."+s.path+"_ns", DurationBuckets).Observe(float64(d.Nanoseconds()))
+	emit(event{Kind: "span_end", Span: s.path, At: time.Now(), NS: d.Nanoseconds()})
+}
+
+// event is one line of the structured JSONL stream.
+type event struct {
+	Kind   string         `json:"kind"`
+	Span   string         `json:"span,omitempty"`
+	At     time.Time      `json:"at"`
+	NS     int64          `json:"ns,omitempty"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// sink guards the optional JSONL event writer. sinkSet mirrors whether
+// a writer is attached so emit can skip the mutex on the common
+// no-sink path.
+var (
+	sinkMu  sync.Mutex
+	sinkW   io.Writer
+	sinkSet atomic.Bool
+)
+
+// SetSink attaches w as the JSONL event sink (nil detaches). Each
+// span/event becomes one JSON object per line. The caller owns w's
+// lifecycle; obs serializes writes.
+func SetSink(w io.Writer) {
+	sinkMu.Lock()
+	sinkW = w
+	sinkSet.Store(w != nil)
+	sinkMu.Unlock()
+}
+
+// Event emits an ad-hoc structured event (kind plus alternating
+// key/value field pairs) to the JSONL sink. Inert when obs is disabled
+// or no sink is attached.
+func Event(kind string, kv ...any) {
+	if !enabled.Load() || !sinkSet.Load() {
+		return
+	}
+	ev := event{Kind: kind, At: time.Now()}
+	if len(kv) > 0 {
+		ev.Fields = make(map[string]any, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			if k, ok := kv[i].(string); ok {
+				ev.Fields[k] = kv[i+1]
+			}
+		}
+	}
+	emit(ev)
+}
+
+func emit(ev event) {
+	if !sinkSet.Load() {
+		return
+	}
+	sinkMu.Lock()
+	defer sinkMu.Unlock()
+	if sinkW == nil {
+		return
+	}
+	blob, err := json.Marshal(&ev)
+	if err != nil {
+		return
+	}
+	sinkW.Write(append(blob, '\n'))
+}

@@ -83,6 +83,7 @@ func (a *Analyzer) Budget(captureIdx int) float64 {
 // along the path only, and the exact CRPR credit of the launch/capture
 // clock pair.
 func (a *Analyzer) Retime(p *Path) *Timing {
+	obsRetimes.Inc()
 	r := a.R
 	d := r.G.D
 	launch := d.Instances[p.Launch]
@@ -280,6 +281,8 @@ func (a *Analyzer) kWorst(sc *enumScratch, captureIdx, k int, stopAtSlack *float
 	}
 	sc.heap = sc.heap[:0]
 	sc.arena.reset()
+	obsEndpointsSwept.Inc()
+	obsPathsEnumerated.Add(int64(len(out)))
 	return out
 }
 
@@ -303,6 +306,7 @@ func (a *Analyzer) EndpointIndices() []int {
 // is self-contained and results are slotted by input position, the output
 // is identical to serial KWorst calls at every parallelism setting.
 func (a *Analyzer) KWorstAll(endpoints []int, k int, stopAtSlack *float64, parallelism int) [][]*Path {
+	obsFanoutGauge.SetInt(len(endpoints))
 	out := make([][]*Path, len(endpoints))
 	workers := engine.Workers(parallelism)
 	if workers > len(endpoints) {

@@ -24,10 +24,16 @@ func New(title string, columns ...string) *Table {
 	return &Table{Title: title, Columns: columns}
 }
 
-// AddRow appends one row; missing cells render empty, extra cells panic.
+// AddRow appends one row; missing cells render empty. Extra cells are
+// dropped and recorded as a footnote instead of panicking: a malformed
+// row is a rendering blemish, and must never kill a multi-hour run at
+// the final report.
 func (t *Table) AddRow(cells ...string) {
 	if len(cells) > len(t.Columns) {
-		panic(fmt.Sprintf("report: row has %d cells for %d columns", len(cells), len(t.Columns)))
+		t.AddNote("row %d had %d cells for %d columns; extra cells dropped: %s",
+			len(t.Rows)+1, len(cells), len(t.Columns),
+			strings.Join(cells[len(t.Columns):], " | "))
+		cells = cells[:len(t.Columns)]
 	}
 	row := make([]string, len(t.Columns))
 	copy(row, cells)
@@ -144,7 +150,12 @@ func Histogram(title string, h *num.Histogram, barWidth int) string {
 		fmt.Fprintf(&b, "%10s | %d\n", "< lo", h.Under)
 	}
 	for i, c := range h.Counts {
-		bar := strings.Repeat("#", c*barWidth/maxC)
+		// Scale in float: c*barWidth overflows int for very large counts.
+		w := int(float64(c) / float64(maxC) * float64(barWidth))
+		if w > barWidth {
+			w = barWidth
+		}
+		bar := strings.Repeat("#", w)
 		fmt.Fprintf(&b, "%10.3f | %-*s %d\n", h.BinCenter(i), barWidth, bar, c)
 	}
 	if h.Over > 0 {

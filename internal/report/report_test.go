@@ -35,18 +35,42 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
-func TestAddRowShortAndPanic(t *testing.T) {
+func TestAddRowShortAndLong(t *testing.T) {
 	tb := New("", "a", "b")
 	tb.AddRow("x") // short rows pad
 	if tb.Rows[0][1] != "" {
 		t.Fatal("short row not padded")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on too many cells")
-		}
-	}()
+	// Extra cells must never panic — a malformed row cannot be allowed to
+	// kill a long run at render time. They are dropped and noted instead.
 	tb.AddRow("1", "2", "3")
+	if len(tb.Rows) != 2 || tb.Rows[1][0] != "1" || tb.Rows[1][1] != "2" {
+		t.Fatalf("long row not truncated: %v", tb.Rows)
+	}
+	if len(tb.Notes) != 1 || !strings.Contains(tb.Notes[0], "3") {
+		t.Fatalf("dropped cells not noted: %v", tb.Notes)
+	}
+	s := tb.String() // must render cleanly end to end
+	if !strings.Contains(s, "extra cells dropped") {
+		t.Fatalf("note missing from render:\n%s", s)
+	}
+}
+
+// Bars must scale in float: with counts near MaxInt, the old c*barWidth
+// intermediate overflowed and produced negative repeat counts (a panic).
+func TestHistogramHugeCountsNoOverflow(t *testing.T) {
+	h := num.NewHistogram(nil, 0, 1, 2)
+	h.Counts[0] = 1 << 61
+	h.Counts[1] = 1 << 60
+	s := Histogram("big", h, 20)
+	if !strings.Contains(s, "####################") {
+		t.Fatalf("max bin not full width:\n%s", s)
+	}
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Count(line, "#") > 20 {
+			t.Fatalf("bar wider than barWidth:\n%s", s)
+		}
+	}
 }
 
 func TestCSV(t *testing.T) {

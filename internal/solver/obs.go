@@ -1,0 +1,41 @@
+package solver
+
+import "mgba/internal/obs"
+
+// Solver metrics. The per-iteration counters and gauges sit on the
+// solver hot path: both their enabled and disabled paths are
+// allocation-free and side-effect-only, so instrumentation never
+// perturbs the iterate sequence or the RNG stream (see the inertness
+// contract in package obs).
+var (
+	obsIterGD  = obs.NewCounter("solver.gd.iters")
+	obsIterSCG = obs.NewCounter("solver.scg.iters")
+
+	obsSolvesGD    = obs.NewCounter("solver.gd.solves")
+	obsSolvesSCG   = obs.NewCounter("solver.scg.solves")
+	obsSolvesSCGRS = obs.NewCounter("solver.scgrs.solves")
+	obsSolvesFull  = obs.NewCounter("solver.full.solves")
+
+	obsOuterSCGRS = obs.NewCounter("solver.scgrs.outer_rounds")
+	obsOuterFull  = obs.NewCounter("solver.full.outer_rounds")
+	obsNumerical  = obs.NewCounter("solver.numerical_events")
+	obsReverts    = obs.NewCounter("solver.reverts")
+
+	obsObjective = obs.NewGauge("solver.last.objective")
+	obsStep      = obs.NewGauge("solver.last.step")
+
+	obsSolveNS = obs.NewHistogram("solver.solve_ns", obs.DurationBuckets)
+)
+
+// observeSolve records one finished solve's aggregate stats under the
+// method's counter.
+func observeSolve(method *obs.Counter, st *Stats) {
+	if !obs.Enabled() {
+		return
+	}
+	method.Inc()
+	obsNumerical.Add(int64(st.NumericalEvents))
+	obsReverts.Add(int64(st.Reverts))
+	obsObjective.Set(st.Objective)
+	obsSolveNS.Observe(float64(st.Elapsed.Nanoseconds()))
+}

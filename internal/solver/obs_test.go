@@ -1,0 +1,44 @@
+package solver
+
+import (
+	"testing"
+
+	"mgba/internal/obs"
+)
+
+// The exact counters and gauges touched inside the GD/SCG iteration
+// loops must cost zero heap allocations whether obs is on or off — the
+// solver hot path may not produce garbage.
+func TestSolverHotPathCountersZeroAllocs(t *testing.T) {
+	for _, on := range []bool{false, true} {
+		prev := obs.Enabled()
+		obs.Enable(on)
+		n := testing.AllocsPerRun(1000, func() {
+			obsIterGD.Inc()
+			obsIterSCG.Inc()
+			obsStep.Set(0.5)
+			obsObjective.Set(1.0)
+		})
+		obs.Enable(prev)
+		if n != 0 {
+			t.Fatalf("obs=%v: solver hot-path instrumentation allocates %v/op, want 0", on, n)
+		}
+	}
+}
+
+func BenchmarkHotPathCounterInc(b *testing.B) {
+	prev := obs.Enabled()
+	defer obs.Enable(prev)
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"disabled", false}, {"enabled", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			obs.Enable(mode.on)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				obsIterSCG.Inc()
+			}
+		})
+	}
+}

@@ -606,6 +606,7 @@ func GD(ctx context.Context, p *Problem, opt Options) ([]float64, Stats, error) 
 	// calls, because both run the same blocked kernel).
 	haveGrad := false
 	for st.Iters = 1; st.Iters <= opt.MaxIters; st.Iters++ {
+		obsIterGD.Inc()
 		if cancelled(ctx) {
 			st.Reason = StopCancelled
 			break
@@ -649,6 +650,8 @@ func GD(ctx context.Context, p *Problem, opt Options) ([]float64, Stats, error) 
 				// The accepted trial's gradient is next iteration's g.
 				g, gNext = gNext, g
 				haveGrad = true
+				obsObjective.Set(f)
+				obsStep.Set(t)
 				break
 			}
 			t /= 2
@@ -670,6 +673,7 @@ func GD(ctx context.Context, p *Problem, opt Options) ([]float64, Stats, error) 
 	st.Objective = f
 	st.Improved = st.Objective < f0
 	st.Elapsed = time.Since(start)
+	observeSolve(obsSolvesGD, &st)
 	return x, st, nil
 }
 
@@ -789,6 +793,7 @@ func SCG(ctx context.Context, p *Problem, opt Options, r *rng.Rand) ([]float64, 
 	st.Reason = StopMaxIters
 
 	for st.Iters = 1; st.Iters <= opt.MaxIters; st.Iters++ {
+		obsIterSCG.Inc()
 		if cancelled(ctx) {
 			st.Reason = StopCancelled
 			break
@@ -880,6 +885,7 @@ func SCG(ctx context.Context, p *Problem, opt Options, r *rng.Rand) ([]float64, 
 			alpha = math.Copysign(maxDisp/dn, alpha)
 		}
 		alpha = faultinject.Float64(faultinject.SolverStep, alpha)
+		obsStep.Set(alpha)
 		if math.IsNaN(alpha) || math.IsInf(alpha, 0) {
 			st.NumericalEvents++
 			copy(x, best)
@@ -892,6 +898,7 @@ func SCG(ctx context.Context, p *Problem, opt Options, r *rng.Rand) ([]float64, 
 		copy(gPrev, g)
 		if st.Iters%checkEvery == 0 {
 			f := p.Objective(x)
+			obsObjective.Set(f)
 			switch {
 			case f < bestF*(1-1e-6):
 				bestF = f
@@ -941,6 +948,7 @@ func SCG(ctx context.Context, p *Problem, opt Options, r *rng.Rand) ([]float64, 
 	st.Objective = bestF
 	st.Improved = bestF < f0
 	st.Elapsed = time.Since(start)
+	observeSolve(obsSolvesSCG, &st)
 	return x, st, nil
 }
 
@@ -985,6 +993,7 @@ func SCGRS(ctx context.Context, p *Problem, opt Options, r *rng.Rand) ([]float64
 	inner := opt
 	st.Reason = StopMaxIters
 	for st.Outer = 1; st.Outer <= opt.MaxOuter; st.Outer++ {
+		obsOuterSCGRS.Inc()
 		if cancelled(ctx) {
 			st.Reason = StopCancelled
 			break
@@ -1030,6 +1039,7 @@ func SCGRS(ctx context.Context, p *Problem, opt Options, r *rng.Rand) ([]float64
 	st.Objective = p.Objective(x)
 	st.Improved = st.Objective < f0
 	st.Elapsed = time.Since(start)
+	observeSolve(obsSolvesSCGRS, &st)
 	return x, st, nil
 }
 
@@ -1079,6 +1089,7 @@ func FullSolve(ctx context.Context, p *Problem, maxOuter, cgIters int, tol float
 			break
 		}
 		st.Outer++
+		obsOuterFull.Inc()
 		// Refresh the active set at the current x.
 		p.A.MulVec(av, x)
 		changed := false
@@ -1119,6 +1130,7 @@ func FullSolve(ctx context.Context, p *Problem, maxOuter, cgIters int, tol float
 	st.Objective = p.Objective(x)
 	st.Improved = st.Objective < p.ObjectiveAtZero()
 	st.Elapsed = time.Since(start)
+	observeSolve(obsSolvesFull, &st)
 	return x, st, nil
 }
 

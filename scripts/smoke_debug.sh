@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Smoke-test the -debug-addr endpoint: run the closure flow on a small
+# fixture with the debug server on a free port, scrape /debug/vars and
+# /debug/summary while the server is held open, and assert a non-empty
+# metric snapshot that includes closure counters.
+set -euo pipefail
+
+bin=$(mktemp -d)/closure
+go build -o "$bin" ./cmd/closure
+
+log=$(mktemp)
+"$bin" -design toy -timer gba -debug-addr 127.0.0.1:0 -debug-hold 20s \
+    >/dev/null 2>"$log" &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*debug server listening on \(.*\)/\1/p' "$log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "smoke_debug: server address never appeared" >&2
+    cat "$log" >&2
+    exit 1
+fi
+
+vars=""
+for _ in $(seq 1 100); do
+    vars=$(curl -fsS "http://$addr/debug/vars" 2>/dev/null || true)
+    case "$vars" in
+    *'"closure.transforms"'*) break ;;
+    esac
+    sleep 0.2
+done
+case "$vars" in
+*'"closure.transforms"'*) ;;
+*)
+    echo "smoke_debug: /debug/vars never produced closure metrics:" >&2
+    echo "$vars" >&2
+    exit 1
+    ;;
+esac
+
+summary=$(curl -fsS "http://$addr/debug/summary")
+case "$summary" in
+*'run summary'*) ;;
+*)
+    echo "smoke_debug: /debug/summary missing the summary table:" >&2
+    echo "$summary" >&2
+    exit 1
+    ;;
+esac
+
+echo "smoke_debug: ok ($addr)"
+echo "$vars" | head -n 12
