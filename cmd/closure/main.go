@@ -23,19 +23,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"mgba/internal/closure"
+	"mgba/internal/fixtures"
 	"mgba/internal/gen"
+	"mgba/internal/netlist"
 	"mgba/internal/obs"
 	"mgba/internal/prof"
 	"mgba/internal/report"
 )
 
 func main() {
-	design := flag.String("design", "D3", "design to optimize: toy or D1..D10")
+	design := flag.String("design", "D3", "design to optimize: toy, D1..D10, or a fixture (retimetoy, bufcase)")
 	timer := flag.String("timer", "both", "embedded timer: gba, mgba, or both")
+	transforms := flag.String("transforms", "", "comma-separated repair transforms, e.g. upsize,buffer,retime (empty: default registry)")
+	scheduler := flag.String("scheduler", "", "endpoint scheduler: greedy (default) or roundrobin")
+	budgets := flag.String("budgets", "", "per-kind accept budgets as kind=n[,kind=n], e.g. retime=20,buffer=10")
+	retimeLag := flag.Int("retime-lag", 0, "retime: max net register slides per FF (0: default cap, -1: unlimited)")
 	seed := flag.Uint64("seed", 0, "override the design seed (0 keeps the preset)")
 	timeout := flag.Duration("timeout", 0, "stop the flow after this long (0: no limit); partial results are reported")
 	ckpt := flag.String("checkpoint", "", "write resumable checkpoints to this file (atomic)")
@@ -92,6 +99,17 @@ func main() {
 		defer cancel()
 	}
 
+	applyRegistry := func(opt *closure.Options) {
+		opt.Transforms = parseTransforms(*transforms)
+		opt.Scheduler = *scheduler
+		opt.RetimeMaxLag = *retimeLag
+		kb, err := parseBudgets(*budgets)
+		if err != nil {
+			fail(err)
+		}
+		opt.KindBudgets = kb
+	}
+
 	if *resume != "" {
 		kind, err := singleTimer(*timer)
 		if err != nil {
@@ -102,6 +120,7 @@ func main() {
 		opt.CheckpointPath = *resume
 		opt.CheckpointEvery = *ckptEvery
 		opt.STA.Parallelism = *par
+		applyRegistry(&opt)
 		res, err := closure.Resume(ctx, *resume, opt)
 		if err != nil {
 			fail(err)
@@ -110,12 +129,9 @@ func main() {
 		return
 	}
 
-	cfg, err := findConfig(*design)
+	build, name, err := findDesign(*design, *seed)
 	if err != nil {
 		fail(err)
-	}
-	if *seed != 0 {
-		cfg.Seed = *seed
 	}
 
 	var kinds []closure.TimerKind
@@ -135,7 +151,7 @@ func main() {
 
 	var rows []row
 	for _, kind := range kinds {
-		d, err := gen.Generate(cfg)
+		d, err := build()
 		if err != nil {
 			fail(err)
 		}
@@ -144,13 +160,14 @@ func main() {
 		opt.CheckpointPath = *ckpt
 		opt.CheckpointEvery = *ckptEvery
 		opt.STA.Parallelism = *par
+		applyRegistry(&opt)
 		res, err := closure.Run(ctx, d, opt)
 		if err != nil {
 			fail(err)
 		}
 		rows = append(rows, row{kind, res})
 	}
-	printRows(fmt.Sprintf("timing closure on %s", cfg.Name), rows)
+	printRows(fmt.Sprintf("timing closure on %s", name), rows)
 }
 
 type row struct {
@@ -160,7 +177,7 @@ type row struct {
 
 func printRows(title string, rows []row) {
 	t := report.New(title,
-		"timer", "upsized", "downsized", "buffers+", "viol left",
+		"timer", "upsized", "downsized", "buffers+", "retimed", "viol left",
 		"signoff WNS", "signoff TNS", "area", "leakage", "runtime", "calib time")
 	interrupted := false
 	for _, r := range rows {
@@ -174,6 +191,7 @@ func printRows(title string, rows []row) {
 			fmt.Sprintf("%d", res.Upsized),
 			fmt.Sprintf("%d", res.Downsized),
 			fmt.Sprintf("%d", res.BuffersAdded),
+			fmt.Sprintf("%d", res.Retimed()),
 			fmt.Sprintf("%d", res.ViolatedEndpoints),
 			report.F(res.SignoffWNS, 1),
 			report.F(res.SignoffTNS, 1),
@@ -209,6 +227,27 @@ func singleTimer(name string) (closure.TimerKind, error) {
 	}
 }
 
+// findDesign resolves a design name to a builder. Generated designs come
+// from the suite presets (with an optional seed override); the hand-built
+// closure fixtures are deterministic, so "both" mode gets an identical
+// design per timer either way.
+func findDesign(name string, seed uint64) (func() (*netlist.Design, error), string, error) {
+	switch strings.ToLower(name) {
+	case "retimetoy":
+		return func() (*netlist.Design, error) { return fixtures.RetimePipeline(4) }, "retimetoy", nil
+	case "bufcase":
+		return fixtures.BufferCase, "bufcase", nil
+	}
+	cfg, err := findConfig(name)
+	if err != nil {
+		return nil, "", err
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	return func() (*netlist.Design, error) { return gen.Generate(cfg) }, cfg.Name, nil
+}
+
 func findConfig(name string) (gen.Config, error) {
 	if strings.EqualFold(name, "toy") {
 		return gen.Toy(), nil
@@ -218,7 +257,42 @@ func findConfig(name string) (gen.Config, error) {
 			return cfg, nil
 		}
 	}
-	return gen.Config{}, fmt.Errorf("unknown design %q (toy, D1..D10)", name)
+	return gen.Config{}, fmt.Errorf("unknown design %q (toy, D1..D10, retimetoy, bufcase)", name)
+}
+
+// parseTransforms splits the -transforms CSV; empty means the default
+// registry (nil).
+func parseTransforms(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var names []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			names = append(names, f)
+		}
+	}
+	return names
+}
+
+// parseBudgets decodes "kind=n[,kind=n]" into per-kind accept budgets.
+func parseBudgets(s string) (map[string]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, f := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(f), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -budgets entry %q (want kind=n)", f)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("bad -budgets count %q: %w", f, err)
+		}
+		out[strings.TrimSpace(k)] = n
+	}
+	return out, nil
 }
 
 func fail(err error) {

@@ -6,10 +6,10 @@
 //	experiments -quick              # scaled-down suite for a fast pass
 //
 // Artifacts: table1, fig2, sec32, fig3, fig4, table2, table3, table4,
-// table5, bench, benchsolver. Output is plain text; -csv writes each table
+// table5, bench, benchsolver, benchclosure. Output is plain text; -csv writes each table
 // additionally as CSV into the given directory; -json makes the bench
 // artifacts also write their machine-readable results
-// (BENCH_calibration.json, BENCH_solver.json).
+// (BENCH_calibration.json, BENCH_solver.json, BENCH_closure.json).
 package main
 
 import (
@@ -28,7 +28,7 @@ func main() {
 	runList := flag.String("run", "all", "comma-separated artifacts to regenerate, or 'all'")
 	quick := flag.Bool("quick", false, "use a scaled-down design suite")
 	csvDir := flag.String("csv", "", "directory to also write tables as CSV")
-	jsonOut := flag.Bool("json", false, "bench artifacts: also write BENCH_calibration.json / BENCH_solver.json")
+	jsonOut := flag.Bool("json", false, "bench artifacts: also write BENCH_calibration.json / BENCH_solver.json / BENCH_closure.json")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	flag.Parse()
 
@@ -160,8 +160,24 @@ func main() {
 			}
 		}
 	}
+	if want["benchclosure"] { // deliberately not part of 'all': pure timing
+		t, res, err := expt.BenchClosure(env)
+		if err != nil {
+			fail(err)
+		}
+		emit("benchclosure", t)
+		if *jsonOut {
+			blob, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile("BENCH_closure.json", append(blob, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
 	if ran == 0 {
-		fail(fmt.Errorf("nothing matched -run=%q; artifacts: table1 fig2 sec32 fig3 fig4 table2 table3 table4 table4x table5 bench benchsolver all", *runList))
+		fail(fmt.Errorf("nothing matched -run=%q; artifacts: table1 fig2 sec32 fig3 fig4 table2 table3 table4 table4x table5 bench benchsolver benchclosure all", *runList))
 	}
 }
 

@@ -1,40 +1,35 @@
 // Package closure implements the post-route timing-closure optimization
-// framework of the paper's §3.4 (the left half of Fig. 5): a greedy
-// worst-endpoint-first loop of gate upsizing and buffer insertion with
-// incremental timing updates, followed by an area/leakage recovery pass
-// that downsizes gates with slack to spare.
+// framework of the paper's §3.4 (the left half of Fig. 5): a scheduler
+// picks violating endpoints and repairs their worst paths with moves from
+// a pluggable transform registry (internal/transform), followed by an
+// area/leakage recovery pass that downsizes gates with slack to spare.
 //
-// The framework is timer-agnostic: it runs against original GBA or against
-// mGBA (GBA with calibrated per-gate weighting factors, recalibrated
-// whenever the netlist structure changes). Because mGBA sees less
-// pessimism, the mGBA-embedded flow stops fixing earlier, fixes fewer
-// endpoints, recovers more area, and finishes faster — the effects
+// The default registry reproduces the historical hard-coded loop exactly
+// — gate upsizing first, buffer insertion second, greedy
+// worst-endpoint-first scheduling — and Options.Transforms extends it
+// with register retiming, the structural move whose dirty sets drive the
+// calibrator's incremental recalibration across a session rebind.
+//
+// The framework is timer-agnostic: it runs against original GBA or
+// against mGBA (GBA with calibrated per-gate weighting factors,
+// recalibrated whenever the netlist structure changes). Because mGBA sees
+// less pessimism, the mGBA-embedded flow stops fixing earlier, fixes
+// fewer endpoints, recovers more area, and finishes faster — the effects
 // reported in Tables 2 and 5.
 //
-// The flow is built to survive long runs on real infrastructure: it honors
-// context cancellation at transform granularity (an interrupted run still
-// returns a valid, non-optimistic Result), it records calibration
-// degradations and faults instead of aborting, and it can periodically
-// write atomic checkpoints from which Resume continues an interrupted run
-// to the same closure state an uninterrupted run reaches.
+// The flow is built to survive long runs on real infrastructure: it
+// honors context cancellation at transform granularity (an interrupted
+// run still returns a valid, non-optimistic Result), it records
+// calibration degradations and faults instead of aborting, and it can
+// periodically write atomic checkpoints (format v2: per-transform state
+// blobs ride along) from which Resume continues an interrupted run to the
+// same closure state an uninterrupted run reaches.
 package closure
 
 import (
-	"context"
-	"encoding/json"
-	"fmt"
-	"math"
-	"sort"
 	"time"
 
-	"mgba/internal/cells"
 	"mgba/internal/core"
-	"mgba/internal/engine"
-	"mgba/internal/graph"
-	"mgba/internal/netio"
-	"mgba/internal/netlist"
-	"mgba/internal/obs"
-	"mgba/internal/pba"
 	"mgba/internal/sta"
 )
 
@@ -54,6 +49,16 @@ func (k TimerKind) String() string {
 	return "GBA"
 }
 
+// DefaultRetimeBudget caps accepted retimes when the retime transform is
+// enabled without an explicit KindBudgets entry: each slide rebuilds the
+// timing session, so an unbounded structural budget could dominate the
+// run the way MaxBuffers bounds buffer insertions.
+const DefaultRetimeBudget = 40
+
+// DefaultRetimeMaxLag is the per-register lag-magnitude cap used when
+// Options.RetimeMaxLag is zero.
+const DefaultRetimeMaxLag = 2
+
 // Options controls one optimization run.
 type Options struct {
 	Timer TimerKind
@@ -66,6 +71,23 @@ type Options struct {
 	RecalibrateEvery  int     // mGBA: recalibrate after this many transforms
 	RecoveryMargin    float64 // downsizing keeps endpoint slack above this, ps
 	MaxViolatedAccept int     // stop when this few endpoints remain violated
+
+	// Transforms selects and orders the repair transforms tried on each
+	// violating endpoint: "upsize", "buffer", "retime". nil selects the
+	// default registry — upsize then buffer, the historical loop.
+	Transforms []string
+	// Scheduler selects the endpoint-scheduling policy: "" or "greedy"
+	// (worst endpoint first, the historical order) or "roundrobin"
+	// (cycle through violating endpoints in index order).
+	Scheduler string
+	// KindBudgets caps accepted transforms per kind. Kinds without an
+	// entry default to MaxBuffers for "buffer", DefaultRetimeBudget for
+	// "retime", and no per-kind cap otherwise (MaxTransforms still
+	// bounds the total).
+	KindBudgets map[string]int
+	// RetimeMaxLag caps how far any register may drift (in slides) from
+	// its original position; zero means DefaultRetimeMaxLag.
+	RetimeMaxLag int
 
 	// ColdRecalibrate disables the incremental calibrator and performs
 	// every mid-flow recalibration from scratch. Ablation switch: the two
@@ -121,6 +143,11 @@ type Result struct {
 	Leakage float64
 	Buffers int
 
+	// Kinds counts accepted transforms per transform kind. The named
+	// trio below is the historical derived view of the same counts
+	// (retimes appear only in Kinds).
+	Kinds map[string]int
+
 	Upsized, Downsized, BuffersAdded int
 	Transforms                       int // accepted transforms in total
 	Calibrations                     int
@@ -151,867 +178,6 @@ type Result struct {
 	Faults []string
 }
 
-// phase identifies where in the flow a run (or a checkpoint of one) is.
-type phase int
-
-const (
-	phaseRepair   phase = iota // round-based repair loop
-	phaseRecovery              // area/leakage recovery pass
-	phaseFinal                 // mGBA: final recalibrate + repair
-	phaseDone                  // nothing left but finish()
-)
-
-// ckptState is the flow-progress blob embedded in a netio checkpoint. The
-// design and weights live in the checkpoint envelope; this records where
-// to pick the flow back up and the counters accumulated so far.
-type ckptState struct {
-	Timer           int  `json:"timer"`
-	Phase           int  `json:"phase"`
-	Round           int  `json:"round"`
-	RecoveryPos     int  `json:"recovery_pos"`
-	SinceCalib      int  `json:"since_calib"`
-	FinalCalibrated bool `json:"final_calibrated,omitempty"`
-
-	Transforms   int      `json:"transforms"`
-	Upsized      int      `json:"upsized"`
-	Downsized    int      `json:"downsized"`
-	BuffersAdded int      `json:"buffers_added"`
-	Calibrations int      `json:"calibrations"`
-	Validations  int      `json:"validations"`
-	Degraded     int      `json:"degraded_calibrations"`
-	Checkpoints  int      `json:"checkpoints"`
-	Faults       []string `json:"faults,omitempty"`
-}
-
-// flow carries the mutable optimization state. The timing session is
-// rebuilt only on connectivity changes (buffer insertion); the thousands
-// of resize trials in between run through Result.Update against the same
-// session, allocating nothing.
-type flow struct {
-	d   *netlist.Design
-	opt Options
-	ctx context.Context
-
-	g       *graph.Graph
-	sess    *engine.Session
-	r       *sta.Result
-	weights []float64 // nil for GBA
-
-	// cal is the persistent mGBA calibrator bound to the current session;
-	// nil until the first calibration and reset whenever the session is
-	// rebuilt (connectivity changed). dirty accumulates the instances whose
-	// timing changed through accepted transforms since the last calibration
-	// — the seed set for the calibrator's incremental re-enumeration.
-	cal   *core.Calibrator
-	dirty map[int]bool
-
-	res        *Result
-	transforms int // transforms since the last recalibration
-
-	// Checkpoint/resume bookkeeping.
-	curPhase        phase
-	curRound        int
-	recoveryPos     int // next f.g.Topo index for the recovery pass
-	finalCalibrated bool
-	sinceCkpt       int // accepted transforms since the last checkpoint
-}
-
-// retire swaps in a freshly computed timing view, returning the previous
-// one's scratch buffers to its session pool. Safe because the flow is the
-// only holder of its Result between refreshes.
-func (f *flow) retire(next *sta.Result) {
-	if f.r != nil {
-		f.r.Release()
-	}
-	f.r = next
-}
-
-// stopped reports whether the run's context has been cancelled, latching
-// the interruption into the Result the first time it observes it.
-func (f *flow) stopped() bool {
-	if f.res.Interrupted {
-		return true
-	}
-	if f.ctx == nil {
-		return false
-	}
-	select {
-	case <-f.ctx.Done():
-		f.res.Interrupted = true
-		f.res.StopReason = f.ctx.Err().Error()
-		return true
-	default:
-		return false
-	}
-}
-
-// Optimize runs the timing-closure flow on the design in place and returns
-// the final QoR. The design is mutated (resized cells, inserted buffers).
-// It is Run with a background context.
-func Optimize(d *netlist.Design, opt Options) (*Result, error) {
-	return Run(context.Background(), d, opt)
-}
-
-// Run runs the timing-closure flow under a context. Cancelling the context
-// (or exceeding its deadline) stops the flow at the next transform
-// boundary and returns a valid partial Result with Interrupted set — never
-// an error, and never a design in a half-applied-transform state. A
-// context that is already cancelled yields a zero-transform Result whose
-// QoR fields still describe the (re-timed) input design.
-func Run(ctx context.Context, d *netlist.Design, opt Options) (*Result, error) {
-	return run(ctx, d, opt, nil, nil)
-}
-
-// Resume continues an interrupted run from a checkpoint written by a
-// previous Run with Options.CheckpointPath set. The opt passed here
-// controls the continued run and must use the same TimerKind the
-// checkpoint was written under; counters resume from their checkpointed
-// values, so the combined Result matches an uninterrupted run.
-func Resume(ctx context.Context, path string, opt Options) (*Result, error) {
-	c, err := netio.LoadCheckpointFile(path)
-	if err != nil {
-		return nil, err
-	}
-	if len(c.State) == 0 {
-		return nil, fmt.Errorf("closure: checkpoint has no flow state")
-	}
-	var st ckptState
-	if err := json.Unmarshal(c.State, &st); err != nil {
-		return nil, fmt.Errorf("closure: bad checkpoint state: %w", err)
-	}
-	if st.Phase < int(phaseRepair) || st.Phase > int(phaseDone) {
-		return nil, fmt.Errorf("closure: checkpoint phase %d out of range", st.Phase)
-	}
-	if TimerKind(st.Timer) != opt.Timer {
-		return nil, fmt.Errorf("closure: checkpoint was written by the %v flow, options select %v",
-			TimerKind(st.Timer), opt.Timer)
-	}
-	return run(ctx, c.Design, opt, &st, c.Weights)
-}
-
-// run is the shared body of Run and Resume: st/weights are nil for a fresh
-// run and carry the checkpointed flow state for a resumed one.
-func run(ctx context.Context, d *netlist.Design, opt Options, st *ckptState, weights []float64) (*Result, error) {
-	if opt.STA.Weights != nil {
-		return nil, fmt.Errorf("closure: STA config must not pre-set weights")
-	}
-	if opt.MaxTransforms < 0 || opt.MaxBuffers < 0 {
-		return nil, fmt.Errorf("closure: negative budgets")
-	}
-	start := time.Now()
-	f := &flow{d: d, opt: opt, ctx: ctx, res: &Result{Timer: opt.Timer}}
-	ph, round := phaseRepair, 0
-	if st != nil {
-		f.restore(st, weights)
-		ph, round = phase(st.Phase), st.Round
-	}
-	f.curPhase, f.curRound = ph, round
-
-	// Initial timing view. A resumed mGBA run re-times under the
-	// checkpointed weights instead of recalibrating, preserving the
-	// calibration cadence of the original run.
-	if st != nil && f.opt.Timer == TimerMGBA && f.weights != nil {
-		if err := f.refresh(); err != nil {
-			return nil, err
-		}
-	} else if err := f.rebuild(); err != nil {
-		return nil, err
-	}
-
-	for ph < phaseDone && !f.stopped() {
-		f.curPhase = ph
-		sp := obs.StartSpan("closure." + phaseName(ph))
-		switch ph {
-		case phaseRepair:
-			// Repair in rounds: each round fixes what its timing view can
-			// fix, then the view is refreshed and the remaining violators
-			// retried.
-			//
-			// The two flows refresh differently, mirroring practice (§2.2
-			// of the paper): the GBA flow must subject its remaining
-			// violating endpoints to a PBA validation pass — the very
-			// bottleneck the paper calls out, whose cost grows with GBA's
-			// pessimism — while the mGBA flow simply recalibrates its
-			// weights, which are PBA-accurate by construction.
-			for ; round < 3; round++ {
-				f.curRound = round
-				obsRepairRounds.Inc()
-				f.checkpoint()
-				if err := f.fixViolations(); err != nil {
-					return nil, err
-				}
-				if f.stopped() {
-					break
-				}
-				if f.opt.Timer == TimerGBA {
-					if f.validateViolators() <= f.opt.MaxViolatedAccept {
-						break // PBA waives the residual GBA violations
-					}
-					continue // real violations remain: retry the repair loop
-				}
-				if f.violatedCount() <= f.opt.MaxViolatedAccept {
-					break
-				}
-				if round == 2 {
-					break
-				}
-				if err := f.calibrate(); err != nil {
-					return nil, err
-				}
-				if f.stopped() {
-					break
-				}
-			}
-			if !f.stopped() {
-				ph, round = phaseRecovery, 0
-			}
-		case phaseRecovery:
-			f.checkpoint()
-			if err := f.recoverArea(); err != nil {
-				return nil, err
-			}
-			if !f.stopped() {
-				ph, f.recoveryPos = phaseFinal, 0
-			}
-		case phaseFinal:
-			f.curRound = 0
-			f.checkpoint()
-			// Recovery under a slightly stale view can overreach: refresh
-			// and run one final repair pass so the flow exits at its own
-			// timing closure. Skipped when nothing changed since the last
-			// calibration.
-			if f.opt.Timer == TimerMGBA && (f.finalCalibrated || f.transforms > 0) {
-				if !f.finalCalibrated {
-					if err := f.calibrate(); err != nil {
-						return nil, err
-					}
-					f.finalCalibrated = true
-				}
-				if !f.stopped() {
-					if err := f.fixViolations(); err != nil {
-						return nil, err
-					}
-				}
-			}
-			if !f.stopped() {
-				ph = phaseDone
-			}
-		}
-		sp.End()
-	}
-
-	f.finish()
-	if !f.res.Interrupted {
-		f.res.StopReason = "completed"
-	}
-	// Exit checkpoint: for an interrupted run this is the resume point;
-	// for a completed run it records phaseDone so a Resume is a no-op.
-	f.curPhase, f.curRound = ph, round
-	f.checkpoint()
-	f.res.Elapsed = time.Since(start)
-	return f.res, nil
-}
-
-// restore loads checkpointed flow state and counters into a fresh flow.
-func (f *flow) restore(st *ckptState, weights []float64) {
-	f.weights = weights
-	f.transforms = st.SinceCalib
-	f.recoveryPos = st.RecoveryPos
-	f.finalCalibrated = st.FinalCalibrated
-	r := f.res
-	r.Resumed = true
-	r.Transforms = st.Transforms
-	r.Upsized = st.Upsized
-	r.Downsized = st.Downsized
-	r.BuffersAdded = st.BuffersAdded
-	r.Calibrations = st.Calibrations
-	r.Validations = st.Validations
-	r.DegradedCalibrations = st.Degraded
-	r.Checkpoints = st.Checkpoints
-	r.Faults = append([]string(nil), st.Faults...)
-}
-
-// snapshot builds the serializable flow-progress state of a checkpoint.
-// Faults is copied defensively: f.res.Faults keeps growing after the
-// snapshot is taken (a failed checkpoint appends to it itself), so the
-// state to be marshalled must not alias the live slice.
-func (f *flow) snapshot() ckptState {
-	return ckptState{
-		Timer:           int(f.opt.Timer),
-		Phase:           int(f.curPhase),
-		Round:           f.curRound,
-		RecoveryPos:     f.recoveryPos,
-		SinceCalib:      f.transforms,
-		FinalCalibrated: f.finalCalibrated,
-		Transforms:      f.res.Transforms,
-		Upsized:         f.res.Upsized,
-		Downsized:       f.res.Downsized,
-		BuffersAdded:    f.res.BuffersAdded,
-		Calibrations:    f.res.Calibrations,
-		Validations:     f.res.Validations,
-		Degraded:        f.res.DegradedCalibrations,
-		Checkpoints:     f.res.Checkpoints + 1,
-		Faults:          append([]string(nil), f.res.Faults...),
-	}
-}
-
-// checkpoint atomically writes the current design, weights and flow state
-// to Options.CheckpointPath. Failures are recorded as faults, not errors:
-// losing a checkpoint must never lose the run.
-func (f *flow) checkpoint() {
-	f.sinceCkpt = 0
-	if f.opt.CheckpointPath == "" {
-		return
-	}
-	st := f.snapshot()
-	blob, err := json.Marshal(&st)
-	if err == nil {
-		err = netio.SaveCheckpointFile(f.opt.CheckpointPath, &netio.Checkpoint{
-			Design:  f.d,
-			Weights: f.weights,
-			State:   blob,
-		})
-	}
-	if err != nil {
-		obsCheckpointsFail.Inc()
-		obs.Event("checkpoint_failed", "err", err.Error())
-		f.res.Faults = append(f.res.Faults, fmt.Sprintf("checkpoint: %v", err))
-		return
-	}
-	obsCheckpointsOK.Inc()
-	f.res.Checkpoints++
-	if f.opt.OnCheckpoint != nil {
-		f.opt.OnCheckpoint(f.opt.CheckpointPath)
-	}
-}
-
-// noteTransform accounts one accepted transform and writes a periodic
-// checkpoint when the cadence says so.
-func (f *flow) noteTransform() {
-	obsTransforms.Inc()
-	f.res.Transforms++
-	f.transforms++
-	f.sinceCkpt++
-	if f.opt.CheckpointEvery > 0 && f.sinceCkpt >= f.opt.CheckpointEvery {
-		f.checkpoint()
-	}
-}
-
-// rebuild reconstructs the timing graph and session (needed after
-// connectivity edits) and re-times the design, recalibrating mGBA weights
-// when applicable.
-func (f *flow) rebuild() error {
-	g, err := graph.Build(f.d)
-	if err != nil {
-		return err
-	}
-	f.g = g
-	f.sess = engine.NewSession(g)
-	f.cal, f.dirty = nil, nil // new session: the old calibrator's cache is stale
-	return f.calibrate()
-}
-
-// refresh rebuilds the graph and session and re-times with the *existing*
-// mGBA weights (padded with 1.0 for instances created since the last
-// calibration). The buffer-insertion trial loop uses it: a full
-// recalibration per candidate buffer would dwarf the cost of the
-// transform being evaluated.
-func (f *flow) refresh() error {
-	g, err := graph.Build(f.d)
-	if err != nil {
-		return err
-	}
-	f.g = g
-	f.sess = engine.NewSession(g)
-	f.cal, f.dirty = nil, nil // new session: the old calibrator's cache is stale
-	cfg := f.opt.STA
-	if f.opt.Timer == TimerMGBA && f.weights != nil {
-		for len(f.weights) < len(f.d.Instances) {
-			f.weights = append(f.weights, 1)
-		}
-		cfg.Weights = f.weights
-	}
-	f.retire(f.sess.Run(cfg))
-	return nil
-}
-
-// calibrate refreshes the mGBA weights (or simply re-analyzes under GBA),
-// running against the flow's persistent calibrator so the per-design state
-// is never recomputed mid-flow: a recalibration re-enumerates only the
-// endpoints reached by the dirty gates' fan-out cones and patches the dirty
-// rows of the cached calibration problem, warm-starting the solve from the
-// previous correction. Calibration cannot fail the flow: a solver fault
-// degrades down core's solver ladder — at worst to identity weights
-// (mGBA == GBA) — and is recorded in the Result.
-func (f *flow) calibrate() error {
-	if f.opt.Timer == TimerGBA {
-		f.retire(f.sess.Run(f.opt.STA))
-		return nil
-	}
-	t0 := time.Now()
-	if f.cal == nil {
-		cal, err := core.NewCalibrator(f.sess, f.opt.STA, f.opt.Core)
-		if err != nil {
-			return err
-		}
-		if f.weights != nil {
-			// The previous weights warm-start the first solve on this
-			// session (the calibrator chains its own thereafter).
-			cal.SetWarmWeights(f.weights)
-		}
-		f.cal = cal
-	}
-	var model *core.Model
-	var err error
-	if f.opt.ColdRecalibrate {
-		model, err = f.cal.Calibrate(f.ctx)
-	} else {
-		model, err = f.cal.Recalibrate(f.ctx, f.dirtyList())
-	}
-	if err != nil {
-		return err
-	}
-	f.res.Calibrations++
-	obsCalibrations.Inc()
-	f.res.CalibElapsed += time.Since(t0)
-	if model.Degraded || model.Partial {
-		f.res.DegradedCalibrations++
-	}
-	if model.Fault != "" {
-		f.res.Faults = append(f.res.Faults,
-			fmt.Sprintf("calibration %d: %s", f.res.Calibrations, model.Fault))
-	}
-	f.weights = model.Weights
-	f.retire(model.MGBA)
-	// The calibration's baseline GBA stays with the calibrator, which
-	// advances it incrementally across recalibrations; the flow must not
-	// release it.
-	f.dirty = nil
-	f.transforms = 0
-	return nil
-}
-
-// noteDirty records instances whose timing changed through an accepted
-// transform, to seed the next incremental recalibration. GBA runs carry no
-// calibration state, so they skip the bookkeeping.
-func (f *flow) noteDirty(ids []int) {
-	if f.opt.Timer != TimerMGBA {
-		return
-	}
-	if f.dirty == nil {
-		f.dirty = make(map[int]bool)
-	}
-	for _, id := range ids {
-		f.dirty[id] = true
-	}
-}
-
-// dirtyList returns the accumulated dirty set in deterministic order.
-func (f *flow) dirtyList() []int {
-	if len(f.dirty) == 0 {
-		return nil
-	}
-	out := make([]int, 0, len(f.dirty))
-	for id := range f.dirty {
-		out = append(out, id)
-	}
-	sort.Ints(out)
-	return out
-}
-
-// maybeRecalibrate refreshes stale mGBA weights on cadence.
-func (f *flow) maybeRecalibrate() error {
-	if f.opt.Timer != TimerMGBA || f.opt.RecalibrateEvery <= 0 {
-		return nil
-	}
-	if f.transforms < f.opt.RecalibrateEvery {
-		return nil
-	}
-	return f.calibrate()
-}
-
-// worstViolatingEndpoint returns the D.FFs position with the most negative
-// timer slack not in skip, or -1.
-func (f *flow) worstViolatingEndpoint(skip map[int]bool) int {
-	worst, worstSlack := -1, 0.0
-	for fi, s := range f.r.Slack {
-		if skip[fi] {
-			continue
-		}
-		if s < worstSlack {
-			worst, worstSlack = fi, s
-		}
-	}
-	return worst
-}
-
-// tracePath walks the worst timer path into endpoint fi by following
-// maximal arrivals backward, returning the instance IDs from launch FF to
-// last combinational gate.
-func (f *flow) tracePath(fi int) []int {
-	d := f.d
-	ffID := d.FFs[fi]
-	var rev []int
-	cur, ok := f.worstFanin(ffID)
-	for ok {
-		rev = append(rev, cur)
-		if d.Instances[cur].IsFF() {
-			break
-		}
-		cur, ok = f.worstFanin(cur)
-	}
-	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
-		rev[l], rev[r] = rev[r], rev[l]
-	}
-	return rev
-}
-
-func (f *flow) worstFanin(v int) (int, bool) {
-	best, bestAt := -1, math.Inf(-1)
-	for _, e := range f.g.Fanin[v] {
-		at := f.r.ArrivalOut[e.From] + f.r.WireDelay[e.From]
-		if at > bestAt {
-			best, bestAt = e.From, at
-		}
-	}
-	return best, best >= 0
-}
-
-// fixViolations is the main repair loop: pick the worst violating
-// endpoint, repair its worst path with an upsize or a buffer, accept the
-// transform only if the endpoint improves, and iterate. Cancellation is
-// honored between transforms: an in-flight trial always completes (and is
-// kept or reverted whole), so an interrupted design is never left with a
-// half-applied transform.
-func (f *flow) fixViolations() error {
-	skip := make(map[int]bool)
-	for f.res.Transforms < f.opt.MaxTransforms {
-		if f.stopped() {
-			return nil
-		}
-		fi := f.worstViolatingEndpoint(skip)
-		if fi < 0 {
-			break // timing closed (or every violator exhausted)
-		}
-		if f.violatedCount() <= f.opt.MaxViolatedAccept {
-			break
-		}
-		improved, err := f.repairEndpoint(fi)
-		if err != nil {
-			return err
-		}
-		if !improved {
-			skip[fi] = true
-			continue
-		}
-		if err := f.maybeRecalibrate(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// validateViolators subjects every timer-violating endpoint to PBA
-// path validation — the GBA flow's obligatory reality check — and returns
-// how many endpoints truly violate. Its cost is proportional to the number
-// of violating endpoints, which is exactly where GBA pessimism hurts.
-func (f *flow) validateViolators() int {
-	t0 := time.Now()
-	f.res.Validations++
-	obsValidations.Inc()
-	an := pba.NewAnalyzer(f.r)
-	real := 0
-	for fi, s := range f.r.Slack {
-		if s >= 0 {
-			continue
-		}
-		worst := math.Inf(1)
-		for _, p := range an.KWorst(fi, 10, nil) {
-			if ps := an.Retime(p).Slack; ps < worst {
-				worst = ps
-			}
-		}
-		if !math.IsInf(worst, 1) && worst < 0 {
-			real++
-		}
-	}
-	f.res.ValidateElapsed += time.Since(t0)
-	return real
-}
-
-func (f *flow) violatedCount() int {
-	n := 0
-	for _, s := range f.r.Slack {
-		if s < 0 {
-			n++
-		}
-	}
-	obsViolated.SetInt(n)
-	return n
-}
-
-// repairEndpoint attempts one transform on the endpoint's worst path.
-func (f *flow) repairEndpoint(fi int) (bool, error) {
-	path := f.tracePath(fi)
-	if len(path) == 0 {
-		return false, nil
-	}
-	// First choice: upsize the path gate with the largest derated delay
-	// that still has headroom. Try candidates in decreasing delay order.
-	type cand struct {
-		id    int
-		delay float64
-	}
-	var cands []cand
-	for _, v := range path {
-		if f.d.Lib.Upsize(f.d.Instances[v].Cell) != nil {
-			cands = append(cands, cand{v, f.r.CellDelay[v]})
-		}
-	}
-	for len(cands) > 0 {
-		best := 0
-		for i := range cands {
-			if cands[i].delay > cands[best].delay {
-				best = i
-			}
-		}
-		id := cands[best].id
-		cands = append(cands[:best], cands[best+1:]...)
-		if ok := f.tryResize(fi, id, true); ok {
-			f.res.Upsized++
-			f.noteTransform()
-			return true, nil
-		}
-	}
-	// Second choice: buffer the path net with the largest wire delay.
-	if f.res.BuffersAdded < f.opt.MaxBuffers {
-		bestNet, bestWD := -1, f.opt.WireDelayForBuf
-		for _, v := range path {
-			out := f.d.Instances[v].Output
-			if out < 0 {
-				continue
-			}
-			if wd := f.d.Nets[out].WireDelay; wd >= bestWD {
-				bestNet, bestWD = out, wd
-			}
-		}
-		if bestNet >= 0 {
-			if ok, err := f.tryBuffer(fi, bestNet); err != nil {
-				return false, err
-			} else if ok {
-				f.res.BuffersAdded++
-				f.noteTransform()
-				return true, nil
-			}
-		}
-	}
-	return false, nil
-}
-
-// tryResize applies a resize (up=true grows the drive) and keeps it only
-// when the target endpoint's slack improves without making the design's
-// worst slack worse.
-func (f *flow) tryResize(fi, id int, up bool) bool {
-	inst := f.d.Instances[id]
-	from := inst.Cell
-	var to *cells.Cell
-	if up {
-		to = f.d.Lib.Upsize(from)
-	} else {
-		to = f.d.Lib.Downsize(from)
-	}
-	if to == nil {
-		return false
-	}
-	before := f.r.Slack[fi]
-	beforeWNS := f.r.WNS
-	if err := f.d.Resize(inst, to); err != nil {
-		return false
-	}
-	mod := f.modifiedSet(id)
-	f.r.Update(mod)
-	// Repair accepts any move that helps the target endpoint without
-	// hurting the design's worst slack. A strict TNS guard would paralyze
-	// repair inside tightly-coupled cones, where upsizing one gate always
-	// taxes a sibling path slightly.
-	if f.r.Slack[fi] > before+1e-9 && f.r.WNS >= beforeWNS-1e-9 {
-		f.noteDirty(mod)
-		return true
-	}
-	// Revert.
-	if err := f.d.Resize(inst, from); err == nil {
-		f.r.Update(mod)
-	} else {
-		// The design kept the trial cell: the gate is dirty after all.
-		f.noteDirty(mod)
-	}
-	return false
-}
-
-// modifiedSet returns the instances whose timing must be re-evaluated
-// after instance id changed cell: the instance itself plus the drivers of
-// its input nets (their loads changed).
-func (f *flow) modifiedSet(id int) []int {
-	inst := f.d.Instances[id]
-	mod := []int{id}
-	for _, nid := range inst.Inputs {
-		if drv := f.d.Nets[nid].Driver; drv >= 0 && !f.g.IsClock(drv) {
-			mod = append(mod, drv)
-		}
-	}
-	return mod
-}
-
-// tryBuffer inserts a buffer on the net and keeps it only when the target
-// endpoint improves. Buffer insertion changes connectivity, so the graph
-// is rebuilt (and mGBA recalibrated) either way.
-func (f *flow) tryBuffer(fi, net int) (bool, error) {
-	buf, err := f.d.Lib.Pick(cells.Buf, 4)
-	if err != nil {
-		return false, err
-	}
-	before := f.r.Slack[fi]
-	beforeTNS := f.r.TNS
-	b, err := f.d.InsertBuffer(net, buf, "")
-	if err != nil {
-		return false, nil // un-bufferable net: not an error, just no fix
-	}
-	if err := f.refresh(); err != nil {
-		return false, err
-	}
-	if f.r.Slack[fi] > before+1e-9 && f.r.TNS >= beforeTNS-1e-9 {
-		return true, nil
-	}
-	// Rejected: unwind the insertion and restore the timing state.
-	if err := f.d.RemoveBuffer(b); err != nil {
-		return false, err
-	}
-	if err := f.refresh(); err != nil {
-		return false, err
-	}
-	return false, nil
-}
-
-// recoverArea downsizes gates whose paths have slack to spare — the phase
-// where a less pessimistic timer directly buys area and leakage. The walk
-// position survives in checkpoints (the topological order is a pure
-// function of the design, and recovery never edits connectivity), so a
-// resumed run continues exactly where the interrupted one stopped.
-func (f *flow) recoverArea() error {
-	for ; f.recoveryPos < len(f.g.Topo); f.recoveryPos++ {
-		if f.stopped() {
-			return nil
-		}
-		if f.res.Transforms >= f.opt.MaxTransforms {
-			break
-		}
-		v := f.g.Topo[f.recoveryPos]
-		inst := f.d.Instances[v]
-		if inst.IsFF() || f.g.IsClock(v) {
-			continue
-		}
-		slack := f.r.InstanceSlack(v)
-		if math.IsInf(slack, 1) || slack < f.opt.RecoveryMargin {
-			continue
-		}
-		if f.tryDownsize(v) {
-			f.res.Downsized++
-			f.noteTransform()
-			if err := f.maybeRecalibrate(); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// tryDownsize shrinks a gate and keeps the change only if the design's
-// worst slack stays above the recovery margin's floor (no new violations).
-func (f *flow) tryDownsize(id int) bool {
-	inst := f.d.Instances[id]
-	from := inst.Cell
-	to := f.d.Lib.Downsize(from)
-	if to == nil {
-		return false
-	}
-	beforeWNS := f.r.WNS
-	beforeTNS := f.r.TNS
-	if err := f.d.Resize(inst, to); err != nil {
-		return false
-	}
-	mod := f.modifiedSet(id)
-	f.r.Update(mod)
-	// Keep when no violating endpoint got worse and no new violation
-	// appeared.
-	if f.r.WNS >= beforeWNS-1e-9 && f.r.TNS >= beforeTNS-1e-9 {
-		f.noteDirty(mod)
-		return true
-	}
-	if err := f.d.Resize(inst, from); err == nil {
-		f.r.Update(mod)
-	} else {
-		f.noteDirty(mod)
-	}
-	return false
-}
-
-// finish records the final QoR, including a PBA sign-off measurement so
-// that GBA-flow and mGBA-flow results are compared on equal footing. It
-// always runs, interrupted or not: a cancelled run still reports honest
-// final numbers for the state it leaves the design in.
-func (f *flow) finish() {
-	f.res.TimerWNS = f.r.WNS
-	f.res.TimerTNS = f.r.TNS
-	f.res.ViolatedEndpoints = f.violatedCount()
-	f.res.Area = f.d.Area()
-	f.res.Leakage = f.d.Leakage()
-	f.res.Buffers = f.d.BufferCount()
-	if f.opt.Timer == TimerMGBA {
-		f.res.Weights = f.weights
-	}
-
-	f.res.SignoffWNS, f.res.SignoffTNS = signoff(f.sess, f.opt.STA)
-}
-
-// Signoff measures WNS/TNS with PBA: for every endpoint, the worst PBA
-// slack among its worst GBA paths. This is the golden yardstick the paper
-// uses for its QoR tables (PBA "sign-off stage" timing).
-func Signoff(g *graph.Graph, cfg sta.Config) (wns, tns float64) {
-	return signoff(engine.NewSession(g), cfg)
-}
-
-// signoff is Signoff against an existing timing session.
-func signoff(s *engine.Session, cfg sta.Config) (wns, tns float64) {
-	g := s.G
-	cfg.Weights = nil
-	r := s.Run(cfg)
-	defer r.Release()
-	an := pba.NewAnalyzer(r)
-	for fi, ffID := range g.D.FFs {
-		if len(g.Fanin[ffID]) == 0 {
-			continue
-		}
-		worst := math.Inf(1)
-		// The PBA-worst path is among the GBA-worst few: GBA ordering is
-		// a conservative bound on the PBA ordering.
-		for _, p := range an.KWorst(fi, 10, nil) {
-			if s := an.Retime(p).Slack; s < worst {
-				worst = s
-			}
-		}
-		// The endpoint's PBA slack is the slack of its PBA-worst path,
-		// i.e. the minimum over paths of the per-path slack. KWorst
-		// returns GBA-worst-first, so taking the min over the first few
-		// is the standard sign-off approximation.
-		if math.IsInf(worst, 1) {
-			continue
-		}
-		if worst < 0 {
-			tns += worst
-			if worst < wns {
-				wns = worst
-			}
-		}
-	}
-	return wns, tns
-}
+// Retimed returns the accepted register-retiming count — the structural
+// analogue of the Upsized/Downsized/BuffersAdded trio.
+func (r *Result) Retimed() int { return r.Kinds["retime"] }

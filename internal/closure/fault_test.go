@@ -2,6 +2,8 @@ package closure_test
 
 import (
 	"context"
+	"errors"
+	"io"
 	"math"
 	"path/filepath"
 	"sync/atomic"
@@ -406,5 +408,69 @@ func TestFlowSurvivesCorruptedRowPatch(t *testing.T) {
 	if res.SignoffWNS < res.TimerWNS+eps*math.Abs(res.TimerWNS)-1e-6 {
 		t.Fatalf("corrupted calibration optimistic: timer WNS %v vs signoff %v",
 			res.TimerWNS, res.SignoffWNS)
+	}
+}
+
+// failingWriter truncates every stream after limit bytes, the same write
+// fault the netio crash suite injects.
+type failingWriter struct {
+	w       io.Writer
+	limit   int
+	written int
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.limit {
+		n := f.limit - f.written
+		if n > 0 {
+			f.w.Write(p[:n])
+			f.written += n
+		}
+		return n, errors.New("injected write failure")
+	}
+	n, err := f.w.Write(p)
+	f.written += n
+	return n, err
+}
+
+// TestRetimeFlowSurvivesCheckpointWriteFault extends the corruption suite
+// to the v2 per-transform checkpoint path: with every checkpoint write
+// truncated mid-stream, a retime-enabled flow must record the failures as
+// faults and still complete with the exact design and QoR of an unfaulted
+// run — losing checkpoints never loses or perturbs the optimization.
+func TestRetimeFlowSurvivesCheckpointWriteFault(t *testing.T) {
+	opt := retimeOptions(closure.TimerMGBA)
+	ref, err := closure.Optimize(retimeDesign(t, 2), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Retimed() == 0 {
+		t.Fatalf("no retiming accepted; fixture too tame: kinds=%v", ref.Kinds)
+	}
+
+	faultinject.SetWriter(faultinject.NetioWrite, func(w io.Writer) io.Writer {
+		return &failingWriter{w: w, limit: 64}
+	})
+	defer faultinject.Reset()
+
+	opt.CheckpointPath = filepath.Join(t.TempDir(), "ckpt.json")
+	opt.CheckpointEvery = 1
+	res, err := closure.Optimize(retimeDesign(t, 2), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Faults) == 0 {
+		t.Fatal("truncated checkpoint writes recorded no faults")
+	}
+	if res.Checkpoints != 0 {
+		t.Fatalf("%d checkpoints counted as written despite the write fault", res.Checkpoints)
+	}
+	if res.Transforms != ref.Transforms || res.Retimed() != ref.Retimed() {
+		t.Fatalf("checkpoint faults perturbed the flow: %d/%d transforms vs %d/%d",
+			res.Transforms, res.Retimed(), ref.Transforms, ref.Retimed())
+	}
+	if res.TimerWNS != ref.TimerWNS || res.TimerTNS != ref.TimerTNS {
+		t.Fatalf("checkpoint faults perturbed QoR: WNS %v vs %v, TNS %v vs %v",
+			res.TimerWNS, ref.TimerWNS, res.TimerTNS, ref.TimerTNS)
 	}
 }

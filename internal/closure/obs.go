@@ -17,6 +17,21 @@ var (
 	obsViolated        = obs.NewGauge("closure.last.violated_endpoints")
 )
 
+// kindMetrics is the per-transform-kind counter pair, resolved once at
+// flow construction (obs.NewCounter is idempotent per name, so every run
+// of the same registry shares the same counters).
+type kindMetrics struct {
+	accepted *obs.Counter
+	rejected *obs.Counter
+}
+
+func kindMetricsFor(kind string) kindMetrics {
+	return kindMetrics{
+		accepted: obs.NewCounter("closure.transforms." + kind),
+		rejected: obs.NewCounter("closure.transforms." + kind + ".rejected"),
+	}
+}
+
 // phaseName names a flow phase for spans and events.
 func phaseName(ph phase) string {
 	switch ph {

@@ -1,0 +1,67 @@
+package closure
+
+import (
+	"fmt"
+	"math"
+
+	"mgba/internal/transform"
+)
+
+// BufferDrive is the drive strength of inserted buffers (the historical
+// hard-coded choice).
+const BufferDrive = 4
+
+// buildRegistry materializes Options.Transforms into a transform registry
+// plus the per-kind accepted-transform budgets. The default (nil) list is
+// the historical pair — upsize then buffer; recovery always runs the
+// downsize transform. Unknown or duplicated transform names are
+// configuration errors.
+func buildRegistry(opt Options) (*transform.Registry, map[string]int, error) {
+	names := opt.Transforms
+	if names == nil {
+		names = []string{"upsize", "buffer"}
+	}
+	reg := &transform.Registry{}
+	for _, name := range names {
+		if reg.ByKind(name) != nil {
+			return nil, nil, fmt.Errorf("closure: duplicate transform %q", name)
+		}
+		var tr transform.Transform
+		switch name {
+		case "upsize":
+			tr = transform.NewUpsize()
+		case "buffer":
+			tr = transform.NewBuffer(opt.WireDelayForBuf, BufferDrive)
+		case "retime":
+			lag := opt.RetimeMaxLag
+			if lag == 0 {
+				lag = DefaultRetimeMaxLag
+			}
+			tr = transform.NewRetime(lag)
+		default:
+			return nil, nil, fmt.Errorf("closure: unknown transform %q", name)
+		}
+		reg.Repair = append(reg.Repair, tr)
+	}
+	reg.Recovery = []transform.Transform{transform.NewDownsize()}
+
+	budgets := make(map[string]int)
+	for _, k := range reg.Kinds() {
+		b, ok := opt.KindBudgets[k]
+		if !ok {
+			switch k {
+			case "buffer":
+				b = opt.MaxBuffers
+			case "retime":
+				b = DefaultRetimeBudget
+			default:
+				b = math.MaxInt
+			}
+		}
+		if b < 0 {
+			return nil, nil, fmt.Errorf("closure: negative budget for %q", k)
+		}
+		budgets[k] = b
+	}
+	return reg, budgets, nil
+}

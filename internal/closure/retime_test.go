@@ -1,0 +1,275 @@
+package closure_test
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mgba/internal/closure"
+	"mgba/internal/fixtures"
+	"mgba/internal/netlist"
+)
+
+// retimeOptions is the knob set shared by the retiming tests: the full
+// registry, a dense recalibration cadence so structural moves land between
+// incremental recalibrations, and short repair rounds for speed.
+func retimeOptions(timer closure.TimerKind) closure.Options {
+	opt := closure.DefaultOptions(timer)
+	opt.Transforms = []string{"upsize", "buffer", "retime"}
+	opt.RecalibrateEvery = 3
+	return opt
+}
+
+func retimeDesign(t *testing.T, lanes int) *netlist.Design {
+	t.Helper()
+	d, err := fixtures.RetimePipeline(lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestRetimeAcceptedOnRegisterBoundPipeline is the acceptance criterion of
+// the retiming transform: on a fixture whose critical paths are register
+// bound (every gate already at max drive, period set below what any
+// sizing/buffering can reach), the default registry is stuck, and enabling
+// retiming closes timing by sliding registers into the deep stage.
+func TestRetimeAcceptedOnRegisterBoundPipeline(t *testing.T) {
+	for _, timer := range []closure.TimerKind{closure.TimerGBA, closure.TimerMGBA} {
+		t.Run(timer.String(), func(t *testing.T) {
+			// Default registry: no move available, violations remain.
+			base, err := closure.Optimize(retimeDesign(t, 2), closure.DefaultOptions(timer))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base.ViolatedEndpoints == 0 {
+				t.Fatal("fixture not register bound: default registry closed it")
+			}
+
+			res, err := closure.Optimize(retimeDesign(t, 2), retimeOptions(timer))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Retimed() == 0 {
+				t.Fatalf("no retiming accepted: kinds=%v wns=%v", res.Kinds, res.TimerWNS)
+			}
+			if res.TimerWNS <= base.TimerWNS {
+				t.Fatalf("retiming did not improve WNS: %v vs default %v", res.TimerWNS, base.TimerWNS)
+			}
+			if res.Transforms != res.Upsized+res.Downsized+res.BuffersAdded+res.Retimed() {
+				t.Fatalf("transform accounting broken: total %d kinds %v", res.Transforms, res.Kinds)
+			}
+		})
+	}
+}
+
+// TestRetimeIncrementalMatchesCold extends the incremental-calibration
+// contract to connectivity-changing moves: with retiming enabled, the
+// dirty-set Recalibrate path (rebound to the rebuilt session after each
+// accepted slide) must walk the same transform sequence and land on
+// bit-identical QoR, weights, and design as the ColdRecalibrate ablation.
+func TestRetimeIncrementalMatchesCold(t *testing.T) {
+	runFlow := func(cold bool) (*closure.Result, string) {
+		d := retimeDesign(t, 3)
+		opt := retimeOptions(closure.TimerMGBA)
+		opt.ColdRecalibrate = cold
+		res, err := closure.Optimize(d, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, hashDesign(d)
+	}
+
+	inc, incHash := runFlow(false)
+	cold, coldHash := runFlow(true)
+
+	if inc.Retimed() == 0 {
+		t.Fatalf("no retiming accepted; fixture too tame: kinds=%v", inc.Kinds)
+	}
+	if inc.Calibrations < 2 {
+		t.Fatalf("flow calibrated only %d times; incremental path not exercised", inc.Calibrations)
+	}
+	if incHash != coldHash {
+		t.Fatalf("final designs diverge: %s vs %s", incHash, coldHash)
+	}
+	if inc.Transforms != cold.Transforms {
+		t.Fatalf("transform counts differ: %d vs %d", inc.Transforms, cold.Transforms)
+	}
+	for k, n := range cold.Kinds {
+		if inc.Kinds[k] != n {
+			t.Fatalf("kind %s count differs: %d vs %d", k, inc.Kinds[k], n)
+		}
+	}
+	if inc.TimerWNS != cold.TimerWNS || inc.TimerTNS != cold.TimerTNS {
+		t.Fatalf("timer QoR differs: WNS %v vs %v, TNS %v vs %v",
+			inc.TimerWNS, cold.TimerWNS, inc.TimerTNS, cold.TimerTNS)
+	}
+	if inc.SignoffWNS != cold.SignoffWNS || inc.SignoffTNS != cold.SignoffTNS {
+		t.Fatalf("signoff QoR differs: WNS %v vs %v, TNS %v vs %v",
+			inc.SignoffWNS, cold.SignoffWNS, inc.SignoffTNS, cold.SignoffTNS)
+	}
+	if hashWeights(inc.Weights) != hashWeights(cold.Weights) {
+		t.Fatal("calibration weights diverge between incremental and cold")
+	}
+}
+
+// TestRetimeCheckpointResumeEquivalence: a retime-enabled run killed at a
+// checkpoint and resumed must reach the same final state as an
+// uninterrupted run. This exercises the v2 per-kind state blobs — the lag
+// map must survive the round trip for the resumed run to respect MaxLag
+// exactly as the uninterrupted one did.
+func TestRetimeCheckpointResumeEquivalence(t *testing.T) {
+	opt := retimeOptions(closure.TimerMGBA)
+
+	ref, err := closure.Run(context.Background(), retimeDesign(t, 3), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Retimed() == 0 {
+		t.Fatalf("no retiming accepted; fixture too tame: kinds=%v", ref.Kinds)
+	}
+
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	opt.CheckpointPath = path
+	opt.CheckpointEvery = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	ckpts := 0
+	opt.OnCheckpoint = func(string) {
+		ckpts++
+		if ckpts == 2 {
+			cancel()
+		}
+	}
+	res, err := closure.Run(ctx, retimeDesign(t, 3), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Skip("flow completed before the kill point; equivalence trivially holds")
+	}
+	opt.OnCheckpoint = nil
+	for hops := 0; res.Interrupted; hops++ {
+		if hops > 10 {
+			t.Fatal("resume never completed")
+		}
+		res, err = closure.Resume(context.Background(), path, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if res.Transforms != ref.Transforms {
+		t.Fatalf("transform count diverged: resumed %d vs uninterrupted %d", res.Transforms, ref.Transforms)
+	}
+	for k, n := range ref.Kinds {
+		if res.Kinds[k] != n {
+			t.Fatalf("kind %s diverged: resumed %d vs uninterrupted %d", k, res.Kinds[k], n)
+		}
+	}
+	if math.Abs(res.TimerTNS-ref.TimerTNS) > 1e-6 {
+		t.Fatalf("timer TNS diverged: resumed %v vs uninterrupted %v", res.TimerTNS, ref.TimerTNS)
+	}
+	if math.Abs(res.Area-ref.Area) > 1e-9 {
+		t.Fatalf("area diverged: resumed %v vs uninterrupted %v", res.Area, ref.Area)
+	}
+}
+
+// TestRetimeCorruptStateBlobIsCleanError: a checkpoint whose retime state
+// blob is garbage must fail resume with a diagnostic error, never a panic,
+// and never silently proceed with a fresh lag map.
+func TestRetimeCorruptStateBlobIsCleanError(t *testing.T) {
+	opt := retimeOptions(closure.TimerGBA)
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	opt.CheckpointPath = path
+	opt.CheckpointEvery = 1
+
+	ctx, cancel := context.WithCancel(context.Background())
+	opt.OnCheckpoint = func(string) { cancel() }
+	if _, err := closure.Run(ctx, retimeDesign(t, 2), opt); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap the retime blob for well-formed JSON of the wrong shape: the
+	// file parses, the checkpoint loads, and the failure must surface from
+	// the transform's own state restore.
+	var fc map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &fc); err != nil {
+		t.Fatal(err)
+	}
+	var kinds map[string]json.RawMessage
+	if err := json.Unmarshal(fc["kinds"], &kinds); err != nil {
+		t.Fatalf("no per-kind state in checkpoint: %v", err)
+	}
+	if _, ok := kinds["retime"]; !ok {
+		t.Fatal("no retime state in checkpoint")
+	}
+	kinds["retime"] = json.RawMessage(`{"lags":"not-a-map"}`)
+	fc["kinds"], err = json.Marshal(kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := json.Marshal(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opt.OnCheckpoint = nil
+	_, err = closure.Resume(context.Background(), path, opt)
+	if err == nil {
+		t.Fatal("corrupt retime state accepted on resume")
+	}
+	if !strings.Contains(err.Error(), "retime") {
+		t.Fatalf("corruption error does not name the kind: %v", err)
+	}
+}
+
+// TestRetimeLagState: the per-kind blob written at checkpoints carries the
+// accumulated lag map in the documented shape.
+func TestRetimeLagState(t *testing.T) {
+	opt := retimeOptions(closure.TimerGBA)
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	opt.CheckpointPath = path
+	opt.CheckpointEvery = 1
+	res, err := closure.Optimize(retimeDesign(t, 2), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retimed() == 0 {
+		t.Skip("no retiming accepted; lag map necessarily empty")
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fc struct {
+		Kinds map[string]json.RawMessage `json:"kinds"`
+	}
+	if err := json.Unmarshal(blob, &fc); err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Lags map[string]int `json:"lags"`
+	}
+	if err := json.Unmarshal(fc.Kinds["retime"], &st); err != nil {
+		t.Fatalf("retime state blob unreadable: %v", err)
+	}
+	total := 0
+	for _, lag := range st.Lags {
+		if lag < 0 {
+			lag = -lag
+		}
+		total += lag
+	}
+	if total == 0 {
+		t.Fatalf("retimes accepted (%d) but lag map empty: %s", res.Retimed(), fc.Kinds["retime"])
+	}
+}

@@ -1,0 +1,69 @@
+package closure
+
+import "fmt"
+
+// Scheduler picks the next endpoint the repair loop works on. The seam
+// exists so endpoint-ordering policies can be swapped without touching
+// the flow: the paper's greedy worst-first order is the default, and the
+// round-robin alternative proves the interface carries a genuinely
+// different policy (a metaheuristic scheduler plugs in the same way).
+type Scheduler interface {
+	// Next returns the D.FFs position to repair next, or -1 when no
+	// violating endpoint outside skip remains. slack is the per-endpoint
+	// timer slack; skip marks endpoints the current round gave up on.
+	Next(slack []float64, skip map[int]bool) int
+}
+
+// buildScheduler resolves Options.Scheduler. Scheduler state is run-local
+// and not checkpointed: a resumed round-robin run restarts its cursor,
+// which only perturbs intra-round ordering (the default greedy policy is
+// stateless and resumes exactly).
+func buildScheduler(name string) (Scheduler, error) {
+	switch name {
+	case "", "greedy":
+		return greedyScheduler{}, nil
+	case "roundrobin":
+		return &roundRobinScheduler{}, nil
+	default:
+		return nil, fmt.Errorf("closure: unknown scheduler %q", name)
+	}
+}
+
+// greedyScheduler is the historical policy: always the most negative
+// remaining endpoint.
+type greedyScheduler struct{}
+
+func (greedyScheduler) Next(slack []float64, skip map[int]bool) int {
+	worst, worstSlack := -1, 0.0
+	for fi, s := range slack {
+		if skip[fi] {
+			continue
+		}
+		if s < worstSlack {
+			worst, worstSlack = fi, s
+		}
+	}
+	return worst
+}
+
+// roundRobinScheduler cycles through violating endpoints in index order,
+// spreading repair effort instead of hammering the worst endpoint until
+// it closes or stalls.
+type roundRobinScheduler struct {
+	cursor int
+}
+
+func (s *roundRobinScheduler) Next(slack []float64, skip map[int]bool) int {
+	n := len(slack)
+	if n == 0 {
+		return -1
+	}
+	for i := 0; i < n; i++ {
+		fi := (s.cursor + i) % n
+		if !skip[fi] && slack[fi] < 0 {
+			s.cursor = fi + 1
+			return fi
+		}
+	}
+	return -1
+}

@@ -1,0 +1,53 @@
+package closure
+
+import (
+	"math"
+
+	"mgba/internal/engine"
+	"mgba/internal/graph"
+	"mgba/internal/pba"
+	"mgba/internal/sta"
+)
+
+// Signoff measures WNS/TNS with PBA: for every endpoint, the worst PBA
+// slack among its worst GBA paths. This is the golden yardstick the paper
+// uses for its QoR tables (PBA "sign-off stage" timing).
+func Signoff(g *graph.Graph, cfg sta.Config) (wns, tns float64) {
+	return signoff(engine.NewSession(g), cfg)
+}
+
+// signoff is Signoff against an existing timing session.
+func signoff(s *engine.Session, cfg sta.Config) (wns, tns float64) {
+	g := s.G
+	cfg.Weights = nil
+	r := s.Run(cfg)
+	defer r.Release()
+	an := pba.NewAnalyzer(r)
+	for fi, ffID := range g.D.FFs {
+		if len(g.Fanin[ffID]) == 0 {
+			continue
+		}
+		worst := math.Inf(1)
+		// The PBA-worst path is among the GBA-worst few: GBA ordering is
+		// a conservative bound on the PBA ordering.
+		for _, p := range an.KWorst(fi, 10, nil) {
+			if s := an.Retime(p).Slack; s < worst {
+				worst = s
+			}
+		}
+		// The endpoint's PBA slack is the slack of its PBA-worst path,
+		// i.e. the minimum over paths of the per-path slack. KWorst
+		// returns GBA-worst-first, so taking the min over the first few
+		// is the standard sign-off approximation.
+		if math.IsInf(worst, 1) {
+			continue
+		}
+		if worst < 0 {
+			tns += worst
+			if worst < wns {
+				wns = worst
+			}
+		}
+	}
+	return wns, tns
+}

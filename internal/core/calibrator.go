@@ -98,6 +98,46 @@ func (c *Calibrator) SetWarmWeights(w []float64) {
 	c.warm = append([]float64(nil), w...)
 }
 
+// Rebind moves the calibrator to a new engine.Session after a structural
+// edit that preserved the instance set and the clock network — a register
+// retiming slide. The per-endpoint path cache survives: the caller owes
+// the next Recalibrate a dirty set covering every instance whose timing or
+// graph-derived state (depth, bounding box) the edit moved, whose fan-out
+// cone then covers every endpoint whose cached paths could have changed —
+// clean endpoints' enumerations, retimings and matrix rows are provably
+// still exact. The cached baselines are tied to the old session's graph,
+// so the GBA baseline is re-run on the new session and the private
+// weighted baseline is dropped (the next Recalibrate re-derives it).
+//
+// A new session whose design changed instance count voids the cache
+// entirely; Rebind then degrades to an Invalidate and the next call runs
+// cold.
+func (c *Calibrator) Rebind(s *engine.Session) error {
+	if s == nil {
+		return fmt.Errorf("core: rebind to nil session")
+	}
+	sameShape := c.sess != nil &&
+		len(s.G.D.Instances) == len(c.sess.G.D.Instances) &&
+		len(s.G.D.FFs) == len(c.sess.G.D.FFs)
+	c.sess = s
+	if c.gba != nil {
+		c.gba.Release()
+		c.gba = nil
+	}
+	if !sameShape {
+		c.Invalidate()
+		return nil
+	}
+	c.mgba.Release()
+	c.mgba = nil
+	c.mweights = nil
+	if c.eps != nil {
+		obsCalibRebinds.Inc()
+		c.gba = s.Run(c.cfg)
+	}
+	return nil
+}
+
 // Invalidate drops every cached artifact, forcing the next call cold. The
 // cached baseline is not released here — the last returned Model may still
 // reference it. The weighted cache is private (callers only ever receive

@@ -9,6 +9,7 @@ import "mgba/internal/obs"
 var (
 	obsCalibCold        = obs.NewCounter("core.calibrations.cold")
 	obsCalibIncremental = obs.NewCounter("core.calibrations.incremental")
+	obsCalibRebinds     = obs.NewCounter("core.calibrations.rebinds")
 	obsCalibDegraded    = obs.NewCounter("core.calibrations.degraded")
 	obsCalibAbandoned   = obs.NewCounter("core.calibrations.abandoned")
 	obsWarmStartHits    = obs.NewCounter("core.warm_start.hits")

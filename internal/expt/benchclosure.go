@@ -1,0 +1,115 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mgba/internal/closure"
+	"mgba/internal/fixtures"
+	"mgba/internal/gen"
+	"mgba/internal/netlist"
+	"mgba/internal/report"
+)
+
+// ClosureMixBench is one row of the closure-throughput benchmark: the full
+// flow on one design under one transform registry. Throughput is accepted
+// transforms per second of flow wall time; the recalibration share is the
+// fraction of that wall time the mGBA calibrator consumed.
+type ClosureMixBench struct {
+	Design     string         `json:"design"`
+	Transforms string         `json:"transforms"` // registry, comma-separated
+	Gates      int            `json:"gates"`
+	NsOp       int64          `json:"ns_per_op"`
+	Accepted   int            `json:"accepted_transforms"`
+	Kinds      map[string]int `json:"kinds"`
+
+	TransformsPerSec float64 `json:"transforms_per_sec"`
+	RecalShare       float64 `json:"recalibration_share"`
+}
+
+// ClosureBench backs the BENCH_closure.json artifact: flow throughput per
+// transform mix, from the historical sizing registry to the full registry
+// with connectivity-changing retiming (whose accepted moves each force a
+// session rebuild plus an incremental recalibration rebind).
+type ClosureBench struct {
+	Timer string            `json:"timer"`
+	Mixes []ClosureMixBench `json:"mixes"`
+}
+
+// BenchClosure measures the closure flow end to end per transform mix: the
+// default registry on a generated design and on the buffer fixture, and
+// the retiming registry on the register-bound pipeline.
+func BenchClosure(e *Env) (*report.Table, *ClosureBench, error) {
+	toy := gen.Toy()
+	if !e.Quick {
+		toy.Gates, toy.FFs = toy.Gates*2, toy.FFs*2
+	}
+	mixes := []struct {
+		design string
+		build  func() (*netlist.Design, error)
+		names  []string
+	}{
+		{toy.Name, func() (*netlist.Design, error) { return gen.Generate(toy) }, nil},
+		{"bufcase", fixtures.BufferCase, nil},
+		{"retimetoy", func() (*netlist.Design, error) { return fixtures.RetimePipeline(4) },
+			[]string{"upsize", "buffer", "retime"}},
+	}
+
+	res := &ClosureBench{Timer: closure.TimerMGBA.String()}
+	for _, mix := range mixes {
+		label := strings.Join(mix.names, ",")
+		if mix.names == nil {
+			label = "upsize,buffer"
+		}
+		e.logf("benchclosure: timing %s with %s...\n", mix.design, label)
+		var last *closure.Result
+		var gates int
+		br := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				d, err := mix.build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				gates = len(d.Instances)
+				opt := closure.DefaultOptions(closure.TimerMGBA)
+				opt.Transforms = mix.names
+				b.StartTimer()
+				r, err := closure.Optimize(d, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+		})
+		if last == nil {
+			return nil, nil, fmt.Errorf("expt: benchclosure produced no result for %s", mix.design)
+		}
+		row := ClosureMixBench{
+			Design:     mix.design,
+			Transforms: label,
+			Gates:      gates,
+			NsOp:       br.NsPerOp(),
+			Accepted:   last.Transforms,
+			Kinds:      last.Kinds,
+		}
+		if br.NsPerOp() > 0 {
+			row.TransformsPerSec = float64(last.Transforms) / (float64(br.NsPerOp()) / 1e9)
+		}
+		if last.Elapsed > 0 {
+			row.RecalShare = float64(last.CalibElapsed) / float64(last.Elapsed)
+		}
+		res.Mixes = append(res.Mixes, row)
+	}
+
+	t := report.New("Closure-flow throughput per transform mix (mGBA timer)",
+		"design", "transforms", "gates", "accepted", "ns/op", "transforms/s", "recal share")
+	for _, m := range res.Mixes {
+		t.AddRow(m.Design, m.Transforms, fmt.Sprintf("%d", m.Gates),
+			fmt.Sprintf("%d", m.Accepted), fmt.Sprintf("%d", m.NsOp),
+			fmt.Sprintf("%.1f", m.TransformsPerSec), fmt.Sprintf("%.3f", m.RecalShare))
+	}
+	t.AddNote("recal share is calibrator wall time over flow wall time; retimes force a session rebuild + calibrator rebind each")
+	return t, res, nil
+}

@@ -1,0 +1,201 @@
+package fixtures
+
+import (
+	"fmt"
+	"math"
+
+	"mgba/internal/aocv"
+	"mgba/internal/cells"
+	"mgba/internal/engine"
+	"mgba/internal/graph"
+	"mgba/internal/netlist"
+	"mgba/internal/sta"
+)
+
+// BufferCase builds a design where buffer insertion is the winning closure
+// move. The synthetic delay model charges a net's full span-based wire
+// delay to every sink, so a midpoint buffer never shortens the wire itself;
+// an inserted buffer only wins by unloading a *weak* driver. The motif
+// therefore pins the flow into that corner:
+//
+//	FF0 -> m0 -> m1 -> ... -> m(k-1) -> FFP0       (deep chain, all X8)
+//	              m2 -+-> g(Inv X1) ~~long~~> FFP1  (weak driver, long net)
+//
+// Both endpoints violate, the chain path FFP0 worse than FFP1. Every cell
+// except g is at maximum drive, so FFP0 is beyond repair and goes to the
+// skip set; on FFP1's path the only upsizable gate is g, but growing g's
+// input pin loads m2 and degrades FFP0 — the global WNS — so the upsize is
+// rejected by the WNS guard and the flow falls through to buffer insertion,
+// which unloads g without touching the chain and is accepted.
+func BufferCase() (*netlist.Design, error) {
+	const (
+		chainLen = 48  // deep-path gate count; keeps FFP0's need above FFP1's
+		longWire = 300 // um from g to FFP1
+	)
+	lib := cells.Default(28)
+	d := netlist.New("bufcase", 28, lib, aocv.Default(28), 1000)
+	clk := d.AddNet()
+	if err := d.SetClockRoot(clk); err != nil {
+		return nil, err
+	}
+	ffc, err := lib.Pick(cells.DFF, 8)
+	if err != nil {
+		return nil, err
+	}
+	invMax, err := lib.Pick(cells.Inv, 8)
+	if err != nil {
+		return nil, err
+	}
+	invMin, err := lib.Pick(cells.Inv, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	q0 := d.AddNet()
+	dp0 := d.AddNet() // FFP0.Q feeds back to FF0.D so every input is driven
+	if _, err := d.AddFF(ffc, 0, 0, dp0, q0, clk); err != nil {
+		return nil, err
+	}
+	cur := q0
+	var tap int // m2's output net, shared with g
+	for i := 0; i < chainLen; i++ {
+		out := d.AddNet()
+		if _, err := d.AddGate(invMax, 0, 0, []int{cur}, out); err != nil {
+			return nil, err
+		}
+		if i == 2 {
+			tap = out
+		}
+		cur = out
+	}
+	p0, err := d.AddFF(ffc, 0, 0, cur, dp0, clk)
+	if err != nil {
+		return nil, err
+	}
+
+	long := d.AddNet()
+	if _, err := d.AddGate(invMin, 0, 0, []int{tap}, long); err != nil {
+		return nil, err
+	}
+	qp1 := d.AddNet() // dangling Q is fine; only inputs must be driven
+	p1, err := d.AddFF(ffc, longWire, 0, long, qp1, clk)
+	if err != nil {
+		return nil, err
+	}
+
+	d.AutoWire()
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("fixtures: bufcase invalid: %w", err)
+	}
+
+	// Tune the period off the two endpoint needs: FFP1 violates by ~100 ps
+	// (recoverable by unloading g), FFP0 by strictly more, pinning the WNS.
+	g, err := graph.Build(d)
+	if err != nil {
+		return nil, err
+	}
+	r := engine.Analyze(g, sta.DefaultConfig())
+	defer r.Release()
+	need := func(id int) float64 {
+		fi := g.FFIndex(id)
+		return r.DataAtD[fi] + d.Instances[id].Cell.Setup - r.ClockEarly[fi]
+	}
+	n0, n1 := need(p0.ID), need(p1.ID)
+	if n0 < n1+20 {
+		return nil, fmt.Errorf("fixtures: bufcase chain too shallow: needs %v vs %v", n0, n1)
+	}
+	d.ClockPeriod = n1 - 100
+	return d, nil
+}
+
+// RetimePipeline builds a design whose violations only register retiming
+// can close: an imbalanced two-stage pipeline, every cell already at
+// maximum drive (no upsize headroom) and every wire short (no buffer
+// candidate). Each lane is
+//
+//	A -> inv * stageDepth -> B -> inv -> C      (C.Q feeds back to A.D)
+//
+// with the deep first stage violating by roughly 1.5 inverter delays and
+// the shallow second stage enjoying several delays of slack. Sliding the
+// last stage-1 inverter across B (a backward retime at the capture
+// register) moves one inverter delay from the violating stage to the slack
+// one; two slides close the lane without breaking stage 2.
+func RetimePipeline(lanes int) (*netlist.Design, error) {
+	const stageDepth = 7
+	if lanes < 1 {
+		return nil, fmt.Errorf("fixtures: retime pipeline needs at least one lane")
+	}
+	lib := cells.Default(28)
+	d := netlist.New("retimetoy", 28, lib, aocv.Default(28), 1000)
+	clk := d.AddNet()
+	if err := d.SetClockRoot(clk); err != nil {
+		return nil, err
+	}
+	ffc, err := lib.Pick(cells.DFF, 8)
+	if err != nil {
+		return nil, err
+	}
+	inv, err := lib.Pick(cells.Inv, 8)
+	if err != nil {
+		return nil, err
+	}
+
+	var bIDs []int
+	for lane := 0; lane < lanes; lane++ {
+		y := float64(lane) * 20
+		qa, qb, s2, qc := d.AddNet(), d.AddNet(), d.AddNet(), d.AddNet()
+		// A's D pin reads C's Q directly: the zero-gate feedback transfer
+		// has ample slack and keeps every input driven.
+		if _, err := d.AddFF(ffc, 0, y, qc, qa, clk); err != nil {
+			return nil, err
+		}
+		cur := qa
+		for i := 0; i < stageDepth; i++ {
+			out := d.AddNet()
+			if _, err := d.AddGate(inv, float64(i+1), y, []int{cur}, out); err != nil {
+				return nil, err
+			}
+			cur = out
+		}
+		b, err := d.AddFF(ffc, stageDepth+1, y, cur, qb, clk)
+		if err != nil {
+			return nil, err
+		}
+		bIDs = append(bIDs, b.ID)
+		if _, err := d.AddGate(inv, stageDepth+2, y, []int{qb}, s2); err != nil {
+			return nil, err
+		}
+		if _, err := d.AddFF(ffc, stageDepth+3, y, s2, qc, clk); err != nil {
+			return nil, err
+		}
+	}
+
+	d.AutoWire()
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("fixtures: retime pipeline invalid: %w", err)
+	}
+
+	// Period: the deep stage misses by ~1.5 inverter delays, so one retime
+	// is not enough and two close the lane — exercising repeated slides and
+	// the per-register lag cap.
+	g, err := graph.Build(d)
+	if err != nil {
+		return nil, err
+	}
+	r := engine.Analyze(g, sta.DefaultConfig())
+	defer r.Release()
+	needB := math.Inf(-1)
+	invDelay := 0.0
+	for _, id := range bIDs {
+		fi := g.FFIndex(id)
+		if n := r.DataAtD[fi] + d.Instances[id].Cell.Setup - r.ClockEarly[fi]; n > needB {
+			needB = n
+		}
+		drv := d.Nets[d.Instances[id].Inputs[0]].Driver
+		if cd := r.CellDelay[drv]; cd > invDelay {
+			invDelay = cd
+		}
+	}
+	d.ClockPeriod = needB - 1.5*invDelay
+	return d, nil
+}

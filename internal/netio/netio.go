@@ -28,8 +28,10 @@ import (
 // FormatVersion identifies the on-disk design schema.
 const FormatVersion = 1
 
-// CheckpointVersion identifies the on-disk checkpoint schema.
-const CheckpointVersion = 1
+// CheckpointVersion identifies the on-disk checkpoint schema. Version 2
+// added the per-transform-kind state blobs; version-1 checkpoints remain
+// readable.
+const CheckpointVersion = 2
 
 type fileDesign struct {
 	Version     int     `json:"version"`
@@ -245,22 +247,28 @@ func LoadFile(path string) (*netlist.Design, error) {
 
 // Checkpoint bundles everything needed to resume an interrupted
 // optimization run: the current design, the calibration weights in effect
-// (nil when running pure GBA), and an opaque flow-state blob owned by the
-// flow that wrote the checkpoint.
+// (nil when running pure GBA), an opaque flow-state blob owned by the
+// flow that wrote the checkpoint, and — since format v2 — per-transform
+// state blobs keyed by transform kind (a stateful transform like the
+// retimer checkpoints its lag map there). Version-1 checkpoints load with
+// nil Kinds; the flow derives what it can from the v1 counters.
 type Checkpoint struct {
 	Design  *netlist.Design
 	Weights []float64
 	State   json.RawMessage
+	Kinds   map[string]json.RawMessage
 }
 
 type fileCheckpoint struct {
-	Version int             `json:"checkpoint_version"`
-	Design  fileDesign      `json:"design"`
-	Weights []float64       `json:"weights,omitempty"`
-	State   json.RawMessage `json:"state,omitempty"`
+	Version int                        `json:"checkpoint_version"`
+	Design  fileDesign                 `json:"design"`
+	Weights []float64                  `json:"weights,omitempty"`
+	State   json.RawMessage            `json:"state,omitempty"`
+	Kinds   map[string]json.RawMessage `json:"kinds,omitempty"`
 }
 
-// SaveCheckpoint writes the checkpoint as one JSON document.
+// SaveCheckpoint writes the checkpoint as one JSON document (always at
+// the current CheckpointVersion).
 func SaveCheckpoint(w io.Writer, c *Checkpoint) error {
 	if c == nil || c.Design == nil {
 		return fmt.Errorf("netio: nil checkpoint design")
@@ -274,6 +282,7 @@ func SaveCheckpoint(w io.Writer, c *Checkpoint) error {
 		Design:  toFile(c.Design),
 		Weights: c.Weights,
 		State:   c.State,
+		Kinds:   c.Kinds,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -285,7 +294,9 @@ func SaveCheckpoint(w io.Writer, c *Checkpoint) error {
 
 // LoadCheckpoint reads a checkpoint written by SaveCheckpoint, fully
 // revalidating the embedded design and weights: a corrupt or truncated
-// stream yields an error, never a partially valid checkpoint.
+// stream yields an error, never a partially valid checkpoint. Both the
+// current format (v2) and the pre-transform-framework v1 load; a v1
+// checkpoint simply has no per-kind blobs.
 func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	r = faultinject.Reader(faultinject.NetioRead, r)
 	var fc fileCheckpoint
@@ -293,8 +304,11 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if err := dec.Decode(&fc); err != nil {
 		return nil, fmt.Errorf("netio: %w", err)
 	}
-	if fc.Version != CheckpointVersion {
-		return nil, fmt.Errorf("netio: unsupported checkpoint version %d (want %d)", fc.Version, CheckpointVersion)
+	if fc.Version < 1 || fc.Version > CheckpointVersion {
+		return nil, fmt.Errorf("netio: unsupported checkpoint version %d (want 1..%d)", fc.Version, CheckpointVersion)
+	}
+	if fc.Version == 1 && fc.Kinds != nil {
+		return nil, fmt.Errorf("netio: version-1 checkpoint carries per-kind state")
 	}
 	d, err := fromFile(&fc.Design)
 	if err != nil {
@@ -303,7 +317,7 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if err := validWeights(fc.Weights, len(d.Instances)); err != nil {
 		return nil, err
 	}
-	return &Checkpoint{Design: d, Weights: fc.Weights, State: fc.State}, nil
+	return &Checkpoint{Design: d, Weights: fc.Weights, State: fc.State, Kinds: fc.Kinds}, nil
 }
 
 // SaveCheckpointFile atomically writes the checkpoint to path.

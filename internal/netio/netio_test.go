@@ -385,7 +385,7 @@ func TestCheckpointRejectsCorruption(t *testing.T) {
 	if _, err := netio.LoadCheckpoint(bytes.NewReader(blob[:len(blob)/2])); err == nil {
 		t.Fatal("truncated checkpoint accepted")
 	}
-	bad := bytes.Replace(blob, []byte(`"checkpoint_version": 1`), []byte(`"checkpoint_version": 9`), 1)
+	bad := bytes.Replace(blob, []byte(`"checkpoint_version": 2`), []byte(`"checkpoint_version": 9`), 1)
 	if bytes.Equal(bad, blob) {
 		t.Fatal("checkpoint version field not found")
 	}
@@ -404,5 +404,81 @@ func TestLoadReadFault(t *testing.T) {
 	defer faultinject.Reset()
 	if _, err := netio.Load(bytes.NewReader(blob)); err == nil {
 		t.Fatal("truncated read accepted")
+	}
+}
+
+// TestCheckpointV1ReadCompat verifies the format-v2 reader still accepts a
+// version-1 checkpoint (no per-kind blobs). A v1 file is indistinguishable
+// from a v2 file that carries no kinds, so demoting the version field of
+// such a file is exactly the bytes a pre-v2 writer produced.
+func TestCheckpointV1ReadCompat(t *testing.T) {
+	d := makeDesign(t)
+	w := make([]float64, len(d.Instances))
+	for i := range w {
+		w[i] = 1
+	}
+	var buf bytes.Buffer
+	if err := netio.SaveCheckpoint(&buf, &netio.Checkpoint{Design: d, Weights: w, State: json.RawMessage(`{"round":1}`)}); err != nil {
+		t.Fatal(err)
+	}
+	v1 := bytes.Replace(buf.Bytes(), []byte(`"checkpoint_version": 2`), []byte(`"checkpoint_version": 1`), 1)
+	if bytes.Equal(v1, buf.Bytes()) {
+		t.Fatal("checkpoint version field not found")
+	}
+	c, err := netio.LoadCheckpoint(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 checkpoint rejected: %v", err)
+	}
+	if c.Kinds != nil {
+		t.Fatalf("v1 checkpoint produced kinds: %v", c.Kinds)
+	}
+	if len(c.Weights) != len(w) {
+		t.Fatalf("weights length drifted: %d vs %d", len(c.Weights), len(w))
+	}
+}
+
+// TestCheckpointV1RejectsKinds: a checkpoint claiming version 1 but carrying
+// per-transform blobs is internally inconsistent and must be refused rather
+// than silently dropping state.
+func TestCheckpointV1RejectsKinds(t *testing.T) {
+	d := makeDesign(t)
+	var buf bytes.Buffer
+	ck := &netio.Checkpoint{
+		Design: d,
+		Kinds:  map[string]json.RawMessage{"retime": json.RawMessage(`{"lags":{"3":1}}`)},
+	}
+	if err := netio.SaveCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	v1 := bytes.Replace(buf.Bytes(), []byte(`"checkpoint_version": 2`), []byte(`"checkpoint_version": 1`), 1)
+	if _, err := netio.LoadCheckpoint(bytes.NewReader(v1)); err == nil {
+		t.Fatal("version-1 checkpoint with kinds accepted")
+	}
+}
+
+// TestCheckpointKindsRoundTrip: per-transform blobs survive save/load
+// byte-for-byte (modulo JSON whitespace).
+func TestCheckpointKindsRoundTrip(t *testing.T) {
+	d := makeDesign(t)
+	kinds := map[string]json.RawMessage{
+		"retime": json.RawMessage(`{"lags":{"3":1,"7":-2}}`),
+	}
+	var buf bytes.Buffer
+	if err := netio.SaveCheckpoint(&buf, &netio.Checkpoint{Design: d, Kinds: kinds}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := netio.LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got, want bytes.Buffer
+	if err := json.Compact(&got, c.Kinds["retime"]); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Compact(&want, kinds["retime"]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("kinds blob drifted: %s vs %s", got.Bytes(), want.Bytes())
 	}
 }

@@ -1,0 +1,81 @@
+package transform_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"mgba/internal/transform"
+)
+
+func TestRegistryKindsAndLookup(t *testing.T) {
+	reg := &transform.Registry{
+		Repair:   []transform.Transform{transform.NewUpsize(), transform.NewBuffer(15, 4), transform.NewRetime(2)},
+		Recovery: []transform.Transform{transform.NewDownsize()},
+	}
+	want := []string{"upsize", "buffer", "retime", "downsize"}
+	got := reg.Kinds()
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v, want %v", got, want)
+	}
+	for i, k := range want {
+		if got[i] != k {
+			t.Fatalf("kinds = %v, want %v", got, want)
+		}
+		tr := reg.ByKind(k)
+		if tr == nil || tr.Kind() != k {
+			t.Fatalf("ByKind(%q) = %v", k, tr)
+		}
+	}
+	if reg.ByKind("nope") != nil {
+		t.Fatal("ByKind of unknown kind not nil")
+	}
+}
+
+func TestCapabilityBits(t *testing.T) {
+	for _, tc := range []struct {
+		tr   transform.Transform
+		want bool
+	}{
+		{transform.NewUpsize(), false},
+		{transform.NewDownsize(), false},
+		{transform.NewBuffer(15, 4), true},
+		{transform.NewRetime(2), true},
+	} {
+		if got := tc.tr.ConnectivityChanging(); got != tc.want {
+			t.Errorf("%s: ConnectivityChanging = %v, want %v", tc.tr.Kind(), got, tc.want)
+		}
+	}
+}
+
+func TestRetimeStateRoundTrip(t *testing.T) {
+	r := transform.NewRetime(3)
+	blob, err := r.StateBlob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := transform.NewRetime(3)
+	if err := r2.Restore(blob); err != nil {
+		t.Fatalf("fresh state blob does not restore: %v", err)
+	}
+	if err := r2.Restore(json.RawMessage(`{"lags":{"4":-1,"9":2}}`)); err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := r2.StateBlob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3 := transform.NewRetime(3)
+	if err := r3.Restore(blob2); err != nil {
+		t.Fatal(err)
+	}
+	blob3, err := r3.StateBlob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob2) != string(blob3) {
+		t.Fatalf("lag state not stable across round trips: %s vs %s", blob2, blob3)
+	}
+	if err := r3.Restore(json.RawMessage(`{"lags":"garbage"}`)); err == nil {
+		t.Fatal("malformed lag state accepted")
+	}
+}

@@ -55,3 +55,54 @@ esac
 
 echo "smoke_debug: ok ($addr)"
 echo "$vars" | head -n 12
+
+kill "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+
+# Closure-transform smoke: run the full registry (upsize, buffer, retime)
+# on the register-bound fixture and assert via /debug/vars that the
+# retiming transform was actually accepted, i.e. the per-kind counters are
+# live end to end.
+log2=$(mktemp)
+out2=$(mktemp)
+"$bin" -design retimetoy -timer gba -transforms upsize,buffer,retime \
+    -debug-addr 127.0.0.1:0 -debug-hold 20s >"$out2" 2>"$log2" &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*debug server listening on \(.*\)/\1/p' "$log2")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "smoke_debug: transform-smoke server address never appeared" >&2
+    cat "$log2" >&2
+    exit 1
+fi
+
+retimes=""
+for _ in $(seq 1 100); do
+    vars=$(curl -fsS "http://$addr/debug/vars" 2>/dev/null || true)
+    retimes=$(printf '%s' "$vars" |
+        sed -n 's/.*"closure\.transforms\.retime": \([0-9][0-9]*\).*/\1/p')
+    [ -n "$retimes" ] && [ "$retimes" -gt 0 ] && break
+    sleep 0.2
+done
+if [ -z "$retimes" ] || [ "$retimes" -eq 0 ]; then
+    echo "smoke_debug: no retimes recorded on the register-bound fixture:" >&2
+    printf '%s\n' "$vars" >&2
+    cat "$out2" >&2
+    exit 1
+fi
+
+case "$(cat "$out2")" in
+*retimed*) ;;
+*)
+    echo "smoke_debug: closure report lost its retimed column:" >&2
+    cat "$out2" >&2
+    exit 1
+    ;;
+esac
+
+echo "smoke_debug: transform smoke ok ($addr, $retimes retimes)"
