@@ -6,10 +6,11 @@
 //	experiments -quick              # scaled-down suite for a fast pass
 //
 // Artifacts: table1, fig2, sec32, fig3, fig4, table2, table3, table4,
-// table5, bench, benchsolver, benchclosure. Output is plain text; -csv writes each table
-// additionally as CSV into the given directory; -json makes the bench
-// artifacts also write their machine-readable results
-// (BENCH_calibration.json, BENCH_solver.json, BENCH_closure.json).
+// table5, bench, benchsolver, benchclosure, benchcalibd. Output is plain
+// text; -csv writes each table additionally as CSV into the given
+// directory; -json makes the bench artifacts also write their
+// machine-readable results (BENCH_calibration.json, BENCH_solver.json,
+// BENCH_closure.json, BENCH_calibd.json).
 package main
 
 import (
@@ -176,8 +177,24 @@ func main() {
 			}
 		}
 	}
+	if want["benchcalibd"] { // deliberately not part of 'all': pure timing
+		t, res, err := expt.BenchCalibd(env)
+		if err != nil {
+			fail(err)
+		}
+		emit("benchcalibd", t)
+		if *jsonOut {
+			blob, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile("BENCH_calibd.json", append(blob, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
 	if ran == 0 {
-		fail(fmt.Errorf("nothing matched -run=%q; artifacts: table1 fig2 sec32 fig3 fig4 table2 table3 table4 table4x table5 bench benchsolver benchclosure all", *runList))
+		fail(fmt.Errorf("nothing matched -run=%q; artifacts: table1 fig2 sec32 fig3 fig4 table2 table3 table4 table4x table5 bench benchsolver benchclosure benchcalibd all", *runList))
 	}
 }
 

@@ -1,0 +1,241 @@
+package expt
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mgba/internal/gen"
+	"mgba/internal/graph"
+	"mgba/internal/netio"
+	"mgba/internal/report"
+	"mgba/internal/serve"
+)
+
+// CalibdLevelBench is one row of the daemon benchmark: the serving
+// latency distribution at one client concurrency level. Latencies cover
+// accepted batch requests end to end (HTTP round trip, queueing on the
+// session's writer lock, incremental recalibration); rejected requests
+// are the 429s backpressure issued while the level ran.
+type CalibdLevelBench struct {
+	Clients  int   `json:"clients"`
+	Requests int   `json:"accepted_requests"`
+	Rejected int64 `json:"rejected_429"`
+	P50NS    int64 `json:"p50_ns"`
+	P99NS    int64 `json:"p99_ns"`
+	WallNS   int64 `json:"wall_ns"`
+}
+
+// CalibdBench backs the BENCH_calibd.json artifact: recalibrate-request
+// latency through the full daemon stack on the D3 stand-in, as client
+// concurrency ramps past the in-flight budget.
+type CalibdBench struct {
+	Design      string             `json:"design"`
+	Gates       int                `json:"gates"`
+	MaxInFlight int                `json:"max_in_flight"`
+	MaxQueue    int                `json:"max_queue"`
+	Levels      []CalibdLevelBench `json:"levels"`
+}
+
+// BenchCalibd measures the calibration daemon end to end: one session on
+// the D3 stand-in, hammered with single-op sizing batches by 1, 8 and 32
+// concurrent clients. One session means the single-writer lock is the
+// bottleneck by construction — the benchmark shows what the backpressure
+// envelope does with that: how request latency stretches with queueing
+// and how many requests are shed with 429 + Retry-After instead of
+// piling up.
+func BenchCalibd(e *Env) (*report.Table, *CalibdBench, error) {
+	cfg := gen.Suite()[2] // D3
+	if e.Quick {
+		cfg.Gates, cfg.FFs = cfg.Gates/4, cfg.FFs/4
+	}
+	d, err := gen.Generate(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := graph.Build(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	var gates []int
+	for id, inst := range d.Instances {
+		if inst.IsFF() || inst.Dead || g.IsClock(id) || d.Lib.Upsize(inst.Cell) == nil {
+			continue
+		}
+		gates = append(gates, id)
+	}
+	if len(gates) < 32 {
+		return nil, nil, fmt.Errorf("expt: benchcalibd: only %d upsizable gates", len(gates))
+	}
+
+	scfg := serve.DefaultConfig()
+	scfg.SnapshotDir = "" // memory-only: measure serving, not the disk
+	sv, err := serve.New(scfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ts := httptest.NewServer(sv)
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = sv.Shutdown(ctx)
+	}()
+
+	var buf bytes.Buffer
+	if err := netio.Save(&buf, d); err != nil {
+		return nil, nil, err
+	}
+	create, err := json.Marshal(map[string]any{"id": "bench", "design_json": json.RawMessage(buf.Bytes())})
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(create))
+	if err != nil {
+		return nil, nil, err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, nil, fmt.Errorf("expt: benchcalibd: create returned %s", resp.Status)
+	}
+
+	totalOps := 48
+	if e.Quick {
+		totalOps = 12
+	}
+	res := &CalibdBench{
+		Design:      cfg.Name,
+		Gates:       len(d.Instances),
+		MaxInFlight: scfg.MaxInFlight,
+		MaxQueue:    scfg.MaxQueue,
+	}
+	for _, clients := range []int{1, 8, 32} {
+		ops := totalOps / clients
+		if ops == 0 {
+			ops = 1
+		}
+		e.logf("benchcalibd: %d clients x %d ops on %s...\n", clients, ops, cfg.Name)
+		level, err := runCalibdLevel(ts.URL, gates, clients, ops)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.Levels = append(res.Levels, *level)
+	}
+
+	t := report.New("Calibration daemon recalibrate latency under concurrency ("+cfg.Name+" stand-in)",
+		"clients", "accepted", "rejected(429)", "p50 ms", "p99 ms", "wall ms")
+	for _, l := range res.Levels {
+		t.AddRow(fmt.Sprintf("%d", l.Clients), fmt.Sprintf("%d", l.Requests),
+			fmt.Sprintf("%d", l.Rejected),
+			fmt.Sprintf("%.2f", float64(l.P50NS)/1e6), fmt.Sprintf("%.2f", float64(l.P99NS)/1e6),
+			fmt.Sprintf("%.1f", float64(l.WallNS)/1e6))
+	}
+	t.AddNote(fmt.Sprintf("one session (single-writer), in-flight budget %d, per-session queue %d; rejected requests got 429 + Retry-After and were retried",
+		scfg.MaxInFlight, scfg.MaxQueue))
+	return t, res, nil
+}
+
+// runCalibdLevel drives one concurrency level. Every client alternates
+// upsize/downsize on its own gate (so the design never walks off the
+// drive ladder and every batch dirties the netlist), retrying 429s after
+// the server's hint until accepted.
+func runCalibdLevel(base string, gates []int, clients, ops int) (*CalibdLevelBench, error) {
+	var rejected atomic.Int64
+	latencies := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	client := &http.Client{Timeout: 5 * time.Minute}
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			gate := gates[c%len(gates)]
+			<-start
+			for i := 0; i < ops; i++ {
+				op := "upsize"
+				if i%2 == 1 {
+					op = "downsize"
+				}
+				body, _ := json.Marshal(map[string]any{
+					"ops": []map[string]any{{"op": op, "instance": gate}},
+				})
+				for attempt := 0; ; attempt++ {
+					if attempt > 10*ops+100 {
+						errs[c] = fmt.Errorf("expt: benchcalibd: client %d starved after %d attempts", c, attempt)
+						return
+					}
+					reqStart := time.Now()
+					resp, err := client.Post(base+"/v1/sessions/bench/batch", "application/json", bytes.NewReader(body))
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					var eb struct {
+						RetryAfterMS int64 `json:"retry_after_ms"`
+					}
+					err = json.NewDecoder(resp.Body).Decode(&eb)
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusOK:
+						latencies[c] = append(latencies[c], time.Since(reqStart))
+					case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+						rejected.Add(1)
+						backoff := time.Duration(eb.RetryAfterMS) * time.Millisecond
+						if err != nil || backoff <= 0 {
+							backoff = 10 * time.Millisecond
+						}
+						if backoff > 100*time.Millisecond {
+							backoff = 100 * time.Millisecond
+						}
+						time.Sleep(backoff)
+						continue
+					default:
+						errs[c] = fmt.Errorf("expt: benchcalibd: client %d got %s", c, resp.Status)
+						return
+					}
+					break
+				}
+			}
+		}(c)
+	}
+	close(start)
+	wg.Wait()
+	wall := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) == 0 {
+		return nil, fmt.Errorf("expt: benchcalibd: no accepted requests at %d clients", clients)
+	}
+	pct := func(p int) int64 {
+		idx := len(all) * p / 100
+		if idx >= len(all) {
+			idx = len(all) - 1
+		}
+		return int64(all[idx])
+	}
+	return &CalibdLevelBench{
+		Clients:  clients,
+		Requests: len(all),
+		Rejected: rejected.Load(),
+		P50NS:    pct(50),
+		P99NS:    pct(99),
+		WallNS:   int64(wall),
+	}, nil
+}

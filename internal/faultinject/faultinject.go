@@ -50,6 +50,19 @@ const (
 	// directory after the rename; an error hook simulates a directory
 	// sync failing in the rename-then-crash window.
 	NetioSyncDir
+	// ServeAdmit fires when the calibration daemon admits a request,
+	// before any work is done; an error hook simulates admission-layer
+	// failure (the server answers 503 + Retry-After, never a hang).
+	ServeAdmit
+	// ServeEvict fires when the session registry evicts a session (LRU
+	// capacity or idle timeout), before the eviction snapshot; an error
+	// hook makes the pre-eviction snapshot fail, simulating eviction
+	// racing a full disk.
+	ServeEvict
+	// ServeSnapshot fires before the daemon persists a session snapshot;
+	// an error hook simulates a crash window in which recent batches
+	// never reach disk (the session stays dirty and is retried).
+	ServeSnapshot
 	numPoints
 )
 

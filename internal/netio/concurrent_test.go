@@ -1,0 +1,228 @@
+package netio_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mgba/internal/faultinject"
+	"mgba/internal/gen"
+	"mgba/internal/netio"
+	"mgba/internal/netlist"
+)
+
+// slowWriter throttles writes to a few bytes per call so a concurrent
+// save spends real time inside the temp-file write, widening the window
+// in which a torn file would be observable if the rename path were not
+// atomic.
+type slowWriter struct{ w io.Writer }
+
+func (s *slowWriter) Write(p []byte) (int, error) {
+	const chunk = 7
+	done := 0
+	for done < len(p) {
+		hi := done + chunk
+		if hi > len(p) {
+			hi = len(p)
+		}
+		n, err := s.w.Write(p[done:hi])
+		done += n
+		if err != nil {
+			return done, err
+		}
+	}
+	return done, nil
+}
+
+// concurrentDesign builds a small design shared by every writer; only the
+// weights and state blob vary per version, which is what makes a torn or
+// interleaved file detectable (weights and state must agree).
+func concurrentDesign(t *testing.T) *netlist.Design {
+	t.Helper()
+	cfg := gen.Toy()
+	cfg.Gates, cfg.FFs = 120, 16
+	cfg.Name = "ckpt-concurrent"
+	d, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// versionedCheckpoint builds checkpoint version v: every weight is the
+// same marker value and the state blob repeats it, so any mix of two
+// versions in one decoded file is self-inconsistent.
+func versionedCheckpoint(d *netlist.Design, v int) *netio.Checkpoint {
+	w := make([]float64, len(d.Instances))
+	marker := 1 + float64(v)/1024
+	for i := range w {
+		w[i] = marker
+	}
+	blob, _ := json.Marshal(map[string]int{"version": v})
+	return &netio.Checkpoint{Design: d, Weights: w, State: blob}
+}
+
+// checkConsistent fails if a loaded checkpoint mixes two versions: all
+// weights must equal the marker derived from the state blob's version.
+func checkConsistent(t *testing.T, c *netio.Checkpoint) {
+	t.Helper()
+	var st struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(c.State, &st); err != nil {
+		t.Fatalf("state blob corrupt: %v", err)
+	}
+	marker := 1 + float64(st.Version)/1024
+	for i, w := range c.Weights {
+		if w != marker {
+			t.Fatalf("torn checkpoint: state says version %d (marker %v) but weight %d is %v",
+				st.Version, marker, i, w)
+		}
+	}
+}
+
+// TestCheckpointConcurrentSaveLoad hammers one checkpoint path with two
+// saving goroutines and two loading goroutines. The atomic
+// write-temp/fsync/rename protocol must guarantee every load observes
+// one complete checkpoint — never a mix of two saves, never a partial
+// file — even with writes slowed to a crawl via the faultinject writer
+// hook. This is the serving daemon's persistence pattern: snapshot
+// flusher and eviction snapshots racing over one session directory.
+func TestCheckpointConcurrentSaveLoad(t *testing.T) {
+	d := concurrentDesign(t)
+	path := filepath.Join(t.TempDir(), "session.ckpt")
+	if err := netio.SaveCheckpointFile(path, versionedCheckpoint(d, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.SetWriter(faultinject.NetioWrite, func(w io.Writer) io.Writer { return &slowWriter{w: w} })
+	defer faultinject.Reset()
+
+	const writers, savesPerWriter = 2, 12
+	var version atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errc := make(chan error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < savesPerWriter; j++ {
+				v := int(version.Add(1))
+				if err := netio.SaveCheckpointFile(path, versionedCheckpoint(d, v)); err != nil {
+					errc <- fmt.Errorf("save v%d: %w", v, err)
+					return
+				}
+			}
+		}()
+	}
+	var loads int
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(readErr)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c, err := netio.LoadCheckpointFile(path)
+			if err != nil {
+				readErr <- fmt.Errorf("load after %d good loads: %w", loads, err)
+				return
+			}
+			var st struct {
+				Version int `json:"version"`
+			}
+			if err := json.Unmarshal(c.State, &st); err != nil {
+				readErr <- fmt.Errorf("load %d: state blob corrupt: %w", loads, err)
+				return
+			}
+			marker := 1 + float64(st.Version)/1024
+			for i, w := range c.Weights {
+				if w != marker {
+					readErr <- fmt.Errorf("torn checkpoint: version %d but weight %d = %v", st.Version, i, w)
+					return
+				}
+			}
+			loads++
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	if err, ok := <-readErr; ok && err != nil {
+		t.Fatal(err)
+	}
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	final, err := netio.LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConsistent(t, final)
+
+	// No temp litter: every writer either renamed its temp file over the
+	// target or cleaned it up on failure.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != filepath.Base(path) {
+			t.Errorf("leftover file %q after concurrent saves", e.Name())
+		}
+	}
+}
+
+// TestCheckpointConcurrentSaveWithDirSyncFault repeats the concurrent
+// hammering with the parent-directory fsync failing (the
+// rename-then-crash window): saves report the durability error, but the
+// on-disk file must still always decode to one complete checkpoint.
+func TestCheckpointConcurrentSaveWithDirSyncFault(t *testing.T) {
+	d := concurrentDesign(t)
+	path := filepath.Join(t.TempDir(), "session.ckpt")
+	if err := netio.SaveCheckpointFile(path, versionedCheckpoint(d, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	syncErr := errors.New("injected dir sync failure")
+	faultinject.SetError(faultinject.NetioSyncDir, func() error { return syncErr })
+	defer faultinject.Reset()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		base := 100 * (i + 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				err := netio.SaveCheckpointFile(path, versionedCheckpoint(d, base+j))
+				if !errors.Is(err, syncErr) {
+					t.Errorf("save should surface the injected dir-sync error, got %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	c, err := netio.LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConsistent(t, c)
+
+	if _, err := os.Stat(path); errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("checkpoint vanished under dir-sync faults")
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -51,8 +52,22 @@ func Serve(addr string) (*Server, error) {
 // Addr returns the server's bound address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down.
-func (s *Server) Close() error { return s.srv.Close() }
+// CloseGrace bounds how long Close waits for in-flight debug requests
+// (a /debug/pprof/profile capture, a slow summary scrape) to finish
+// before tearing their connections down.
+const CloseGrace = 3 * time.Second
+
+// Close shuts the server down gracefully: the listener stops accepting
+// immediately, in-flight requests get up to CloseGrace to complete, and
+// only stragglers beyond that are cut off.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), CloseGrace)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
 
 // Summary renders every registered metric as a plain-text run summary
 // using the standard report table: counters and gauges by name, then

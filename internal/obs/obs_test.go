@@ -211,6 +211,56 @@ func TestServeEndpoints(t *testing.T) {
 	}
 }
 
+// TestCloseCompletesInFlightRequest: Close must drain a request that is
+// already being served instead of dropping its connection — the
+// historical http.Server.Close cut off in-flight /debug/pprof captures
+// and /debug/summary scrapes mid-body.
+func TestCloseCompletesInFlightRequest(t *testing.T) {
+	prev := Enabled()
+	defer Enable(prev)
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1-second execution trace holds its request in flight long enough
+	// for Close to arrive mid-response.
+	type result struct {
+		body []byte
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/debug/pprof/trace?seconds=1")
+		if err != nil {
+			done <- result{nil, err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err == nil && resp.StatusCode != http.StatusOK {
+			err = errServeStatus(resp.Status)
+		}
+		done <- result{body, err}
+	}()
+	// Wait until the trace capture is actually running server-side before
+	// shutting down.
+	time.Sleep(200 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("in-flight request failed across Close: %v", res.err)
+	}
+	if len(res.body) == 0 {
+		t.Fatal("in-flight trace returned an empty body")
+	}
+}
+
+type errServeStatus string
+
+func (e errServeStatus) Error() string { return "unexpected status " + string(e) }
+
 func TestSummaryRendersAllKinds(t *testing.T) {
 	c := NewCounter("test.summary.counter")
 	g := NewGauge("test.summary.gauge")

@@ -1,0 +1,34 @@
+package par
+
+import (
+	"sync/atomic"
+
+	"mgba/internal/obs"
+)
+
+// Saturation metrics for the shared pool. A submit lands in the queue
+// (par.pool.submits) or bounces off a full queue and is executed by the
+// caller instead (par.pool.queue_full); the ratio is the pool's
+// saturation signal. par.pool.active tracks how many goroutines are
+// currently inside ForBody block execution (callers and pool workers
+// alike), so a scrape shows whether the workers are busy rather than the
+// queue merely deep. All three are plain obs primitives: one atomic op
+// when obs is enabled, a load-and-branch when it is not, so the
+// determinism and zero-alloc contracts of the pool are untouched.
+var (
+	obsSubmits   = obs.NewCounter("par.pool.submits")
+	obsQueueFull = obs.NewCounter("par.pool.queue_full")
+	obsActive    = obs.NewGauge("par.pool.active")
+)
+
+// active mirrors obsActive for callers that need the instantaneous value
+// regardless of whether obs is enabled (obs gauges drop writes while
+// disabled). The calibration daemon reads it to publish a workers-busy
+// signal alongside its own admission gauges.
+var activeCount atomic.Int64
+
+// Active returns the number of goroutines currently executing ForBody
+// blocks (callers included). It is a point-in-time saturation signal:
+// values at or above the worker count mean new parallel work will queue
+// or be executed inline by its submitter.
+func Active() int { return int(activeCount.Load()) }

@@ -1,0 +1,81 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mgba/internal/obs"
+)
+
+// blockingBody parks every chunk on release and counts entries, so the
+// test can hold the whole pool busy at a known point. A call's two chunks
+// may both run (caller first, then worker or post-release caller), so the
+// count is a lower bound ratchet, not a balanced WaitGroup.
+type blockingBody struct {
+	entered *atomic.Int64
+	release chan struct{}
+}
+
+func (b *blockingBody) Chunk(_, _, _ int) {
+	b.entered.Add(1)
+	<-b.release
+}
+
+// TestPoolSaturationObservable drives the shared pool past its queue
+// capacity and asserts the saturation signal is visible: submits land in
+// par.pool.submits, bounced submits in par.pool.queue_full, and Active
+// reports busy executors while the pool is held.
+func TestPoolSaturationObservable(t *testing.T) {
+	obs.Enable(true)
+	defer obs.Enable(false)
+	obs.Reset()
+
+	w := runtime.NumCPU()
+	if w < 2 {
+		w = 2
+	}
+	// Each ForBody(2, 2, 1, ...) submits one share and runs one block in
+	// its calling goroutine. Workers fill first, then the queue (cap 8*w);
+	// everything beyond that must bounce and be executed by its caller.
+	calls := 10*w + 4
+	release := make(chan struct{})
+	var entered atomic.Int64
+	var done sync.WaitGroup
+	for i := 0; i < calls; i++ {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			ForBody(2, 2, 1, &blockingBody{entered: &entered, release: release})
+		}()
+	}
+	// Every caller's own block enters Chunk and parks; wait until all of
+	// them (at least) are inside the pool.
+	for deadline := time.Now().Add(10 * time.Second); entered.Load() < int64(calls); {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d chunks entered the pool", entered.Load(), calls)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if a := Active(); a < w {
+		t.Errorf("Active() = %d while %d callers are parked in the pool; want >= %d", a, calls, w)
+	}
+	snap := obs.Snapshot()
+	submits, _ := snap["par.pool.submits"].(int64)
+	full, _ := snap["par.pool.queue_full"].(int64)
+	if submits == 0 {
+		t.Error("par.pool.submits never incremented")
+	}
+	if full == 0 {
+		t.Errorf("par.pool.queue_full = 0 after %d concurrent calls against a %d-worker pool", calls, w)
+	}
+
+	close(release)
+	done.Wait()
+	if a := Active(); a != 0 {
+		t.Errorf("Active() = %d after every call drained; want 0", a)
+	}
+}

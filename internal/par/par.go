@@ -77,6 +77,15 @@ type forState struct {
 
 var statePool = sync.Pool{New: func() any { return new(forState) }}
 
+// runTracked wraps run with the pool's activity accounting: every
+// goroutine currently draining blocks (caller or worker) counts toward
+// the workers-busy saturation signal.
+func (st *forState) runTracked() {
+	obsActive.SetInt(int(activeCount.Add(1)))
+	st.run()
+	obsActive.SetInt(int(activeCount.Add(-1)))
+}
+
 // run drains blocks from the shared counter until none remain. Dynamic
 // assignment balances load; determinism is unaffected because each block's
 // range is fixed and blocks touch disjoint slots (or slotted partials).
@@ -109,7 +118,7 @@ func startPool() {
 	for i := 0; i < w; i++ {
 		go func() {
 			for st := range queue {
-				st.run()
+				st.runTracked()
 				st.wg.Done()
 			}
 		}()
@@ -122,8 +131,10 @@ func submit(st *forState) bool {
 	poolOnce.Do(startPool)
 	select {
 	case queue <- st:
+		obsSubmits.Inc()
 		return true
 	default:
+		obsQueueFull.Inc()
 		return false
 	}
 }
@@ -171,7 +182,7 @@ func ForBody(workers, n, grain int, body Body) {
 			break
 		}
 	}
-	st.run()
+	st.runTracked()
 	// Help-while-waiting: drain other in-flight states from the queue
 	// before blocking. A waiter only blocks once the queue is empty, at
 	// which point every outstanding share (of any state) is actively being
@@ -181,7 +192,7 @@ func ForBody(workers, n, grain int, body Body) {
 	for {
 		select {
 		case other := <-queue:
-			other.run()
+			other.runTracked()
 			other.wg.Done()
 		default:
 			st.wg.Wait()

@@ -1,0 +1,501 @@
+// Package serve is the calibration-as-a-service layer: a long-running
+// daemon (cmd/calibd) hosting many concurrent calibrator sessions behind
+// an HTTP/JSON API — load a design, apply transform batches, recalibrate,
+// fetch slacks, drop the session. The algorithms all live below
+// (internal/core's incremental Calibrator, internal/engine's timing
+// sessions); this package is the reliability envelope around them:
+//
+//   - Session lifecycle: a registry with max-sessions admission, LRU
+//     capacity eviction and idle timeouts. Evicted sessions are
+//     snapshotted first and transparently resurrected on next access, so
+//     eviction is a memory policy, never data loss.
+//   - Single-writer serialization: concurrent batches against one design
+//     queue on the session's writer lock (bounded by MaxQueue) instead of
+//     racing the calibrator, which is not concurrency-safe by contract.
+//   - Deadlines: every request carries a context deadline that rides the
+//     existing cancellation paths into the solver and engine. A deadline
+//     that expires mid-calibration yields the degradation ladder's
+//     never-optimistic result (identity weights at worst) with HTTP 200 —
+//     a valid pessimistic answer, not a dropped connection.
+//   - Backpressure: when the server-wide in-flight budget or a session's
+//     queue is full, requests are rejected early with 429 and a jittered
+//     Retry-After hint instead of piling up goroutines; the shared
+//     internal/par pool's saturation is exported alongside
+//     (serve.par_active, par.pool.queue_full) so the decision is
+//     observable, not inferred.
+//   - Crash safety: sessions persist through checkpoint format v2 on a
+//     write-behind cadence, on eviction, and on graceful shutdown
+//     (SIGTERM drains in-flight requests, then snapshots). A restarted
+//     daemon resumes every persisted session bit-identically — mGBA
+//     slacks are a pure function of (design state, fitted weights), and a
+//     resumed calibrator warm-started from the persisted weights re-fits
+//     bit-identically to the incremental path (the PR-3 exactness
+//     contract). Corrupt snapshot blobs are quarantined per-session;
+//     startup never fails on one bad file.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mgba/internal/core"
+	"mgba/internal/faultinject"
+	"mgba/internal/netio"
+	"mgba/internal/obs"
+	"mgba/internal/par"
+	"mgba/internal/sta"
+)
+
+// Config parameterizes the daemon. The zero value is not usable; start
+// from DefaultConfig.
+type Config struct {
+	// SnapshotDir is where per-session checkpoint-v2 snapshots live
+	// (<dir>/<id>.ckpt). Empty disables persistence: sessions are
+	// memory-only and eviction loses them.
+	SnapshotDir string
+	// MaxSessions bounds resident sessions; beyond it the least recently
+	// used session is snapshotted and evicted.
+	MaxSessions int
+	// IdleTimeout evicts sessions untouched for this long (snapshot
+	// first). Zero disables idle eviction.
+	IdleTimeout time.Duration
+	// MaxInFlight bounds concurrently admitted heavy requests server-wide;
+	// excess requests get 429 + Retry-After immediately.
+	MaxInFlight int
+	// MaxQueue bounds the per-session writer queue (active holder
+	// included); excess batches on one session get 429 + Retry-After.
+	MaxQueue int
+	// DefaultDeadline applies when a request carries no X-Deadline-Ms
+	// header. Zero means no deadline.
+	DefaultDeadline time.Duration
+	// RetryAfter is the base backoff hint attached to 429/503 responses;
+	// the advertised value is jittered over [base/2, 3*base/2).
+	RetryAfter time.Duration
+	// SnapshotEvery is the write-behind cadence: dirty sessions are
+	// flushed at most this often by the maintenance loop. Zero flushes
+	// synchronously after every accepted batch (safest, slowest).
+	SnapshotEvery time.Duration
+	// STA is the base analysis configuration (Weights must be nil; the
+	// serving layer manages weights per session).
+	STA sta.Config
+	// Core is the calibration option set for every session.
+	Core core.Options
+	// Parallelism is the worker knob handed to STA/solver kernels.
+	Parallelism int
+}
+
+// DefaultConfig returns serving defaults tuned for many small sessions:
+// the calibration profile matches the closure loop's (faster solver
+// schedule, same exactness), and snapshots flush after every batch.
+func DefaultConfig() Config {
+	coreOpt := core.DefaultOptions()
+	coreOpt.Solver.MinRows = 512
+	coreOpt.Solver.MaxIters = 1500
+	return Config{
+		MaxSessions:     16,
+		MaxInFlight:     8,
+		MaxQueue:        4,
+		DefaultDeadline: 30 * time.Second,
+		RetryAfter:      250 * time.Millisecond,
+		IdleTimeout:     15 * time.Minute,
+		STA:             sta.DefaultConfig(),
+		Core:            coreOpt,
+	}
+}
+
+// idPattern keeps session IDs filesystem- and URL-safe: snapshots are
+// stored under the ID, so traversal characters are rejected outright.
+var idPattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// Server hosts the session registry and implements http.Handler. Use New
+// to construct (it recovers persisted sessions), Shutdown to drain and
+// persist on the way out.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	inflight chan struct{}
+	reqWG    sync.WaitGroup
+	reqSeq   atomic.Int64 // jitter source for Retry-After hints
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	draining bool
+
+	maintainStop chan struct{}
+	maintainDone chan struct{}
+
+	ln      net.Listener
+	httpSrv *http.Server
+}
+
+// New builds a server, creating the snapshot directory if needed and
+// resuming every persisted session found there. Corrupt snapshots are
+// quarantined (renamed to *.quarantine) and skipped — one bad blob never
+// blocks startup. The maintenance loop (idle eviction, write-behind
+// flushing) starts immediately.
+func New(cfg Config) (*Server, error) {
+	base := DefaultConfig()
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = base.MaxSessions
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = base.MaxInFlight
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = base.MaxQueue
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = base.RetryAfter
+	}
+	if cfg.STA.Weights != nil {
+		return nil, fmt.Errorf("serve: config STA weights must be nil")
+	}
+	if cfg.Core.K == 0 {
+		cfg.Core = base.Core
+	}
+	if cfg.STA.Parallelism == 0 && cfg.Parallelism != 0 {
+		cfg.STA.Parallelism = cfg.Parallelism
+	}
+	sv := &Server{
+		cfg:          cfg,
+		inflight:     make(chan struct{}, cfg.MaxInFlight),
+		sessions:     make(map[string]*session),
+		maintainStop: make(chan struct{}),
+		maintainDone: make(chan struct{}),
+	}
+	if cfg.SnapshotDir != "" {
+		if err := os.MkdirAll(cfg.SnapshotDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		sv.recoverSessions()
+	}
+	sv.routes()
+	go sv.maintain()
+	return sv, nil
+}
+
+// recoverSessions loads every *.ckpt under SnapshotDir. Unreadable or
+// unresumable snapshots are quarantined in place; everything else comes
+// back resident with its serving counters restored.
+func (sv *Server) recoverSessions() {
+	entries, err := os.ReadDir(sv.cfg.SnapshotDir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".ckpt")
+		path := filepath.Join(sv.cfg.SnapshotDir, name)
+		s, err := sv.loadSnapshot(id, path)
+		if err != nil {
+			obsQuarantined.Inc()
+			obs.Event("session_quarantined", "id", id, "err", err.Error())
+			_ = os.Rename(path, path+".quarantine")
+			continue
+		}
+		sv.sessions[id] = s
+		obsResumed.Inc()
+		obs.Event("session_resumed", "id", id)
+	}
+	obsSessions.SetInt(len(sv.sessions))
+}
+
+// loadSnapshot reads and rebuilds one persisted session.
+func (sv *Server) loadSnapshot(id, path string) (*session, error) {
+	if !idPattern.MatchString(id) {
+		return nil, fmt.Errorf("serve: snapshot id %q invalid", id)
+	}
+	c, err := netio.LoadCheckpointFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return resumeSession(id, c, sv.cfg.STA, sv.cfg.Core)
+}
+
+// snapshotPath maps a session ID to its on-disk snapshot.
+func (sv *Server) snapshotPath(id string) string {
+	return filepath.Join(sv.cfg.SnapshotDir, id+".ckpt")
+}
+
+// snapshotLocked persists s (caller holds s.mu). On injected or real
+// write failure the session stays dirty so the write-behind loop retries;
+// the previous on-disk snapshot is never clobbered (atomic rename).
+func (sv *Server) snapshotLocked(s *session) error {
+	if sv.cfg.SnapshotDir == "" {
+		return nil
+	}
+	if err := faultinject.Err(faultinject.ServeSnapshot); err != nil {
+		obsSnapshotErr.Inc()
+		return err
+	}
+	c, err := s.snapshotCheckpoint()
+	if err == nil {
+		err = netio.SaveCheckpointFile(sv.snapshotPath(s.id), c)
+	}
+	if err != nil {
+		obsSnapshotErr.Inc()
+		obs.Event("snapshot_failed", "id", s.id, "err", err.Error())
+		return err
+	}
+	s.dirty.Store(false)
+	s.lastSnap.Store(time.Now().UnixNano())
+	obsSnapshotOK.Inc()
+	return nil
+}
+
+// getSession returns the resident session for id, resurrecting it from
+// its snapshot when it was evicted. The returned session may be deleted
+// concurrently; acquire reports that and callers retry.
+func (sv *Server) getSession(id string) *session {
+	sv.mu.Lock()
+	s := sv.sessions[id]
+	sv.mu.Unlock()
+	if s != nil {
+		s.touch(time.Now())
+		return s
+	}
+	if sv.cfg.SnapshotDir == "" {
+		return nil
+	}
+	path := sv.snapshotPath(id)
+	if _, err := os.Stat(path); err != nil {
+		return nil
+	}
+	loaded, err := sv.loadSnapshot(id, path)
+	if err != nil {
+		obsQuarantined.Inc()
+		obs.Event("session_quarantined", "id", id, "err", err.Error())
+		_ = os.Rename(path, path+".quarantine")
+		return nil
+	}
+	obsResurrected.Inc()
+	return sv.insert(loaded)
+}
+
+// insert adds s to the registry (keeping a racing earlier insert) and
+// evicts LRU sessions beyond MaxSessions.
+func (sv *Server) insert(s *session) *session {
+	sv.mu.Lock()
+	if cur, ok := sv.sessions[s.id]; ok {
+		sv.mu.Unlock()
+		cur.touch(time.Now())
+		return cur
+	}
+	sv.sessions[s.id] = s
+	var victims []*session
+	for len(sv.sessions) > sv.cfg.MaxSessions {
+		v := sv.lruLocked(s)
+		if v == nil {
+			break
+		}
+		delete(sv.sessions, v.id)
+		victims = append(victims, v)
+	}
+	obsSessions.SetInt(len(sv.sessions))
+	sv.mu.Unlock()
+	for _, v := range victims {
+		sv.evict(v, "lru")
+	}
+	return s
+}
+
+// lruLocked picks the least recently used session other than keep.
+func (sv *Server) lruLocked(keep *session) *session {
+	var victim *session
+	for _, s := range sv.sessions {
+		if s == keep {
+			continue
+		}
+		if victim == nil || s.lastUsed.Load() < victim.lastUsed.Load() {
+			victim = s
+		}
+	}
+	return victim
+}
+
+// evict snapshots and tombstones a session already removed from the
+// registry. Waiters queued on its lock see the tombstone and tell their
+// clients to retry; the retry resurrects the snapshot.
+func (sv *Server) evict(s *session, why string) {
+	if why == "lru" {
+		obsEvictLRU.Inc()
+	} else {
+		obsEvictIdle.Inc()
+	}
+	obs.Event("session_evicted", "id", s.id, "why", why)
+	s.mu.Lock()
+	s.deleted = true
+	if err := faultinject.Err(faultinject.ServeEvict); err != nil {
+		obsSnapshotErr.Inc()
+		obs.Event("snapshot_failed", "id", s.id, "err", err.Error())
+	} else {
+		_ = sv.snapshotLocked(s)
+	}
+	s.mu.Unlock()
+}
+
+// Sweep runs one maintenance pass at the given time: idle sessions are
+// evicted and overdue dirty sessions flushed. The background loop calls
+// it periodically; tests call it directly for determinism. Busy sessions
+// (writer lock held) are skipped, not waited on — they flush on their
+// next pass.
+func (sv *Server) Sweep(now time.Time) {
+	var idle []*session
+	sv.mu.Lock()
+	if sv.cfg.IdleTimeout > 0 {
+		for id, s := range sv.sessions {
+			if now.Sub(time.Unix(0, s.lastUsed.Load())) > sv.cfg.IdleTimeout && s.queued.Load() == 0 {
+				delete(sv.sessions, id)
+				idle = append(idle, s)
+			}
+		}
+	}
+	var flush []*session
+	for _, s := range sv.sessions {
+		if s.dirty.Load() && now.Sub(time.Unix(0, s.lastSnap.Load())) >= sv.cfg.SnapshotEvery {
+			flush = append(flush, s)
+		}
+	}
+	obsSessions.SetInt(len(sv.sessions))
+	sv.mu.Unlock()
+	for _, s := range idle {
+		sv.evict(s, "idle")
+	}
+	for _, s := range flush {
+		if s.mu.TryLock() {
+			if !s.deleted {
+				_ = sv.snapshotLocked(s)
+			}
+			s.mu.Unlock()
+		}
+	}
+	obsParBusy.SetInt(par.Active())
+}
+
+// maintain is the background janitor: a sweep every interval until
+// Shutdown stops it.
+func (sv *Server) maintain() {
+	defer close(sv.maintainDone)
+	interval := 500 * time.Millisecond
+	if sv.cfg.SnapshotEvery > 0 && sv.cfg.SnapshotEvery < interval {
+		interval = sv.cfg.SnapshotEvery
+	}
+	if sv.cfg.IdleTimeout > 0 && sv.cfg.IdleTimeout/4 < interval {
+		interval = sv.cfg.IdleTimeout / 4
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-sv.maintainStop:
+			return
+		case now := <-t.C:
+			sv.Sweep(now)
+		}
+	}
+}
+
+// Listen starts serving on addr (host:port; port 0 picks a free one —
+// read it back via Addr).
+func (sv *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	sv.ln = ln
+	sv.httpSrv = &http.Server{Handler: sv}
+	go func() {
+		if err := sv.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			obs.Event("http_serve_error", "err", err.Error())
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address, or "" before Listen.
+func (sv *Server) Addr() string {
+	if sv.ln == nil {
+		return ""
+	}
+	return sv.ln.Addr().String()
+}
+
+// Shutdown drains and persists: new requests are rejected with 503 +
+// Retry-After, in-flight requests run to completion (bounded by ctx),
+// then every dirty session is snapshotted. This is the SIGTERM path; a
+// process killed without it still resumes from its last write-behind
+// snapshot, just further back.
+func (sv *Server) Shutdown(ctx context.Context) error {
+	sv.mu.Lock()
+	if sv.draining {
+		sv.mu.Unlock()
+		return nil
+	}
+	sv.draining = true
+	sv.mu.Unlock()
+
+	close(sv.maintainStop)
+	<-sv.maintainDone
+
+	if sv.httpSrv != nil {
+		_ = sv.httpSrv.Shutdown(ctx)
+	}
+	// Drain handlers that were admitted before draining flipped (covers
+	// handler-only deployments, e.g. behind httptest).
+	drained := make(chan struct{})
+	go func() {
+		sv.reqWG.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+	}
+
+	sv.mu.Lock()
+	all := make([]*session, 0, len(sv.sessions))
+	for _, s := range sv.sessions {
+		all = append(all, s)
+	}
+	sv.mu.Unlock()
+	var firstErr error
+	for _, s := range all {
+		s.mu.Lock()
+		if s.dirty.Load() || sv.neverSnapshotted(s) {
+			if err := sv.snapshotLocked(s); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		s.mu.Unlock()
+	}
+	return firstErr
+}
+
+// neverSnapshotted reports whether s has no on-disk snapshot yet.
+func (sv *Server) neverSnapshotted(s *session) bool {
+	return sv.cfg.SnapshotDir != "" && s.lastSnap.Load() == 0
+}
+
+// retryAfterHint returns a jittered backoff hint. The jitter is a
+// deterministic low-discrepancy sequence (no RNG, no time dependence):
+// consecutive rejected clients get hints spread over [base/2, 3*base/2),
+// so a rejected thundering herd does not come back as one.
+func (sv *Server) retryAfterHint() time.Duration {
+	base := sv.cfg.RetryAfter
+	seq := sv.reqSeq.Add(1)
+	return base/2 + time.Duration(seq*2654435761%int64(base))
+}

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Smoke-test the calibration daemon end to end, including crash recovery:
+# start calibd on a free port with a snapshot directory, create a session
+# on the toy design, apply a sizing batch, read the slacks, SIGTERM the
+# daemon (graceful drain + snapshot), restart it on the same snapshot
+# directory, and assert the resumed session serves byte-identical slacks.
+set -euo pipefail
+
+tmp=$(mktemp -d)
+bin="$tmp/calibd"
+snaps="$tmp/snapshots"
+go build -o "$bin" ./cmd/calibd
+
+start_daemon() {
+    local log="$1"
+    "$bin" -addr 127.0.0.1:0 -snapshots "$snaps" >"$log" 2>&1 &
+    pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's|.*listening on http://\(.*\)|\1|p' "$log")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "smoke_calibd: daemon address never appeared" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+}
+
+log1=$(mktemp)
+start_daemon "$log1"
+trap 'kill "$pid" 2>/dev/null || true' EXIT
+
+created=$(curl -fsS -X POST "http://$addr/v1/sessions" \
+    -d '{"id":"smoke","design":"toy"}')
+case "$created" in
+*'"calibrated":true'*) ;;
+*)
+    echo "smoke_calibd: create did not calibrate: $created" >&2
+    exit 1
+    ;;
+esac
+
+# Instances 225-229 are combinational gates of the (deterministic) toy
+# design; low IDs are its clock tree, which the API rightly refuses to
+# touch.
+batch=$(curl -fsS -X POST "http://$addr/v1/sessions/smoke/batch" \
+    -d '{"ops":[{"op":"upsize","instance":225},{"op":"upsize","instance":226},{"op":"upsize","instance":227},{"op":"upsize","instance":228},{"op":"upsize","instance":229}]}')
+case "$batch" in
+*'"applied":true'*) ;;
+*)
+    echo "smoke_calibd: batch applied nothing: $batch" >&2
+    exit 1
+    ;;
+esac
+
+before=$(curl -fsS "http://$addr/v1/sessions/smoke/slacks")
+case "$before" in
+*'"slacks_ps":['*) ;;
+*)
+    echo "smoke_calibd: no slack vector before restart: $before" >&2
+    exit 1
+    ;;
+esac
+
+# Graceful shutdown: drain and snapshot, then make sure the process is gone.
+kill -TERM "$pid"
+wait "$pid" 2>/dev/null || true
+
+log2=$(mktemp)
+start_daemon "$log2"
+trap 'kill "$pid" 2>/dev/null || true' EXIT
+
+status=$(curl -fsS "http://$addr/v1/sessions/smoke")
+case "$status" in
+*'"applied_batches":1'*) ;;
+*)
+    echo "smoke_calibd: resumed session lost its batch counter: $status" >&2
+    exit 1
+    ;;
+esac
+
+after=$(curl -fsS "http://$addr/v1/sessions/smoke/slacks")
+if [ "$before" != "$after" ]; then
+    echo "smoke_calibd: resumed slacks differ from pre-restart slacks" >&2
+    echo "before: $(printf '%s' "$before" | head -c 300)" >&2
+    echo "after:  $(printf '%s' "$after" | head -c 300)" >&2
+    exit 1
+fi
+
+curl -fsS -X DELETE "http://$addr/v1/sessions/smoke" >/dev/null
+
+kill -TERM "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+rm -rf "$tmp"
+
+echo "smoke_calibd: ok (resumed slacks byte-identical across restart)"
