@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"mgba/internal/core"
 	"mgba/internal/obs"
 	"mgba/internal/serve"
 )
@@ -42,11 +43,17 @@ func main() {
 	snapEvery := flag.Duration("snapshot-every", 0, "write-behind snapshot cadence (0: snapshot synchronously after every batch)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
 	par := flag.Int("par", 0, "worker count for timing and solver kernels (0: GOMAXPROCS)")
+	viewpair := flag.String("viewpair", "", "default view pair for new sessions: gba-pba (default) or preroute; a session's view_pair field overrides")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/summary on this host:port")
 	flag.Parse()
 
+	if _, err := core.LookupViewPair(*viewpair); err != nil {
+		fail(err)
+	}
+
 	cfg := serve.DefaultConfig()
 	cfg.SnapshotDir = *snapshots
+	cfg.Core.ViewPair = *viewpair
 	if *maxSessions > 0 {
 		cfg.MaxSessions = *maxSessions
 	}

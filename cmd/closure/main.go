@@ -49,6 +49,7 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 50, "accepted transforms between periodic checkpoints")
 	resume := flag.String("resume", "", "resume an interrupted run from this checkpoint file (requires -timer gba or mgba)")
 	coldcal := flag.Bool("coldcal", false, "mgba: full cold calibration at every recalibration point instead of the incremental calibrator (ablation; bit-identical results, just slower)")
+	viewpair := flag.String("viewpair", "", "mgba: view pair to calibrate against: gba-pba (default) or preroute (cross-stage: corrections fitted to a deterministically routed twin)")
 	par := flag.Int("par", 0, "worker count for timing propagation, path enumeration and solver kernels (0: GOMAXPROCS, 1: serial; the result is identical at every setting)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -100,6 +101,7 @@ func main() {
 	}
 
 	applyRegistry := func(opt *closure.Options) {
+		opt.Core.ViewPair = *viewpair
 		opt.Transforms = parseTransforms(*transforms)
 		opt.Scheduler = *scheduler
 		opt.RetimeMaxLag = *retimeLag

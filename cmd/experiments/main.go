@@ -6,11 +6,11 @@
 //	experiments -quick              # scaled-down suite for a fast pass
 //
 // Artifacts: table1, fig2, sec32, fig3, fig4, table2, table3, table4,
-// table5, bench, benchsolver, benchclosure, benchcalibd. Output is plain
-// text; -csv writes each table additionally as CSV into the given
-// directory; -json makes the bench artifacts also write their
+// table5, bench, benchsolver, benchclosure, benchcalibd, benchxstage.
+// Output is plain text; -csv writes each table additionally as CSV into
+// the given directory; -json makes the bench artifacts also write their
 // machine-readable results (BENCH_calibration.json, BENCH_solver.json,
-// BENCH_closure.json, BENCH_calibd.json).
+// BENCH_closure.json, BENCH_calibd.json, BENCH_xstage.json).
 package main
 
 import (
@@ -193,8 +193,24 @@ func main() {
 			}
 		}
 	}
+	if want["benchxstage"] { // deliberately not part of 'all': pure timing
+		t, res, err := expt.BenchXStage(env)
+		if err != nil {
+			fail(err)
+		}
+		emit("benchxstage", t)
+		if *jsonOut {
+			blob, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile("BENCH_xstage.json", append(blob, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
 	if ran == 0 {
-		fail(fmt.Errorf("nothing matched -run=%q; artifacts: table1 fig2 sec32 fig3 fig4 table2 table3 table4 table4x table5 bench benchsolver benchclosure benchcalibd all", *runList))
+		fail(fmt.Errorf("nothing matched -run=%q; artifacts: table1 fig2 sec32 fig3 fig4 table2 table3 table4 table4x table5 bench benchsolver benchclosure benchcalibd benchxstage all", *runList))
 	}
 }
 

@@ -31,6 +31,7 @@ func main() {
 	design := flag.String("design", "toy", "design to calibrate: toy or D1..D10")
 	method := flag.String("method", "scgrs", "solver: gd, scg, scgrs, full")
 	k := flag.Int("k", 20, "k': worst paths selected per endpoint")
+	viewpair := flag.String("viewpair", "", "view pair to calibrate: gba-pba (default) or preroute (cross-stage: pre-route analysis corrected against a deterministically routed twin; implies strict Eq. (5) enforcement)")
 	seed := flag.Uint64("seed", 0, "override the design seed (0 keeps the preset)")
 	epsilon := flag.Float64("epsilon", 0.02, "optimism tolerance of Eq. (5)")
 	saveFile := flag.String("save", "", "write the generated design as JSON to this file (atomic)")
@@ -111,6 +112,7 @@ func main() {
 	opt := core.DefaultOptions()
 	opt.K = *k
 	opt.Epsilon = *epsilon
+	opt.ViewPair = *viewpair
 	switch strings.ToLower(*method) {
 	case "gd":
 		opt.Method = core.MethodGD
@@ -142,7 +144,7 @@ func main() {
 		fmt.Println("no violated paths: mGBA degenerates to GBA (unit weights)")
 		return
 	}
-	gba, err := m.Evaluate("gba")
+	gba, err := m.Evaluate("cheap")
 	if err != nil {
 		fail(err)
 	}
@@ -150,8 +152,8 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	t := report.New(fmt.Sprintf("mGBA calibration (%v, k'=%d)", opt.Method, opt.K),
-		"metric", "GBA", "mGBA")
+	t := report.New(fmt.Sprintf("mGBA calibration (%v, k'=%d, pair %s)", opt.Method, opt.K, m.Pair),
+		"metric", "cheap", "mGBA")
 	t.AddRow("selected paths", fmt.Sprintf("%d", gba.Paths), fmt.Sprintf("%d", mgba.Paths))
 	t.AddRow("pass ratio (%)", report.Pct(gba.PassRatio, 2), report.Pct(mgba.PassRatio, 2))
 	t.AddRow("mse (Eq. 12, 1e-3)", report.F(gba.MSE*1e3, 3), report.F(mgba.MSE*1e3, 3))

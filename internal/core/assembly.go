@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+
+	"mgba/internal/engine"
+	"mgba/internal/graph"
+	"mgba/internal/pba"
+	"mgba/internal/solver"
+	"mgba/internal/sparse"
+	"mgba/internal/sta"
+)
+
+// assemble builds the sparse system of Eq. (9) in correction space: row p
+// has entries a_pj = CellDelay_j (the cheap derated delay of every cell on
+// the path), target b_p = the cheap-vs-golden pessimism gap of the path,
+// and guard eps*|s_golden| (Eq. 5's tolerance).
+func (m *Model) assemble() error {
+	cols := map[int]int{}
+	for _, p := range m.Selection.Paths {
+		for _, c := range p.Cells {
+			if _, ok := cols[c]; !ok {
+				cols[c] = len(m.Columns)
+				m.Columns = append(m.Columns, c)
+			}
+		}
+	}
+	b := sparse.NewBuilder(len(m.Columns))
+	targets := make([]float64, len(m.Selection.Paths))
+	guards := make([]float64, len(m.Selection.Paths))
+	for i, p := range m.Selection.Paths {
+		idx, val, target, guard := m.row(cols, p, m.Timings[i])
+		if err := b.AddRow(idx, val); err != nil {
+			return err
+		}
+		targets[i] = target
+		guards[i] = guard
+	}
+	a := b.Build()
+	// One Parallelism knob drives every stage: the same setting that sizes
+	// level-parallel propagation and PBA enumeration configures the solver
+	// kernels (whose results are bitwise identical at every worker count).
+	a.SetParallelism(engine.Workers(m.Cfg.Parallelism))
+	m.Problem = &solver.Problem{
+		A:       a,
+		B:       targets,
+		Guard:   guards,
+		Penalty: m.Opt.Penalty,
+	}
+	return m.Problem.Validate()
+}
+
+// row dispatches to the cheap view's decomposition. A Model assembled
+// outside a calibrator (none today) falls back to the default rows.
+func (m *Model) row(cols map[int]int, p *pba.Path, tm *pba.Timing) ([]int, []float64, float64, float64) {
+	if m.cheap != nil {
+		return m.cheap.Row(m.GBA, m.G, m.Opt.Epsilon, cols, p, tm)
+	}
+	return pathRow(m.GBA, m.G, m.Opt.Epsilon, cols, p, tm)
+}
+
+// pathRow builds one row of the Eq. (9) system: entries a_pj =
+// CellDelay_j (the cheap derated delay of every cell on the path), target
+// b_p fitting the *delay correction* — the mGBA path delay should move by
+// exactly the pessimism gap: the cheap cell sum minus the golden cell
+// sum, minus whatever CRPR credit the golden replay grants beyond the
+// conservative credit the cheap analysis already applied at this
+// endpoint, plus the golden-vs-cheap wire gap when the pair times the
+// path over different parasitics — and guard eps*|s_golden| (Eq. 5's
+// tolerance). Shared by the cold assemble and the Calibrator's row
+// patching, so both construct bit-identical rows.
+func pathRow(gba *sta.Result, g *graph.Graph, epsilon float64, cols map[int]int, p *pba.Path, tm *pba.Timing) (idx []int, val []float64, target, guard float64) {
+	idx = make([]int, len(p.Cells))
+	val = make([]float64, len(p.Cells))
+	var gbaSum, wireSum float64
+	for k, c := range p.Cells {
+		idx[k] = cols[c]
+		val[k] = gba.CellDelay[c]
+		gbaSum += val[k]
+		wireSum += gba.WireDelay[c]
+	}
+	crprExtra := tm.CRPR - gba.GBACRPR[g.FFIndex(p.Capture)]
+	target = (tm.CellSum - crprExtra) - gbaSum
+	// Same-stage pairs replay the path over the very wire-delay array the
+	// cheap analysis used — the sums cancel term by term and the gap is an
+	// exact 0.0, leaving the historical target bit-for-bit. Cross-stage
+	// pairs time the path over different parasitics; the wire gap is part
+	// of the pessimism the fitted cell corrections must absorb.
+	if wa := tm.WireSum - wireSum; wa != 0 {
+		target += wa
+	}
+	guard = epsilon * math.Abs(tm.Slack)
+	return idx, val, target, guard
+}

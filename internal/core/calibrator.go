@@ -46,6 +46,12 @@ type Calibrator struct {
 	opt  Options
 	warm []float64 // per-instance weights seeding the next solve
 
+	// The bound view pair: cheap produces the baseline the selection is
+	// enumerated on and the Eq. (9) rows; golden produces the fit targets.
+	pair   ViewPair
+	cheap  CheapView
+	golden GoldenProvider
+
 	// Cache of the last healthy calibration; eps == nil means no cache.
 	gba      *sta.Result // cached baseline, advanced in place via Update
 	mgba     *sta.Result // private weighted re-analysis, advanced via Update
@@ -73,17 +79,44 @@ type CalibratorStats struct {
 	MatrixRebuilds        int // incremental calls that rebuilt A from cache
 }
 
-// NewCalibrator validates the configuration and binds a calibration
-// session to s. Options.WarmWeights, when set, seeds the first solve.
+// NewCalibrator validates the configuration, resolves the view pair
+// named by Options.ViewPair and binds a calibration session to s.
+// Options.WarmWeights, when set, seeds the first solve.
 func NewCalibrator(s *engine.Session, cfg sta.Config, opt Options) (*Calibrator, error) {
 	if s == nil {
 		return nil, fmt.Errorf("core: nil session")
 	}
+	return newBoundCalibrator(s, cfg, opt, false)
+}
+
+// newBoundCalibrator is the shared constructor: validate, resolve the
+// pair, instantiate its views on the session.
+func newBoundCalibrator(s *engine.Session, cfg sta.Config, opt Options, oneShot bool) (*Calibrator, error) {
 	if err := validateOptions(cfg, opt); err != nil {
 		return nil, err
 	}
-	return &Calibrator{sess: s, cfg: cfg, opt: opt, warm: opt.WarmWeights}, nil
+	vp, err := LookupViewPair(opt.ViewPair)
+	if err != nil {
+		return nil, err
+	}
+	if sp, ok := vp.(strictPair); ok && sp.StrictSafety() {
+		// A cross-stage pair cannot uphold Eq. (5) with the soft penalty
+		// alone; force the exact enforcement the pair declares it needs.
+		opt.StrictSafety = true
+	}
+	cheap, golden, err := vp.Bind(s, cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Calibrator{
+		sess: s, cfg: cfg, opt: opt, warm: opt.WarmWeights,
+		pair: vp, cheap: cheap, golden: golden, oneShot: oneShot,
+	}, nil
 }
+
+// Pair returns the name of the view pair the calibrator corrects
+// between.
+func (c *Calibrator) Pair() string { return c.pair.Name() }
 
 // Stats returns the calibrator's work counters.
 func (c *Calibrator) Stats() CalibratorStats { return c.stats }
@@ -120,6 +153,10 @@ func (c *Calibrator) Rebind(s *engine.Session) error {
 		len(s.G.D.Instances) == len(c.sess.G.D.Instances) &&
 		len(s.G.D.FFs) == len(c.sess.G.D.FFs)
 	c.sess = s
+	c.cheap.Rebind(s)
+	if err := c.golden.Rebind(s); err != nil {
+		return err
+	}
 	if c.gba != nil {
 		c.gba.Release()
 		c.gba = nil
@@ -133,7 +170,7 @@ func (c *Calibrator) Rebind(s *engine.Session) error {
 	c.mweights = nil
 	if c.eps != nil {
 		obsCalibRebinds.Inc()
-		c.gba = s.Run(c.cfg)
+		c.gba = c.cheap.Run()
 	}
 	return nil
 }
@@ -178,14 +215,21 @@ func (c *Calibrator) cold(ctx context.Context, sel *pathsel.Selection) (*Model, 
 	obsCalibCold.Inc()
 	sp := obs.StartSpan("calibrate.cold")
 	defer sp.End()
-	m := &Model{G: c.sess.G, Session: c.sess, Cfg: c.cfg, Opt: c.opt, SafetyScale: 1}
+	m := &Model{G: c.sess.G, Session: c.sess, Cfg: c.cfg, Opt: c.opt, Pair: c.pair.Name(), SafetyScale: 1}
 	m.Opt.WarmWeights = c.warm
+	m.cheap = c.cheap
 	// One baseline timing run is the minimum for a usable model and the
 	// atomic unit of cancellation: it always runs to completion.
-	m.GBA = c.sess.Run(c.cfg)
+	m.GBA = c.cheap.Run()
 	m.Weights = identity(len(m.G.D.Instances))
 	if cancelled(ctx) {
 		return c.finish(m.abandon("cancelled before path selection")), nil
+	}
+	// Re-derive the golden view from the current design state: a cold
+	// calibration never trusts an incremental mirror (the default pair's
+	// provider has nothing to derive; the routed pair rebuilds its twin).
+	if err := c.golden.Refresh(); err != nil {
+		return nil, err
 	}
 	an := pba.NewAnalyzer(m.GBA)
 	spEnum := sp.Child("enumerate")
@@ -198,17 +242,22 @@ func (c *Calibrator) cold(ctx context.Context, sel *pathsel.Selection) (*Model, 
 	}
 	if len(m.Selection.Paths) == 0 {
 		spEnum.End()
-		// Nothing violates: mGBA degenerates to GBA with unit weights.
+		// Nothing violates: mGBA degenerates to the cheap baseline.
 		m.MGBA = m.GBA
 		return c.finish(m), nil
+	}
+	timer, err := c.golden.Timer(m.GBA)
+	if err != nil {
+		spEnum.End()
+		return nil, err
 	}
 	m.Timings = make([]*pba.Timing, len(m.Selection.Paths))
 	for i, p := range m.Selection.Paths {
 		if i%256 == 0 && cancelled(ctx) {
 			spEnum.End()
-			return c.finish(m.abandon("cancelled during PBA retiming")), nil
+			return c.finish(m.abandon("cancelled during golden retiming")), nil
 		}
-		m.Timings[i] = an.Retime(p)
+		m.Timings[i] = timer.Retime(p)
 	}
 	spEnum.End()
 	spAsm := sp.Child("assemble")
@@ -298,11 +347,17 @@ func (c *Calibrator) Recalibrate(ctx context.Context, dirty []int) (*Model, erro
 	obsCalibIncremental.Inc()
 	sp := obs.StartSpan("calibrate.recalibrate")
 	defer sp.End()
-	m := &Model{G: c.sess.G, Session: c.sess, Cfg: c.cfg, Opt: c.opt, SafetyScale: 1}
+	m := &Model{G: c.sess.G, Session: c.sess, Cfg: c.cfg, Opt: c.opt, Pair: c.pair.Name(), SafetyScale: 1}
 	m.Opt.WarmWeights = c.warm
 	c.gba.Update(dirty)
+	if err := c.golden.Update(dirty); err != nil {
+		// The incremental mirror failed; a cold calibration re-derives the
+		// golden view from scratch instead.
+		return c.cold(ctx, nil)
+	}
 	m.GBA = c.gba
 	m.Weights = identity(len(m.G.D.Instances))
+	m.cheap = c.cheap
 	if cancelled(ctx) {
 		c.Invalidate()
 		return c.finish(m.abandon("cancelled before path selection")), nil
@@ -329,6 +384,11 @@ func (c *Calibrator) Recalibrate(ctx context.Context, dirty []int) (*Model, erro
 		c.Invalidate()
 		return c.finish(m.abandon("cancelled before path selection")), nil
 	}
+	timer, err := c.golden.Timer(m.GBA)
+	if err != nil {
+		spEnum.End()
+		return nil, err
+	}
 	newTimings := make([][]*pba.Timing, len(newGroups))
 	retimed := 0
 	for i, g := range newGroups {
@@ -337,9 +397,9 @@ func (c *Calibrator) Recalibrate(ctx context.Context, dirty []int) (*Model, erro
 			if retimed%256 == 0 && cancelled(ctx) {
 				spEnum.End()
 				c.Invalidate()
-				return c.finish(m.abandon("cancelled during PBA retiming")), nil
+				return c.finish(m.abandon("cancelled during golden retiming")), nil
 			}
-			newTimings[i][j] = an.Retime(p)
+			newTimings[i][j] = timer.Retime(p)
 			retimed++
 		}
 	}
@@ -480,7 +540,7 @@ func (c *Calibrator) refreshRows(m *Model, slots, oldCounts []int, newCols []int
 		b := sparse.NewBuilder(len(newCols))
 		for s, g := range c.groups {
 			for j, p := range g {
-				idx, val, target, guard := pathRow(m.GBA, m.G, m.Opt.Epsilon, colOf, p, c.tgroups[s][j])
+				idx, val, target, guard := c.cheap.Row(m.GBA, m.G, m.Opt.Epsilon, colOf, p, c.tgroups[s][j])
 				if err := b.AddRow(idx, val); err != nil {
 					return err
 				}
@@ -507,7 +567,7 @@ func (c *Calibrator) refreshRows(m *Model, slots, oldCounts []int, newCols []int
 		lo := starts[s] + shift
 		nOld, nNew := oldCounts[s], len(c.groups[s])
 		for j, p := range c.groups[s] {
-			idx, val, target, guard := pathRow(m.GBA, m.G, m.Opt.Epsilon, colOf, p, c.tgroups[s][j])
+			idx, val, target, guard := c.cheap.Row(m.GBA, m.G, m.Opt.Epsilon, colOf, p, c.tgroups[s][j])
 			var err error
 			if j < nOld {
 				err = c.mat.SetRow(lo+j, idx, val)

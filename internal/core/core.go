@@ -1,35 +1,41 @@
-// Package core implements the paper's contribution: the modified
-// graph-based analysis (mGBA) slack model of §3.1 and the calibration flow
-// of §3.4 that fits a per-gate weighting factor vector so GBA path slacks
-// match golden PBA slacks on the selected critical paths.
+// Package core implements the paper's contribution — the modified
+// graph-based analysis (mGBA) slack model of §3.1 and the calibration
+// flow of §3.4 — generalized into a cross-stage slack-correction engine:
+// a cheap timing view is fitted against a golden one through a pluggable
+// (CheapView, GoldenProvider) pair, so the same machinery that corrects
+// GBA against PBA retiming (the paper's instance, and the default pair)
+// also corrects a pre-route analysis against a routed twin of the design
+// (the "preroute" pair).
 //
 // Calibration pipeline (the right-hand side of the paper's Fig. 5):
 //
-//	GBA analyze -> per-endpoint top-k' violated path selection (§3.2)
-//	-> PBA retiming of the selected paths (golden targets)
+//	cheap analyze -> per-endpoint top-k' violated path selection (§3.2)
+//	-> golden retiming of the selected paths (fit targets)
 //	-> assemble the sparse system of Eq. (9) in correction space
 //	-> solve with GD / SCG / SCG+RS (§3.3) -> per-gate weights w = 1 + dx
-//	-> re-run GBA with weighted delays (the updated timing graph).
+//	-> re-run the cheap analysis with weighted delays.
 //
-// The fitted path slack never exceeds the PBA slack by more than the
+// The fitted path slack never exceeds the golden slack by more than the
 // epsilon tolerance of Eq. (5), enforced through the quadratic penalty of
 // Eq. (6).
+//
+// The pipeline lives in one file per stage: viewpair.go (the pair
+// interfaces and registry), assembly.go (the Eq. (9) system), fit.go
+// (the solve and its degradation ladder), signoff.go (slack evaluation
+// and the paper's accuracy metrics), calibrator.go (the persistent
+// incremental session) and preroute.go (the cross-stage pair).
 package core
 
 import (
 	"context"
 	"fmt"
-	"math"
 
 	"mgba/internal/engine"
 	"mgba/internal/graph"
-	"mgba/internal/num"
 	"mgba/internal/obs"
 	"mgba/internal/pathsel"
 	"mgba/internal/pba"
-	"mgba/internal/rng"
 	"mgba/internal/solver"
-	"mgba/internal/sparse"
 	"mgba/internal/sta"
 )
 
@@ -70,6 +76,13 @@ type Options struct {
 	Method         Method
 	Solver         solver.Options
 	Seed           uint64
+
+	// ViewPair names the registered (cheap, golden) view pair the
+	// calibration corrects between; "" selects DefaultViewPair, the
+	// paper's GBA<->PBA pairing. The "preroute" pair corrects a pre-route
+	// analysis against a deterministic routed twin of the design, seeded
+	// by Seed.
+	ViewPair string
 
 	// MinWeight/MaxWeight clamp the fitted weights; a weight outside this
 	// band would mean the fit wandered into physically meaningless
@@ -116,13 +129,14 @@ func DefaultOptions() Options {
 // Model is a fitted mGBA model for one design state.
 type Model struct {
 	G       *graph.Graph
-	Session *engine.Session // timing session shared by the GBA and mGBA runs
-	Cfg     sta.Config      // the GBA config calibrated against (Weights == nil)
+	Session *engine.Session // timing session shared by the cheap and mGBA runs
+	Cfg     sta.Config      // the cheap config calibrated against (Weights == nil)
 	Opt     Options
+	Pair    string // name of the view pair the model was fitted on
 
-	GBA       *sta.Result        // baseline GBA analysis
+	GBA       *sta.Result        // baseline cheap analysis
 	Selection *pathsel.Selection // calibration paths
-	Timings   []*pba.Timing      // golden PBA retiming per selected path
+	Timings   []*pba.Timing      // golden retiming per selected path
 
 	Problem    *solver.Problem // Eq. (9) system in correction space
 	Columns    []int           // column -> instance ID
@@ -131,6 +145,10 @@ type Model struct {
 	Stats      solver.Stats
 
 	MGBA *sta.Result // re-analysis with the fitted weights
+
+	// cheap is the view the model's rows were decomposed by; assemble and
+	// the calibrator's row patching dispatch through it.
+	cheap CheapView
 
 	// Robustness record (see DESIGN.md §"Failure model & degradation
 	// ladder").
@@ -162,15 +180,15 @@ type Attempt struct {
 }
 
 // Calibrate runs the full mGBA calibration pipeline on a design's timing
-// graph under the given GBA configuration, selecting calibration paths
+// graph under the given cheap configuration, selecting calibration paths
 // with the per-endpoint top-k' scheme of §3.2. It builds a throwaway
 // engine.Session; callers that recalibrate the same design repeatedly
 // (the closure loop) should use CalibrateWithSession instead.
 //
 // Cancelling ctx stops the pipeline at the next path or solver iteration
 // and returns a valid *partial* model: at worst identity weights (mGBA ==
-// GBA), at best the solver's last safe iterate, never an error. Errors
-// are reserved for invalid inputs.
+// the cheap baseline), at best the solver's last safe iterate, never an
+// error. Errors are reserved for invalid inputs.
 func Calibrate(ctx context.Context, g *graph.Graph, cfg sta.Config, opt Options) (*Model, error) {
 	return calibrate(ctx, nil, g, cfg, opt, nil)
 }
@@ -198,16 +216,16 @@ func CalibrateOnSelection(ctx context.Context, g *graph.Graph, cfg sta.Config, o
 }
 
 func calibrate(ctx context.Context, s *engine.Session, g *graph.Graph, cfg sta.Config, opt Options, sel *pathsel.Selection) (*Model, error) {
-	if err := validateOptions(cfg, opt); err != nil {
-		return nil, err
-	}
 	if s == nil {
 		s = engine.NewSession(g)
 	}
 	// A throwaway Calibrator runs the identical cold pipeline; one-shot
 	// callers never exercise its cache, so the weighted-baseline clone is
 	// skipped rather than leaked.
-	c := &Calibrator{sess: s, cfg: cfg, opt: opt, warm: opt.WarmWeights, oneShot: true}
+	c, err := newBoundCalibrator(s, cfg, opt, true)
+	if err != nil {
+		return nil, err
+	}
 	return c.cold(ctx, sel)
 }
 
@@ -225,13 +243,17 @@ func validateOptions(cfg sta.Config, opt Options) error {
 	if opt.MinWeight <= 0 || opt.MaxWeight < opt.MinWeight {
 		return fmt.Errorf("core: bad weight clamp [%v,%v]", opt.MinWeight, opt.MaxWeight)
 	}
+	if _, err := LookupViewPair(opt.ViewPair); err != nil {
+		return err
+	}
 	return nil
 }
 
 // abandon turns a half-built model into the degenerate identity model:
-// unit weights, no selection, mGBA == GBA. The result is always valid and
-// always pessimism-safe (GBA never under-estimates a path delay that PBA
-// would increase).
+// unit weights, no selection, mGBA == the cheap baseline. The result is
+// always valid, and pessimism-safe whenever the cheap view is
+// conservative (the default pair always is: GBA never under-estimates a
+// path delay that PBA would increase).
 func (m *Model) abandon(why string) *Model {
 	obsCalibAbandoned.Inc()
 	obs.Event("calibration_abandoned", "why", why)
@@ -268,410 +290,4 @@ func identity(n int) []float64 {
 		w[i] = 1
 	}
 	return w
-}
-
-// assemble builds the sparse system of Eq. (9) in correction space: row p
-// has entries a_pj = CellDelay_j (the GBA derated delay of every cell on
-// the path), target b_p = PBA cell sum - CRPR credit - GBA cell sum, and
-// guard eps*|s_pba| (Eq. 5's tolerance).
-func (m *Model) assemble() error {
-	cols := map[int]int{}
-	for _, p := range m.Selection.Paths {
-		for _, c := range p.Cells {
-			if _, ok := cols[c]; !ok {
-				cols[c] = len(m.Columns)
-				m.Columns = append(m.Columns, c)
-			}
-		}
-	}
-	b := sparse.NewBuilder(len(m.Columns))
-	targets := make([]float64, len(m.Selection.Paths))
-	guards := make([]float64, len(m.Selection.Paths))
-	for i, p := range m.Selection.Paths {
-		idx, val, target, guard := pathRow(m.GBA, m.G, m.Opt.Epsilon, cols, p, m.Timings[i])
-		if err := b.AddRow(idx, val); err != nil {
-			return err
-		}
-		targets[i] = target
-		guards[i] = guard
-	}
-	a := b.Build()
-	// One Parallelism knob drives every stage: the same setting that sizes
-	// level-parallel propagation and PBA enumeration configures the solver
-	// kernels (whose results are bitwise identical at every worker count).
-	a.SetParallelism(engine.Workers(m.Cfg.Parallelism))
-	m.Problem = &solver.Problem{
-		A:       a,
-		B:       targets,
-		Guard:   guards,
-		Penalty: m.Opt.Penalty,
-	}
-	return m.Problem.Validate()
-}
-
-// pathRow builds one row of the Eq. (9) system: entries a_pj =
-// CellDelay_j (the GBA derated delay of every cell on the path), target
-// b_p fitting the *delay correction* — the mGBA path delay should drop by
-// exactly the pessimism gap: the GBA cell sum minus the PBA cell sum,
-// minus whatever CRPR credit PBA grants beyond the conservative credit
-// GBA already applied at this endpoint — and guard eps*|s_pba| (Eq. 5's
-// tolerance). Shared by the cold assemble and the Calibrator's row
-// patching, so both construct bit-identical rows.
-func pathRow(gba *sta.Result, g *graph.Graph, epsilon float64, cols map[int]int, p *pba.Path, tm *pba.Timing) (idx []int, val []float64, target, guard float64) {
-	idx = make([]int, len(p.Cells))
-	val = make([]float64, len(p.Cells))
-	var gbaSum float64
-	for k, c := range p.Cells {
-		idx[k] = cols[c]
-		val[k] = gba.CellDelay[c]
-		gbaSum += val[k]
-	}
-	crprExtra := tm.CRPR - gba.GBACRPR[g.FFIndex(p.Capture)]
-	target = (tm.CellSum - crprExtra) - gbaSum
-	guard = epsilon * math.Abs(tm.Slack)
-	return idx, val, target, guard
-}
-
-// fallbackChain returns the degradation ladder for a requested method:
-// each subsequent entry trades accuracy or speed for numerical safety.
-// GD is the terminal rung — full gradients with a monotone Armijo line
-// search cannot diverge.
-func fallbackChain(m Method) []Method {
-	switch m {
-	case MethodSCGRS:
-		return []Method{MethodSCGRS, MethodSCG, MethodGD}
-	case MethodSCG:
-		return []Method{MethodSCG, MethodGD}
-	case MethodFull:
-		return []Method{MethodFull, MethodGD}
-	default:
-		return []Method{MethodGD}
-	}
-}
-
-// runSolver executes one rung of the ladder. Each rung gets a fresh rng
-// seeded identically, so a retry is deterministic and independent of how
-// many iterations the rejected attempt consumed.
-func (m *Model) runSolver(ctx context.Context, meth Method) ([]float64, solver.Stats, error) {
-	r := rng.New(m.Opt.Seed)
-	switch meth {
-	case MethodGD:
-		return solver.GD(ctx, m.Problem, m.Opt.Solver)
-	case MethodSCG:
-		return solver.SCG(ctx, m.Problem, m.Opt.Solver, r)
-	case MethodSCGRS:
-		return solver.SCGRS(ctx, m.Problem, m.Opt.Solver, r)
-	case MethodFull:
-		return solver.FullSolve(ctx, m.Problem, 12, 500, 1e-10)
-	default:
-		return nil, solver.Stats{}, fmt.Errorf("core: unknown method %v", meth)
-	}
-}
-
-// healthCheck decides whether a solver result is trustworthy enough to
-// apply to the timing graph. identityF is the objective at x = 0 (unit
-// weights): any accepted fit must do at least as well as doing nothing.
-func (m *Model) healthCheck(x []float64, st solver.Stats, identityF float64) string {
-	if !num.AllFinite(x) {
-		return "non-finite solution"
-	}
-	if st.Reason == solver.StopDiverged {
-		return "diverged"
-	}
-	if st.NumericalEvents > 0 {
-		return fmt.Sprintf("%d numerical events", st.NumericalEvents)
-	}
-	if st.Reverts > 0 && !st.Improved {
-		return "safeguard reverts without net improvement"
-	}
-	// Judge the fit as applied: clamped weights, not the raw iterate.
-	f := m.Problem.Objective(m.clampedDx(x))
-	if math.IsNaN(f) || f > identityF*(1+1e-9)+1e-12 {
-		return fmt.Sprintf("objective %.6g worse than identity %.6g", f, identityF)
-	}
-	return ""
-}
-
-// clampedDx maps a raw correction through the weight clamp and back.
-func (m *Model) clampedDx(x []float64) []float64 {
-	dx := make([]float64, len(x))
-	for k := range x {
-		w := 1 + x[k]
-		if w < m.Opt.MinWeight {
-			w = m.Opt.MinWeight
-		}
-		if w > m.Opt.MaxWeight {
-			w = m.Opt.MaxWeight
-		}
-		dx[k] = w - 1
-	}
-	return dx
-}
-
-// solve runs the degradation ladder: try the requested method, reject
-// numerically unhealthy results, retry with the next-safer method, and on
-// total failure keep identity weights (x = 0) — never an error, because
-// identity weights reproduce plain GBA, which is always pessimism-safe.
-func (m *Model) solve(ctx context.Context) error {
-	if m.Opt.Method < MethodGD || m.Opt.Method > MethodFull {
-		return fmt.Errorf("core: unknown method %v", m.Opt.Method)
-	}
-	if m.Opt.WarmWeights != nil {
-		obsWarmStartHits.Inc()
-		x0 := make([]float64, len(m.Columns))
-		for k, c := range m.Columns {
-			if c < len(m.Opt.WarmWeights) && m.Opt.WarmWeights[c] > 0 {
-				x0[k] = m.Opt.WarmWeights[c] - 1
-			}
-		}
-		m.Opt.Solver.X0 = x0
-	}
-	identityF := m.Problem.ObjectiveAtZero()
-	for rung, meth := range fallbackChain(m.Opt.Method) {
-		x, st, err := m.runSolver(ctx, meth)
-		att := Attempt{Method: meth, Stats: st}
-		if err == nil {
-			att.Rejected = m.healthCheck(x, st, identityF)
-		} else {
-			if m.Opt.NoFallback {
-				return err
-			}
-			att.Rejected = err.Error()
-		}
-		m.Attempts = append(m.Attempts, att)
-		obsLadderAttempts.Inc()
-		if att.Rejected != "" {
-			obsLadderRejected.Inc()
-			obs.Event("ladder_reject", "method", meth.String(), "reason", att.Rejected)
-		}
-		if err == nil && att.Rejected == "" {
-			if rung > 0 {
-				obsCalibDegraded.Inc()
-			}
-			m.Correction = x
-			m.Stats = st
-			m.Degraded = rung > 0
-			m.Partial = st.Reason == solver.StopCancelled
-			m.applyWeights(m.Correction)
-			if m.Opt.StrictSafety || m.Degraded || m.Partial {
-				m.enforceSafety()
-			}
-			return nil
-		}
-		if m.Opt.NoFallback {
-			return fmt.Errorf("core: %v solve rejected: %s", meth, att.Rejected)
-		}
-		if err == nil && st.Reason == solver.StopCancelled {
-			// Cancelled *and* unhealthy: no budget left to retry safer
-			// methods; identity weights are the only safe answer.
-			break
-		}
-	}
-	// Total failure: identity weights (mGBA == GBA on every path).
-	obsCalibDegraded.Inc()
-	m.Correction = make([]float64, len(m.Columns))
-	m.Weights = identity(len(m.G.D.Instances))
-	m.Stats = solver.Stats{}
-	m.Degraded = true
-	m.SafetyScale = 0
-	m.Fault = "all solver attempts rejected; using identity weights"
-	if cancelled(ctx) {
-		m.Partial = true
-	}
-	return nil
-}
-
-// applyWeights clamps the correction into the physical weight band and
-// scatters it onto the per-instance weight vector.
-func (m *Model) applyWeights(x []float64) {
-	for k, c := range m.Columns {
-		w := 1 + x[k]
-		if w < m.Opt.MinWeight {
-			w = m.Opt.MinWeight
-		}
-		if w > m.Opt.MaxWeight {
-			w = m.Opt.MaxWeight
-		}
-		m.Weights[c] = w
-	}
-}
-
-// enforceSafety projects the fitted correction back inside the Eq. (5)
-// feasible region on the training selection. The modelled delay shift of
-// row i is (A dx)_i and its floor is B_i - Guard_i (both non-positive:
-// GBA is conservative per path, so the target shift is a delay
-// *reduction*). Scaling dx by t in [0,1] moves every row's shift
-// linearly between 0 (identity, always feasible) and its fitted value,
-// so the largest safe t is the minimum over violating rows of
-// floor_i / (A dx)_i — one linear pass, no re-solve.
-func (m *Model) enforceSafety() {
-	dx := m.clampedCorrection()
-	ax := m.Problem.A.MulVec(nil, dx)
-	t := 1.0
-	for i, axi := range ax {
-		floor := m.Problem.B[i] - m.Problem.GuardAt(i)
-		if axi < floor-1e-12 && axi < 0 {
-			if ti := floor / axi; ti < t {
-				t = ti
-			}
-		}
-	}
-	if t < 0 {
-		t = 0
-	}
-	if t < 1 {
-		for k := range dx {
-			dx[k] *= t
-		}
-		m.applyWeights(dx)
-	}
-	m.SafetyScale = t
-}
-
-// PathSlacks returns, for every selected path, the slack under the given
-// model: "gba" (unit weights), "mgba" (fitted weights), or "pba" (golden).
-func (m *Model) PathSlacks(kind string) ([]float64, error) {
-	out := make([]float64, len(m.Selection.Paths))
-	switch kind {
-	case "pba":
-		for i, tm := range m.Timings {
-			out[i] = tm.Slack
-		}
-	case "gba":
-		for i, p := range m.Selection.Paths {
-			out[i] = p.GBASlack
-		}
-	case "mgba":
-		if m.Problem == nil {
-			return nil, fmt.Errorf("core: no fitted problem")
-		}
-		// s_mgba(p) = s_gba(p) - (A dx)_p: the correction shifts the path
-		// delay, and delay shifts map one-to-one onto slack shifts.
-		ax := m.Problem.A.MulVec(nil, m.clampedCorrection())
-		for i, p := range m.Selection.Paths {
-			out[i] = p.GBASlack - ax[i]
-		}
-	default:
-		return nil, fmt.Errorf("core: unknown slack kind %q", kind)
-	}
-	return out, nil
-}
-
-// clampedCorrection returns the correction vector consistent with the
-// clamped weights actually applied to the graph.
-func (m *Model) clampedCorrection() []float64 {
-	dx := make([]float64, len(m.Columns))
-	for k, c := range m.Columns {
-		dx[k] = m.Weights[c] - 1
-	}
-	return dx
-}
-
-// Metrics bundles the accuracy measures the paper reports.
-type Metrics struct {
-	Paths     int
-	MSE       float64 // Eq. (12): ||s_model - s_pba||^2 / ||s_pba||^2
-	Phi       float64 // Eq. (10): ||s_model - s_pba|| / ||s_pba||
-	PassRatio float64 // Table 3 criterion: within 5% relative or 5 ps absolute
-	Optimism  int     // paths whose model slack exceeds s_pba + eps*|s_pba|
-}
-
-// PassTolerances of Table 3: a path passes when its slack error is within
-// 5 % relative or 5 ps absolute of golden PBA.
-const (
-	PassRelTol = 0.05
-	PassAbsTol = 5.0
-)
-
-// Evaluate computes the accuracy metrics of a model slack vector against
-// golden PBA over the selected paths. kind is "gba" or "mgba".
-func (m *Model) Evaluate(kind string) (Metrics, error) {
-	model, err := m.PathSlacks(kind)
-	if err != nil {
-		return Metrics{}, err
-	}
-	golden, err := m.PathSlacks("pba")
-	if err != nil {
-		return Metrics{}, err
-	}
-	return Compare(model, golden, m.Opt.Epsilon), nil
-}
-
-// Compare computes the paper's accuracy metrics between a model slack
-// vector and golden slacks.
-func Compare(model, golden []float64, epsilon float64) Metrics {
-	if len(model) != len(golden) {
-		panic("core: slack vector length mismatch")
-	}
-	mt := Metrics{Paths: len(model)}
-	if len(model) == 0 {
-		return mt
-	}
-	diff := make([]float64, len(model))
-	num.Sub(diff, model, golden)
-	gn := num.Norm2(golden)
-	dn := num.Norm2(diff)
-	if gn > 0 {
-		mt.Phi = dn / gn
-		mt.MSE = (dn * dn) / (gn * gn)
-	}
-	pass := 0
-	for i := range model {
-		e := math.Abs(model[i] - golden[i])
-		if e <= PassAbsTol || e <= PassRelTol*math.Abs(golden[i]) {
-			pass++
-		}
-		if model[i] > golden[i]+epsilon*math.Abs(golden[i])+1e-9 {
-			mt.Optimism++
-		}
-	}
-	mt.PassRatio = float64(pass) / float64(len(model))
-	return mt
-}
-
-// PathSlackWithWeights evaluates the mGBA slack of an arbitrary path under
-// a per-instance weight vector, against the baseline (unit-weight) GBA
-// analysis r. Used to judge a fit on paths outside its training selection,
-// as the §3.2 study does ("the measurement is always with 8444 violated
-// timing paths").
-func PathSlackWithWeights(r *sta.Result, an *pba.Analyzer, p *pba.Path, weights []float64) float64 {
-	var sum, wires float64
-	for _, c := range p.Cells {
-		w := 1.0
-		if weights != nil {
-			w = weights[c]
-		}
-		sum += r.CellDelay[c] * w
-		wires += r.WireDelay[c]
-	}
-	launchIdx := r.G.FFIndex(p.Launch)
-	captureIdx := r.G.FFIndex(p.Capture)
-	return an.Budget(captureIdx) + r.GBACRPR[captureIdx] - (r.ClockLate[launchIdx] + sum + wires)
-}
-
-// FullCorrection returns the correction of every data instance (launch
-// arcs and combinational gates; clock buffers excluded): the x* vector of
-// the paper, with exact zeros for gates off every selected path. This is
-// the population Fig. 3 bins.
-func (m *Model) FullCorrection() []float64 {
-	var out []float64
-	for _, in := range m.G.D.Instances {
-		if m.G.IsClock(in.ID) {
-			continue
-		}
-		out = append(out, m.Weights[in.ID]-1)
-	}
-	return out
-}
-
-// CorrectionHistogram bins the fitted corrections for Fig. 3 (the sparsity
-// plot): the fraction of entries inside [-width, width] is its headline.
-func (m *Model) CorrectionHistogram(width float64, bins int) *num.Histogram {
-	return num.NewHistogram(m.FullCorrection(), -width, width, bins)
-}
-
-// SparsityFraction returns the fraction of corrections within [-tol, tol],
-// the "95.9% of entries near zero" statistic of Fig. 3.
-func (m *Model) SparsityFraction(tol float64) float64 {
-	return num.FractionWithin(m.FullCorrection(), -tol, tol)
 }

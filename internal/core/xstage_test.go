@@ -1,0 +1,235 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"mgba/internal/core"
+	"mgba/internal/engine"
+	"mgba/internal/sta"
+)
+
+// The cross-stage ("preroute") pair corrects a pre-route analysis
+// against a deterministically routed twin of the design. These tests pin
+// the two contracts the abstraction must uphold on the new pair: the
+// Eq. (5) never-optimistic constraint against the routed golden, and
+// bit-exact equivalence between incremental recalibration and cold
+// calibration.
+
+func prerouteOptions() core.Options {
+	opt := core.DefaultOptions()
+	opt.ViewPair = core.PreroutePair
+	// StrictSafety is deliberately NOT set: a cross-stage pair declares it
+	// needs exact Eq. (5) enforcement and the calibrator forces it on —
+	// the never-optimistic assertions below cover that forcing.
+	return opt
+}
+
+func TestPrerouteCalibrateFitsRoutedGolden(t *testing.T) {
+	_, _, sess := calDesign(t)
+	cfg := sta.DefaultConfig()
+	opt := prerouteOptions()
+
+	m, err := core.CalibrateWithSession(context.Background(), sess, cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Pair != core.PreroutePair {
+		t.Fatalf("model pair = %q, want %q", m.Pair, core.PreroutePair)
+	}
+	if m.Fault != "" || m.Degraded {
+		t.Fatalf("preroute calibration degraded: fault=%q degraded=%v", m.Fault, m.Degraded)
+	}
+	if len(m.Selection.Paths) == 0 {
+		t.Fatal("preroute pair selected no paths")
+	}
+	gba, err := m.Evaluate("cheap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgba, err := m.Evaluate("mgba")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The routed twin lengthens most wires, so the uncorrected pre-route
+	// view is optimistic on a healthy fraction of paths — the gap the fit
+	// must close from below, which scale-back toward identity never could.
+	if gba.Optimism == 0 {
+		t.Fatal("routed perturbation produced no optimistic pre-route paths; the cross-stage case is vacuous")
+	}
+	// Eq. (5) on the new pair: no fitted slack is optimistic beyond the
+	// epsilon guard against the routed golden.
+	if mgba.Optimism != 0 {
+		t.Fatalf("fitted pre-route slacks optimistic beyond eps on %d/%d paths (MSE %.3g)",
+			mgba.Optimism, mgba.Paths, mgba.MSE)
+	}
+	if mgba.MSE >= gba.MSE {
+		t.Fatalf("fit did not improve MSE: cheap %.3g -> mgba %.3g", gba.MSE, mgba.MSE)
+	}
+	// Weights above one must be reachable (the cheap view under-times
+	// routed paths); the default pair's fits are all <= 1.
+	up := 0
+	for _, w := range m.Weights {
+		if w > 1 {
+			up++
+		}
+	}
+	if up == 0 {
+		t.Fatal("no fitted weight above 1: routed lengthening was not absorbed")
+	}
+}
+
+// TestPrerouteRecalibrateMatchesCold is the calibrator contract replayed
+// on the cross-stage pair: after a sizing batch, the incremental path —
+// baseline update, routed-twin cell mirroring, row patching, warm solve —
+// must land bit-identically on a cold calibration of the same state.
+func TestPrerouteRecalibrateMatchesCold(t *testing.T) {
+	d, g, sess := calDesign(t)
+	ctx := context.Background()
+	cfg := sta.DefaultConfig()
+	opt := prerouteOptions()
+
+	cal, err := core.NewCalibrator(sess, cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Pair() != core.PreroutePair {
+		t.Fatalf("calibrator pair = %q", cal.Pair())
+	}
+	m0, err := cal.Calibrate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m0.Selection.Paths) == 0 {
+		t.Fatal("toy design selected no paths")
+	}
+
+	dirty := upsizeSelected(t, d, g, m0, 40)
+
+	mInc, err := cal.Recalibrate(ctx, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cal.Stats()
+	if st.Incremental != 1 {
+		t.Fatalf("expected 1 incremental recalibration, stats %+v", st)
+	}
+
+	coldOpt := opt
+	coldOpt.WarmWeights = m0.Weights
+	mCold, err := core.CalibrateWithSession(ctx, engine.NewSession(g), cfg, coldOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !sameFloats(mInc.Weights, mCold.Weights) {
+		t.Error("incremental weights differ from cold calibration on the preroute pair")
+	}
+	if len(mInc.Timings) != len(mCold.Timings) {
+		t.Fatalf("timing counts differ: %d vs %d", len(mInc.Timings), len(mCold.Timings))
+	}
+	for i := range mInc.Timings {
+		if mInc.Timings[i].Slack != mCold.Timings[i].Slack {
+			t.Fatalf("routed golden slack %d differs: %v vs %v",
+				i, mInc.Timings[i].Slack, mCold.Timings[i].Slack)
+		}
+	}
+	if !sameFloats(mInc.Problem.B, mCold.Problem.B) {
+		t.Error("assembled targets differ from cold calibration")
+	}
+	if !sameFloats(mInc.MGBA.Slack, mCold.MGBA.Slack) {
+		t.Error("mGBA endpoint slacks differ from cold calibration")
+	}
+}
+
+// TestPrerouteTargetsDifferFromDefault guards against the cross-stage
+// pair silently degenerating into the default one: the routed golden
+// must move the fit targets.
+func TestPrerouteTargetsDifferFromDefault(t *testing.T) {
+	_, _, sess := calDesign(t)
+	ctx := context.Background()
+	cfg := sta.DefaultConfig()
+
+	mDef, err := core.CalibrateWithSession(ctx, sess, cfg, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mPre, err := core.CalibrateWithSession(ctx, sess, cfg, prerouteOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mDef.Pair != core.DefaultViewPair {
+		t.Fatalf("default model pair = %q", mDef.Pair)
+	}
+	if sameFloats(mDef.Problem.B, mPre.Problem.B) {
+		t.Fatal("preroute targets identical to default pair; routed golden had no effect")
+	}
+}
+
+func TestPathSlackKindAliases(t *testing.T) {
+	_, _, sess := calDesign(t)
+	m, err := core.CalibrateWithSession(context.Background(), sess, sta.DefaultConfig(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]string{{"golden", "pba"}, {"cheap", "gba"}} {
+		a, err := m.PathSlacks(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := m.PathSlacks(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameFloats(a, b) {
+			t.Errorf("PathSlacks(%q) != PathSlacks(%q)", pair[0], pair[1])
+		}
+	}
+}
+
+func TestLookupViewPair(t *testing.T) {
+	if _, err := core.LookupViewPair(""); err != nil {
+		t.Fatalf("empty name must resolve to the default pair: %v", err)
+	}
+	for _, name := range []string{core.DefaultViewPair, core.PreroutePair} {
+		p, err := core.LookupViewPair(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != name {
+			t.Errorf("LookupViewPair(%q).Name() = %q", name, p.Name())
+		}
+	}
+	_, err := core.LookupViewPair("no-such-pair")
+	if err == nil {
+		t.Fatal("unknown pair name did not error")
+	}
+	for _, want := range []string{core.DefaultViewPair, core.PreroutePair} {
+		if !containsStr(err.Error(), want) {
+			t.Errorf("lookup error %q does not list registered pair %q", err, want)
+		}
+	}
+	names := core.ViewPairNames()
+	if len(names) < 2 {
+		t.Fatalf("expected at least 2 registered pairs, got %v", names)
+	}
+
+	_, _, sess := calDesign(t)
+	opt := core.DefaultOptions()
+	opt.ViewPair = "no-such-pair"
+	if _, err := core.NewCalibrator(sess, sta.DefaultConfig(), opt); err == nil {
+		t.Fatal("NewCalibrator accepted an unknown view pair")
+	}
+	if _, err := core.CalibrateWithSession(context.Background(), sess, sta.DefaultConfig(), opt); err == nil {
+		t.Fatal("CalibrateWithSession accepted an unknown view pair")
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,59 @@
+package gen
+
+import (
+	"fmt"
+
+	"mgba/internal/graph"
+	"mgba/internal/netlist"
+	"mgba/internal/rng"
+)
+
+// The routed perturbation band: per-net wire delays scale by a factor in
+// [RouteMinFactor, RouteMaxFactor), biased toward increase — detours,
+// layer assignment and via stacks mostly lengthen a route relative to
+// the pre-route span estimate, and occasionally a net shakes out
+// slightly shorter.
+const (
+	RouteMinFactor = 0.95
+	RouteMaxFactor = 1.40
+)
+
+// routeSalt decorrelates the per-net route stream from every other use
+// of the run seed (the solver's row-selection stream in particular).
+const routeSalt = 0x9E3779B97F4A7C15
+
+// Route emits the deterministic "routed" twin of a design: the same
+// netlist and placement with every data net's wire delay scaled by a
+// reproducible per-net factor — the stand-in for the parasitics a router
+// would produce. Clock nets (the clock root and every net driven from
+// inside the clock tree) are left untouched, so clock arrivals, capture
+// budgets and CRPR credits are bit-identical between the pre-route and
+// routed views and the whole cross-stage gap lives in the data path.
+//
+// The perturbation is a pure function of (seed, net ID): deriving the
+// routed twin twice from the same design state — or mirroring cell
+// changes into an existing twin instead of re-deriving it — lands on
+// bit-identical timing, which is what lets incremental recalibration on
+// the cross-stage pair match cold calibration exactly.
+func Route(d *netlist.Design, seed uint64) (*netlist.Design, error) {
+	g, err := graph.Build(d)
+	if err != nil {
+		return nil, fmt.Errorf("gen: route: %w", err)
+	}
+	rd := d.Clone()
+	rd.Name = d.Name + "-routed"
+	for _, n := range rd.Nets {
+		if n.ID == rd.ClockRoot || n.Driver < 0 || g.IsClock(n.Driver) {
+			continue
+		}
+		n.WireDelay *= RouteFactor(seed, n.ID)
+	}
+	return rd, nil
+}
+
+// RouteFactor returns the deterministic wire-delay scale of one net under
+// the given route seed.
+func RouteFactor(seed uint64, netID int) float64 {
+	r := rng.New(seed ^ routeSalt*uint64(netID+1))
+	return RouteMinFactor + r.Float64()*(RouteMaxFactor-RouteMinFactor)
+}

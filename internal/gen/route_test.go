@@ -1,0 +1,81 @@
+package gen
+
+import (
+	"testing"
+
+	"mgba/internal/graph"
+)
+
+func TestRouteDeterministicAndClockInvariant(t *testing.T) {
+	d, err := Generate(Toy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Route(d, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Route(d, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Validate(); err != nil {
+		t.Fatalf("routed twin invalid: %v", err)
+	}
+	perturbed := 0
+	for i, n := range d.Nets {
+		n1, n2 := r1.Nets[i], r2.Nets[i]
+		if n1.WireDelay != n2.WireDelay {
+			t.Fatalf("net %d: routing not deterministic (%v vs %v)", i, n1.WireDelay, n2.WireDelay)
+		}
+		clock := n.ID == d.ClockRoot || (n.Driver >= 0 && g.IsClock(n.Driver))
+		if clock {
+			if n1.WireDelay != n.WireDelay {
+				t.Fatalf("clock net %d perturbed: %v -> %v", i, n.WireDelay, n1.WireDelay)
+			}
+			continue
+		}
+		if n1.WireCap != n.WireCap {
+			t.Fatalf("net %d: wire cap perturbed (%v -> %v); routing must only move delays",
+				i, n.WireCap, n1.WireCap)
+		}
+		if n.WireDelay == 0 {
+			continue
+		}
+		f := n1.WireDelay / n.WireDelay
+		if f < RouteMinFactor || f >= RouteMaxFactor {
+			t.Fatalf("net %d: factor %v outside [%v,%v)", i, f, RouteMinFactor, RouteMaxFactor)
+		}
+		if n1.WireDelay != n.WireDelay {
+			perturbed++
+		}
+	}
+	if perturbed == 0 {
+		t.Fatal("Route perturbed no data net")
+	}
+	// A different seed must route differently.
+	r3, err := Route(d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range r1.Nets {
+		if r1.Nets[i].WireDelay != r3.Nets[i].WireDelay {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seed has no effect on routing")
+	}
+	// The twin is independent of the source design.
+	origCell := d.Instances[0].Cell
+	r1.Instances[0].Cell = nil
+	if d.Instances[0].Cell != origCell {
+		t.Fatal("routed twin shares instance storage with the source design")
+	}
+	r1.Instances[0].Cell = origCell
+}

@@ -335,6 +335,37 @@ func (d *Design) RemoveBuffer(b *Instance) error {
 	return nil
 }
 
+// Clone returns a deep copy of the design's mutable state — instances,
+// nets, the FF list — sharing the immutable library, derate tables and
+// cell definitions (a resize swaps a cell pointer, never mutates one).
+// Edits to either design are invisible to the other; the cross-stage
+// view pair uses this to keep a perturbed "routed" twin alongside the
+// pre-route design.
+func (d *Design) Clone() *Design {
+	nd := &Design{
+		Name:        d.Name,
+		Node:        d.Node,
+		Lib:         d.Lib,
+		Derates:     d.Derates,
+		ClockPeriod: d.ClockPeriod,
+		ClockRoot:   d.ClockRoot,
+	}
+	nd.Instances = make([]*Instance, len(d.Instances))
+	for i, in := range d.Instances {
+		ci := *in
+		ci.Inputs = append([]int(nil), in.Inputs...)
+		nd.Instances[i] = &ci
+	}
+	nd.Nets = make([]*Net, len(d.Nets))
+	for i, n := range d.Nets {
+		cn := *n
+		cn.Sinks = append([]int(nil), n.Sinks...)
+		nd.Nets[i] = &cn
+	}
+	nd.FFs = append([]int(nil), d.FFs...)
+	return nd
+}
+
 // Area returns the total placed cell area of the design.
 func (d *Design) Area() float64 {
 	var a float64

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"mgba/internal/core"
 	"mgba/internal/faultinject"
 	"mgba/internal/fixtures"
 	"mgba/internal/gen"
@@ -38,6 +39,10 @@ type createRequest struct {
 	// DesignJSON carries an inline design in the netio interchange format
 	// instead. Exactly one of Design/DesignJSON must be set.
 	DesignJSON json.RawMessage `json:"design_json,omitempty"`
+	// ViewPair names the (cheap, golden) view pair the session calibrates
+	// under; empty selects the server's configured default. Unknown names
+	// are rejected with 400 listing the registered pairs.
+	ViewPair string `json:"view_pair,omitempty"`
 }
 
 // sessionStatus is the session's externally visible state, returned by
@@ -45,6 +50,7 @@ type createRequest struct {
 type sessionStatus struct {
 	ID         string  `json:"id"`
 	Source     string  `json:"source"`
+	ViewPair   string  `json:"view_pair"`
 	Instances  int     `json:"instances"`
 	Endpoints  int     `json:"endpoints"`
 	Calibrated bool    `json:"calibrated"`
@@ -197,12 +203,14 @@ func (sv *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (sv *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	sv.mu.Lock()
 	ids := make([]string, 0, len(sv.sessions))
-	for id := range sv.sessions {
+	pairs := make(map[string]string, len(sv.sessions))
+	for id, s := range sv.sessions {
 		ids = append(ids, id)
+		pairs[id] = s.cal.Pair()
 	}
 	sv.mu.Unlock()
 	sort.Strings(ids)
-	writeJSON(w, http.StatusOK, map[string]any{"sessions": ids})
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": ids, "view_pairs": pairs})
 }
 
 func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -219,6 +227,12 @@ func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "exactly one of design/design_json required")
 		return
 	}
+	// Reject unknown pairs before any heavy work; the lookup error lists
+	// every registered pair name.
+	if _, err := core.LookupViewPair(req.ViewPair); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	sv.mu.Lock()
 	_, exists := sv.sessions[req.ID]
 	sv.mu.Unlock()
@@ -232,7 +246,11 @@ func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s, err := newSession(req.ID, source, d, sv.cfg.STA, sv.cfg.Core)
+	opt := sv.cfg.Core
+	if req.ViewPair != "" {
+		opt.ViewPair = req.ViewPair
+	}
+	s, err := newSession(req.ID, source, d, sv.cfg.STA, opt)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -288,6 +306,7 @@ func (sv *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	s := sv.sessions[id]
 	delete(sv.sessions, id)
 	obsSessions.SetInt(len(sv.sessions))
+	sv.pairGaugesLocked()
 	sv.mu.Unlock()
 	hadSnapshot := false
 	if sv.cfg.SnapshotDir != "" {
@@ -407,6 +426,7 @@ func (sv *Server) statusLocked(s *session) sessionStatus {
 	return sessionStatus{
 		ID:         s.id,
 		Source:     s.source,
+		ViewPair:   s.cal.Pair(),
 		Instances:  len(s.d.Instances),
 		Endpoints:  len(s.slacks),
 		Calibrated: s.calibrated,

@@ -212,6 +212,7 @@ func (sv *Server) recoverSessions() {
 		obs.Event("session_resumed", "id", id)
 	}
 	obsSessions.SetInt(len(sv.sessions))
+	sv.pairGaugesLocked()
 }
 
 // loadSnapshot reads and rebuilds one persisted session.
@@ -306,11 +307,26 @@ func (sv *Server) insert(s *session) *session {
 		victims = append(victims, v)
 	}
 	obsSessions.SetInt(len(sv.sessions))
+	sv.pairGaugesLocked()
 	sv.mu.Unlock()
 	for _, v := range victims {
 		sv.evict(v, "lru")
 	}
 	return s
+}
+
+// pairGaugesLocked refreshes the per-pair resident-session gauges
+// (serve.sessions.pair.<name>), surfaced on /debug/summary next to the
+// total, so an operator can see which view pairs the fleet is running
+// without walking the sessions list. Caller holds sv.mu.
+func (sv *Server) pairGaugesLocked() {
+	counts := make(map[string]int, 2)
+	for _, s := range sv.sessions {
+		counts[s.cal.Pair()]++
+	}
+	for _, name := range core.ViewPairNames() {
+		obs.NewGauge("serve.sessions.pair." + name).SetInt(counts[name])
+	}
 }
 
 // lruLocked picks the least recently used session other than keep.
@@ -371,6 +387,7 @@ func (sv *Server) Sweep(now time.Time) {
 		}
 	}
 	obsSessions.SetInt(len(sv.sessions))
+	sv.pairGaugesLocked()
 	sv.mu.Unlock()
 	for _, s := range idle {
 		sv.evict(s, "idle")

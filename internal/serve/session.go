@@ -68,6 +68,7 @@ type session struct {
 // session reports back to clients.
 type snapMeta struct {
 	Source     string `json:"source"`
+	ViewPair   string `json:"view_pair,omitempty"`
 	Applied    int    `json:"applied"`
 	Calibrated bool   `json:"calibrated"`
 	Degraded   bool   `json:"degraded,omitempty"`
@@ -107,6 +108,12 @@ func resumeSession(id string, c *netio.Checkpoint, cfg sta.Config, opt core.Opti
 	source := meta.Source
 	if source == "" {
 		source = c.Design.Name
+	}
+	// The pair is part of the session's identity: a resumed session must
+	// calibrate under the pair it was created with, even if the server's
+	// configured default changed across the restart.
+	if meta.ViewPair != "" {
+		opt.ViewPair = meta.ViewPair
 	}
 	s, err := newSession(id, source, c.Design, cfg, opt)
 	if err != nil {
@@ -330,6 +337,7 @@ func (s *session) modifiedSet(id int) []int {
 func (s *session) snapshotCheckpoint() (*netio.Checkpoint, error) {
 	blob, err := json.Marshal(&snapMeta{
 		Source:     s.source,
+		ViewPair:   s.cal.Pair(),
 		Applied:    s.applied,
 		Calibrated: s.calibrated,
 		Degraded:   s.degraded,

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mgba/internal/core"
+)
+
+// TestCreateWithViewPair runs a session on the cross-stage pair through
+// the API surface: create, status, a transform batch with incremental
+// recalibration against the routed twin, and the sessions list.
+func TestCreateWithViewPair(t *testing.T) {
+	_, ts := testServer(t, nil)
+	d := testDesign(t, 300, 40)
+	ids := upsizableIDs(t, d, 3)
+
+	var st sessionStatus
+	resp := doJSON(t, "POST", ts.URL+"/v1/sessions",
+		createRequest{ID: "pre", DesignJSON: designJSON(t, d), ViewPair: core.PreroutePair}, &st)
+	wantStatus(t, resp, http.StatusCreated)
+	if st.ViewPair != core.PreroutePair || !st.Calibrated {
+		t.Fatalf("create status %+v", st)
+	}
+
+	// The default pair remains the default for requests that do not ask.
+	def := createInline(t, ts.URL, "plain", d)
+	if def.ViewPair != core.DefaultViewPair {
+		t.Fatalf("default create pair %q, want %q", def.ViewPair, core.DefaultViewPair)
+	}
+
+	var got sessionStatus
+	wantStatus(t, doJSON(t, "GET", ts.URL+"/v1/sessions/pre", nil, &got), http.StatusOK)
+	if got.ViewPair != core.PreroutePair {
+		t.Fatalf("status pair %q", got.ViewPair)
+	}
+
+	var br batchResponse
+	wantStatus(t, doJSON(t, "POST", ts.URL+"/v1/sessions/pre/batch", upsizeBatch(ids), &br), http.StatusOK)
+	if br.Status.ViewPair != core.PreroutePair || br.Status.Applied != 1 {
+		t.Fatalf("batch status %+v", br.Status)
+	}
+
+	var list struct {
+		Sessions []string          `json:"sessions"`
+		Pairs    map[string]string `json:"view_pairs"`
+	}
+	wantStatus(t, doJSON(t, "GET", ts.URL+"/v1/sessions", nil, &list), http.StatusOK)
+	if len(list.Sessions) != 2 {
+		t.Fatalf("session list %v", list.Sessions)
+	}
+	if list.Pairs["pre"] != core.PreroutePair || list.Pairs["plain"] != core.DefaultViewPair {
+		t.Fatalf("list pairs %v", list.Pairs)
+	}
+}
+
+// TestCreateUnknownViewPairRejected pins the 400 contract: an unknown
+// pair name is refused before any heavy work, and the error body lists
+// every registered pair so the client can self-correct.
+func TestCreateUnknownViewPairRejected(t *testing.T) {
+	_, ts := testServer(t, nil)
+	d := testDesign(t, 150, 20)
+
+	var eb errorBody
+	resp := doJSON(t, "POST", ts.URL+"/v1/sessions",
+		createRequest{ID: "bad", DesignJSON: designJSON(t, d), ViewPair: "no-such-pair"}, &eb)
+	wantStatus(t, resp, http.StatusBadRequest)
+	for _, want := range core.ViewPairNames() {
+		if !strings.Contains(eb.Error, want) {
+			t.Fatalf("400 body %q does not list registered pair %q", eb.Error, want)
+		}
+	}
+	wantStatus(t, doJSON(t, "GET", ts.URL+"/v1/sessions/bad", nil, nil), http.StatusNotFound)
+}
+
+// TestViewPairSurvivesResume restarts the daemon under a session created
+// on the cross-stage pair: the pair rides the snapshot's meta blob, so
+// the resumed session keeps calibrating under it even though the new
+// process defaults to the gba-pba pair.
+func TestViewPairSurvivesResume(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+	cfg.SnapshotDir = dir
+	sv1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDesign(t, 300, 40)
+	ts1 := httptest.NewServer(sv1)
+	var st sessionStatus
+	resp := doJSON(t, "POST", ts1.URL+"/v1/sessions",
+		createRequest{ID: "keep", DesignJSON: designJSON(t, d), ViewPair: core.PreroutePair}, &st)
+	wantStatus(t, resp, http.StatusCreated)
+	ts1.Close()
+	shutdownServer(t, sv1)
+
+	sv2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownServer(t, sv2)
+	ts2 := httptest.NewServer(sv2)
+	defer ts2.Close()
+	var got sessionStatus
+	wantStatus(t, doJSON(t, "GET", ts2.URL+"/v1/sessions/keep", nil, &got), http.StatusOK)
+	if got.ViewPair != core.PreroutePair {
+		t.Fatalf("resumed session pair %q, want %q", got.ViewPair, core.PreroutePair)
+	}
+	if !got.Calibrated || got.Applied != st.Applied {
+		t.Fatalf("resumed status %+v, created %+v", got, st)
+	}
+}
