@@ -296,7 +296,7 @@ func BenchmarkIncrementalUpdate(b *testing.B) {
 	for _, v := range g.Topo {
 		in := g.D.Instances[v]
 		if !in.IsFF() && g.D.Lib.Upsize(in.Cell) != nil {
-			target = v
+			target = int(v)
 			break
 		}
 	}

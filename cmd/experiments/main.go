@@ -6,11 +6,14 @@
 //	experiments -quick              # scaled-down suite for a fast pass
 //
 // Artifacts: table1, fig2, sec32, fig3, fig4, table2, table3, table4,
-// table5, bench, benchsolver, benchclosure, benchcalibd, benchxstage.
-// Output is plain text; -csv writes each table additionally as CSV into
-// the given directory; -json makes the bench artifacts also write their
-// machine-readable results (BENCH_calibration.json, BENCH_solver.json,
-// BENCH_closure.json, BENCH_calibd.json, BENCH_xstage.json).
+// table5, bench, benchsolver, benchclosure, benchcalibd, benchxstage,
+// benchscale. Output is plain text; -csv writes each table additionally
+// as CSV into the given directory; -json makes the bench artifacts also
+// write their machine-readable results (BENCH_calibration.json,
+// BENCH_solver.json, BENCH_closure.json, BENCH_calibd.json,
+// BENCH_xstage.json, BENCH_scale.json). Artifact paths are probed for
+// writability before any benchmark runs, so an unwritable destination
+// fails immediately instead of after minutes of timing.
 package main
 
 import (
@@ -29,7 +32,7 @@ func main() {
 	runList := flag.String("run", "all", "comma-separated artifacts to regenerate, or 'all'")
 	quick := flag.Bool("quick", false, "use a scaled-down design suite")
 	csvDir := flag.String("csv", "", "directory to also write tables as CSV")
-	jsonOut := flag.Bool("json", false, "bench artifacts: also write BENCH_calibration.json / BENCH_solver.json / BENCH_closure.json")
+	jsonOut := flag.Bool("json", false, "bench artifacts: also write their BENCH_*.json result")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	flag.Parse()
 
@@ -45,6 +48,36 @@ func main() {
 	}
 	all := want["all"]
 	ran := 0
+
+	// Benchmarks run for minutes; an unwritable artifact destination must
+	// fail before the timing starts, not after it.
+	benchArtifacts := map[string]string{
+		"bench":        "BENCH_calibration.json",
+		"benchsolver":  "BENCH_solver.json",
+		"benchclosure": "BENCH_closure.json",
+		"benchcalibd":  "BENCH_calibd.json",
+		"benchxstage":  "BENCH_xstage.json",
+		"benchscale":   "BENCH_scale.json",
+	}
+	if *jsonOut {
+		for name, path := range benchArtifacts {
+			if !want[name] {
+				continue
+			}
+			if err := probeWritable(path); err != nil {
+				fail(fmt.Errorf("artifact %s is not writable: %w", path, err))
+			}
+		}
+	}
+	writeJSON := func(path string, res any) {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			fail(fmt.Errorf("writing artifact %s: %w", path, err))
+		}
+	}
 
 	emit := func(name string, t *report.Table) {
 		fmt.Println(t.String())
@@ -136,13 +169,7 @@ func main() {
 		}
 		emit("bench", t)
 		if *jsonOut {
-			blob, err := json.MarshalIndent(res, "", "  ")
-			if err != nil {
-				fail(err)
-			}
-			if err := os.WriteFile("BENCH_calibration.json", append(blob, '\n'), 0o644); err != nil {
-				fail(err)
-			}
+			writeJSON("BENCH_calibration.json", res)
 		}
 	}
 	if want["benchsolver"] { // deliberately not part of 'all': pure timing
@@ -152,13 +179,7 @@ func main() {
 		}
 		emit("benchsolver", t)
 		if *jsonOut {
-			blob, err := json.MarshalIndent(res, "", "  ")
-			if err != nil {
-				fail(err)
-			}
-			if err := os.WriteFile("BENCH_solver.json", append(blob, '\n'), 0o644); err != nil {
-				fail(err)
-			}
+			writeJSON("BENCH_solver.json", res)
 		}
 	}
 	if want["benchclosure"] { // deliberately not part of 'all': pure timing
@@ -168,13 +189,7 @@ func main() {
 		}
 		emit("benchclosure", t)
 		if *jsonOut {
-			blob, err := json.MarshalIndent(res, "", "  ")
-			if err != nil {
-				fail(err)
-			}
-			if err := os.WriteFile("BENCH_closure.json", append(blob, '\n'), 0o644); err != nil {
-				fail(err)
-			}
+			writeJSON("BENCH_closure.json", res)
 		}
 	}
 	if want["benchcalibd"] { // deliberately not part of 'all': pure timing
@@ -184,13 +199,7 @@ func main() {
 		}
 		emit("benchcalibd", t)
 		if *jsonOut {
-			blob, err := json.MarshalIndent(res, "", "  ")
-			if err != nil {
-				fail(err)
-			}
-			if err := os.WriteFile("BENCH_calibd.json", append(blob, '\n'), 0o644); err != nil {
-				fail(err)
-			}
+			writeJSON("BENCH_calibd.json", res)
 		}
 	}
 	if want["benchxstage"] { // deliberately not part of 'all': pure timing
@@ -200,18 +209,32 @@ func main() {
 		}
 		emit("benchxstage", t)
 		if *jsonOut {
-			blob, err := json.MarshalIndent(res, "", "  ")
-			if err != nil {
-				fail(err)
-			}
-			if err := os.WriteFile("BENCH_xstage.json", append(blob, '\n'), 0o644); err != nil {
-				fail(err)
-			}
+			writeJSON("BENCH_xstage.json", res)
+		}
+	}
+	if want["benchscale"] { // deliberately not part of 'all': pure timing
+		t, res, err := expt.BenchScale(env)
+		if err != nil {
+			fail(err)
+		}
+		emit("benchscale", t)
+		if *jsonOut {
+			writeJSON("BENCH_scale.json", res)
 		}
 	}
 	if ran == 0 {
-		fail(fmt.Errorf("nothing matched -run=%q; artifacts: table1 fig2 sec32 fig3 fig4 table2 table3 table4 table4x table5 bench benchsolver benchclosure benchcalibd benchxstage all", *runList))
+		fail(fmt.Errorf("nothing matched -run=%q; artifacts: table1 fig2 sec32 fig3 fig4 table2 table3 table4 table4x table5 bench benchsolver benchclosure benchcalibd benchxstage benchscale all", *runList))
 	}
+}
+
+// probeWritable verifies the artifact path can be created or truncated
+// without disturbing an existing file's contents.
+func probeWritable(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

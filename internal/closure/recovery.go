@@ -20,7 +20,7 @@ func (f *flow) recoverArea() error {
 		if f.res.Transforms >= f.opt.MaxTransforms {
 			break
 		}
-		v := f.g.Topo[f.recoveryPos]
+		v := int(f.g.Topo[f.recoveryPos])
 		inst := f.d.Instances[v]
 		if inst.IsFF() || f.g.IsClock(v) {
 			continue

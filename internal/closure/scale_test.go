@@ -1,0 +1,60 @@
+package closure_test
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"mgba/internal/closure"
+	"mgba/internal/gen"
+)
+
+// TestScaleSmoke100k is the CI scale smoke: generate the 100k-gate
+// gen.Large design, run the mGBA closure flow through a cold calibration
+// and ten accepted transforms with a mid-flow recalibration, and require
+// it to finish uninterrupted and fault-free. Gated behind MGBA_SCALE=1
+// (scripts/smoke_scale.sh); the wall-clock ceiling is the test timeout
+// the script passes.
+func TestScaleSmoke100k(t *testing.T) {
+	if os.Getenv("MGBA_SCALE") == "" {
+		t.Skip("set MGBA_SCALE=1 to run the 100k scale smoke")
+	}
+	t0 := time.Now()
+	d, err := gen.Generate(gen.Large(100_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("generate: %v (%d instances)", time.Since(t0), len(d.Instances))
+
+	opt := closure.DefaultOptions(closure.TimerMGBA)
+	opt.MaxTransforms = 10
+	opt.RecalibrateEvery = 5 // force a mid-flow recalibration within the budget
+	t0 = time.Now()
+	res, err := closure.Run(context.Background(), d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("closure: %v (%d transforms, %d calibrations, WNS %.1f -> signoff %.1f)",
+		time.Since(t0), res.Transforms, res.Calibrations, res.TimerWNS, res.SignoffWNS)
+	if res.Interrupted {
+		t.Fatalf("flow interrupted: %s", res.StopReason)
+	}
+	if res.Transforms != opt.MaxTransforms {
+		t.Fatalf("accepted %d transforms, want the full budget of %d", res.Transforms, opt.MaxTransforms)
+	}
+	if res.Calibrations < 2 {
+		t.Fatalf("only %d calibrations; the mid-flow recalibration never ran", res.Calibrations)
+	}
+	if len(res.Faults) > 0 {
+		t.Fatalf("flow absorbed faults: %v", res.Faults)
+	}
+	// One-rung ladder falls are expected on warm-started recalibrations
+	// whose warm start is already optimal (a tiny dirty set leaves no
+	// "net improvement" for the row-sampled solver to show); only a fall
+	// all the way to identity weights is a fault, asserted above.
+	if res.DegradedCalibrations > 0 {
+		t.Logf("%d of %d calibrations fell a ladder rung (accepted fits, no identity fallback)",
+			res.DegradedCalibrations, res.Calibrations)
+	}
+}

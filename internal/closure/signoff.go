@@ -24,7 +24,7 @@ func signoff(s *engine.Session, cfg sta.Config) (wns, tns float64) {
 	defer r.Release()
 	an := pba.NewAnalyzer(r)
 	for fi, ffID := range g.D.FFs {
-		if len(g.Fanin[ffID]) == 0 {
+		if len(g.Fanin(ffID)) == 0 {
 			continue
 		}
 		worst := math.Inf(1)

@@ -231,6 +231,9 @@ func (c *Calibrator) cold(ctx context.Context, sel *pathsel.Selection) (*Model, 
 	if err := c.golden.Refresh(); err != nil {
 		return nil, err
 	}
+	if sel == nil && c.opt.StreamShard > 0 {
+		return c.coldStream(ctx, sp, m)
+	}
 	an := pba.NewAnalyzer(m.GBA)
 	spEnum := sp.Child("enumerate")
 	var pop *pathsel.Population

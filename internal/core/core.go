@@ -95,6 +95,17 @@ type Options struct {
 	// incrementally, so the old weights are near-optimal already.
 	WarmWeights []float64
 
+	// StreamShard, when positive, makes cold calibration stream the path
+	// population in endpoint shards of this size instead of materializing
+	// it: each shard is enumerated, retimed and appended to the Eq. (9)
+	// system, then its pointer-form paths become garbage. Peak memory is
+	// one shard plus the (required) assembled system; the fitted weights
+	// are bit-identical to the materialized path. The kept population goes
+	// into Model.Bank (slab form) instead of Model.Selection, and the
+	// incremental cache is not filled. Streaming cannot reproduce the
+	// MaxPaths round-robin truncation, so exceeding MaxPaths is an error.
+	StreamShard int
+
 	// StrictSafety enforces Eq. (5) exactly on the training selection by
 	// scaling the fitted correction back until no selected path is
 	// optimistic beyond the epsilon guard. The paper's soft penalty
@@ -135,8 +146,15 @@ type Model struct {
 	Pair    string // name of the view pair the model was fitted on
 
 	GBA       *sta.Result        // baseline cheap analysis
-	Selection *pathsel.Selection // calibration paths
+	Selection *pathsel.Selection // calibration paths (empty when streamed)
 	Timings   []*pba.Timing      // golden retiming per selected path
+
+	// Bank holds the calibration paths in slab form when the model was
+	// fitted through Options.StreamShard; Selection.Paths is empty then.
+	// GoldenSlack is the golden slack per bank path (the streamed
+	// counterpart of Timings[i].Slack).
+	Bank        *pathsel.Bank
+	GoldenSlack []float64
 
 	Problem    *solver.Problem // Eq. (9) system in correction space
 	Columns    []int           // column -> instance ID
@@ -259,6 +277,8 @@ func (m *Model) abandon(why string) *Model {
 	obs.Event("calibration_abandoned", "why", why)
 	m.Selection = &pathsel.Selection{}
 	m.Timings = nil
+	m.Bank = nil
+	m.GoldenSlack = nil
 	m.Problem = nil
 	m.Columns = nil
 	m.Correction = nil

@@ -16,6 +16,9 @@ import (
 // only pair — so existing callers and the calibd wire format keep
 // working.
 func (m *Model) PathSlacks(kind string) ([]float64, error) {
+	if m.Bank != nil {
+		return m.bankPathSlacks(kind)
+	}
 	out := make([]float64, len(m.Selection.Paths))
 	switch kind {
 	case "golden", "pba":
@@ -35,6 +38,33 @@ func (m *Model) PathSlacks(kind string) ([]float64, error) {
 		ax := m.Problem.A.MulVec(nil, m.clampedCorrection())
 		for i, p := range m.Selection.Paths {
 			out[i] = p.GBASlack - ax[i]
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown slack kind %q", kind)
+	}
+	return out, nil
+}
+
+// bankPathSlacks is PathSlacks over a slab-banked (streamed) model; rows
+// are in bank store order, which is the same endpoint-major order the
+// materialized selection would use.
+func (m *Model) bankPathSlacks(kind string) ([]float64, error) {
+	n := m.Bank.Total()
+	out := make([]float64, n)
+	switch kind {
+	case "golden", "pba":
+		copy(out, m.GoldenSlack)
+	case "cheap", "gba":
+		for i := 0; i < n; i++ {
+			out[i] = m.Bank.Store.GBASlack(i)
+		}
+	case "mgba":
+		if m.Problem == nil {
+			return nil, fmt.Errorf("core: no fitted problem")
+		}
+		ax := m.Problem.A.MulVec(nil, m.clampedCorrection())
+		for i := 0; i < n; i++ {
+			out[i] = m.Bank.Store.GBASlack(i) - ax[i]
 		}
 	default:
 		return nil, fmt.Errorf("core: unknown slack kind %q", kind)

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"mgba/internal/engine"
+	"mgba/internal/obs"
+	"mgba/internal/pathsel"
+	"mgba/internal/pba"
+	"mgba/internal/solver"
+	"mgba/internal/sparse"
+)
+
+var errStreamCancelled = errors.New("core: stream cancelled")
+
+// coldStream is the cold pipeline with shard-streamed enumeration and row
+// assembly: endpoints are enumerated in shards of Options.StreamShard,
+// each shard's paths are retimed and turned into Eq. (9) rows on the
+// spot, the kept population is appended to a slab bank, and the shard's
+// pointer-form paths are dropped. Peak memory is one shard plus the
+// assembled system, not the whole pointer population.
+//
+// Every per-path computation runs in the exact order the materialized
+// cold path runs it — endpoints in FF order, paths in enumeration order,
+// columns mapped by first occurrence over rows — so the assembled system
+// and the fitted weights are bit-identical to a materialized cold
+// calibration of the same state at every Parallelism (pinned by the
+// equivalence tests). The streamed model carries its paths in Model.Bank;
+// the incremental cache is left empty, so a later Recalibrate on this
+// calibrator re-runs cold.
+func (c *Calibrator) coldStream(ctx context.Context, sp *obs.Span, m *Model) (*Model, error) {
+	an := pba.NewAnalyzer(m.GBA)
+	timer, err := c.golden.Timer(m.GBA)
+	if err != nil {
+		return nil, err
+	}
+	spEnum := sp.Child("enumerate.stream")
+	bank := pathsel.NewBank(0)
+	b := sparse.NewBuilder(0)
+	colOf := map[int]int{}
+	var cols []int
+	var targets, guards, goldenSlack []float64
+	retimed := 0
+	streamErr := pathsel.EnumerateStream(an, c.opt.K, c.opt.StreamShard, func(sh *pathsel.Shard) error {
+		for _, g := range sh.Groups {
+			for _, p := range g {
+				if retimed%256 == 0 && cancelled(ctx) {
+					return errStreamCancelled
+				}
+				tm := timer.Retime(p)
+				retimed++
+				for _, cell := range p.Cells {
+					if _, ok := colOf[cell]; !ok {
+						colOf[cell] = len(cols)
+						cols = append(cols, cell)
+					}
+				}
+				b.EnsureCols(len(cols))
+				idx, val, target, guard := m.row(colOf, p, tm)
+				if err := b.AddRow(idx, val); err != nil {
+					return err
+				}
+				targets = append(targets, target)
+				guards = append(guards, guard)
+				goldenSlack = append(goldenSlack, tm.Slack)
+			}
+		}
+		if err := bank.AppendShard(sh); err != nil {
+			return err
+		}
+		if c.opt.MaxPaths > 0 && bank.Total() > c.opt.MaxPaths {
+			return fmt.Errorf("core: streamed population exceeds MaxPaths (%d > %d); raise MaxPaths or lower K — streaming cannot reproduce the round-robin truncation", bank.Total(), c.opt.MaxPaths)
+		}
+		return nil
+	})
+	spEnum.End()
+	if errors.Is(streamErr, errStreamCancelled) {
+		return c.finish(m.abandon("cancelled during golden retiming")), nil
+	}
+	if streamErr != nil {
+		return nil, streamErr
+	}
+	m.Selection = &pathsel.Selection{Scheme: "per-endpoint-top-k-streamed"}
+	if bank.Total() == 0 {
+		// Nothing violates: mGBA degenerates to the cheap baseline.
+		m.MGBA = m.GBA
+		return c.finish(m), nil
+	}
+	m.Bank = bank
+	m.GoldenSlack = goldenSlack
+	m.Columns = cols
+	spAsm := sp.Child("assemble")
+	a := b.Build()
+	a.SetParallelism(engine.Workers(m.Cfg.Parallelism))
+	m.Problem = &solver.Problem{A: a, B: targets, Guard: guards, Penalty: m.Opt.Penalty}
+	if err := m.Problem.Validate(); err != nil {
+		spAsm.End()
+		return nil, err
+	}
+	spAsm.End()
+	spSolve := sp.Child("solve")
+	if err := m.solve(ctx); err != nil {
+		spSolve.End()
+		return nil, err
+	}
+	spSolve.End()
+	spVal := sp.Child("validate")
+	wcfg := c.cfg
+	wcfg.Weights = m.Weights
+	m.MGBA = c.sess.Run(wcfg)
+	spVal.End()
+	return c.finish(m), nil
+}

@@ -1,5 +1,38 @@
 package engine
 
+// coneScratch is one reusable buffer set for forward-cone walks. Sessions
+// pool them the same way they pool per-run timing scratch: a plain free
+// list keeps reuse deterministic and the steady state allocation-free.
+type coneScratch struct {
+	seen  []bool
+	hit   []bool
+	queue []int32
+}
+
+func (s *Session) getConeScratch() *coneScratch {
+	s.scratchMu.Lock()
+	if n := len(s.coneFree); n > 0 {
+		cs := s.coneFree[n-1]
+		s.coneFree = s.coneFree[:n-1]
+		s.scratchMu.Unlock()
+		clear(cs.seen)
+		clear(cs.hit)
+		cs.queue = cs.queue[:0]
+		return cs
+	}
+	s.scratchMu.Unlock()
+	return &coneScratch{
+		seen: make([]bool, len(s.G.D.Instances)),
+		hit:  make([]bool, len(s.G.D.FFs)),
+	}
+}
+
+func (s *Session) putConeScratch(cs *coneScratch) {
+	s.scratchMu.Lock()
+	s.coneFree = append(s.coneFree, cs)
+	s.scratchMu.Unlock()
+}
+
 // FanoutEndpoints returns the D.FFs positions of every constrained
 // endpoint whose fan-in cone contains one of the modified instances —
 // exactly the endpoints whose timing (and therefore whose selected paths)
@@ -10,41 +43,47 @@ package engine
 // CK->Q arcs changed) in addition to everything downstream of its Q pin.
 // The result is sorted in FF order and deterministic.
 func (s *Session) FanoutEndpoints(modified []int) []int {
+	return s.FanoutEndpointsInto(nil, modified)
+}
+
+// FanoutEndpointsInto is FanoutEndpoints appending into dst (which may be
+// nil). With a pre-sized dst it performs zero allocations in the steady
+// state: the visited/hit/queue buffers come from the session pool.
+func (s *Session) FanoutEndpointsInto(dst []int, modified []int) []int {
 	g := s.G
 	d := g.D
 	if len(modified) == 0 {
-		return nil
+		return dst
 	}
-	seen := make([]bool, len(d.Instances))
-	hit := make([]bool, len(d.FFs))
-	queue := make([]int, 0, len(modified))
+	cs := s.getConeScratch()
+	defer s.putConeScratch(cs)
+	seen, hit, queue := cs.seen, cs.hit, cs.queue
 	for _, v := range modified {
 		if v < 0 || v >= len(seen) || seen[v] {
 			continue
 		}
 		seen[v] = true
-		queue = append(queue, v)
+		queue = append(queue, int32(v))
 		if d.Instances[v].IsFF() {
 			hit[g.FFIndex(v)] = true
 		}
 	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, e := range g.Fanout[v] {
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, e := range g.Fanout(int(v)) {
 			if d.Instances[e.To].IsFF() {
-				hit[g.FFIndex(e.To)] = true
+				hit[g.FFIndex(int(e.To))] = true
 			} else if !seen[e.To] {
 				seen[e.To] = true
 				queue = append(queue, e.To)
 			}
 		}
 	}
-	var out []int
+	cs.queue = queue[:0]
 	for fi, id := range d.FFs {
-		if hit[fi] && len(g.Fanin[id]) > 0 {
-			out = append(out, fi)
+		if hit[fi] && len(g.Fanin(id)) > 0 {
+			dst = append(dst, fi)
 		}
 	}
-	return out
+	return dst
 }

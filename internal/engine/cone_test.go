@@ -1,0 +1,123 @@
+package engine_test
+
+import (
+	"sort"
+	"testing"
+
+	"mgba/internal/engine"
+	"mgba/internal/gen"
+	"mgba/internal/graph"
+)
+
+// naiveFanoutEndpoints recomputes the endpoint shadow with throwaway maps,
+// as the pre-pooled implementation did.
+func naiveFanoutEndpoints(g *graph.Graph, modified []int) []int {
+	d := g.D
+	seen := make(map[int]bool)
+	hit := make(map[int]bool)
+	var queue []int
+	for _, v := range modified {
+		if v < 0 || v >= len(d.Instances) || seen[v] {
+			continue
+		}
+		seen[v] = true
+		queue = append(queue, v)
+		if d.Instances[v].IsFF() {
+			hit[g.FFIndex(v)] = true
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Fanout(v) {
+			to := int(e.To)
+			if d.Instances[to].IsFF() {
+				hit[g.FFIndex(to)] = true
+			} else if !seen[to] {
+				seen[to] = true
+				queue = append(queue, to)
+			}
+		}
+	}
+	var out []int
+	for fi, id := range d.FFs {
+		if hit[fi] && len(g.Fanin(id)) > 0 {
+			out = append(out, fi)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func coneSession(t testing.TB) (*graph.Graph, *engine.Session) {
+	t.Helper()
+	cfg := gen.Toy()
+	cfg.Gates, cfg.FFs = 600, 80
+	cfg.Name = "conepool"
+	d, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, engine.NewSession(g)
+}
+
+func TestFanoutEndpointsMatchesNaive(t *testing.T) {
+	g, s := coneSession(t)
+	for seed := 0; seed < 20; seed++ {
+		var modified []int
+		for i, v := range g.Topo {
+			if (i+seed)%17 == 0 {
+				modified = append(modified, int(v))
+			}
+		}
+		got := s.FanoutEndpoints(modified)
+		want := naiveFanoutEndpoints(g, modified)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d endpoints, want %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: endpoint %d = %d, want %d", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Satellite guarantee: the pooled cone walk performs zero allocations in
+// the steady state when appending into a pre-grown destination.
+func TestFanoutEndpointsIntoZeroAlloc(t *testing.T) {
+	g, s := coneSession(t)
+	var modified []int
+	for i, v := range g.Topo {
+		if i%11 == 0 {
+			modified = append(modified, int(v))
+		}
+	}
+	dst := s.FanoutEndpointsInto(nil, modified) // warm the pool and size dst
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = s.FanoutEndpointsInto(dst[:0], modified)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state allocs/op = %v, want 0", allocs)
+	}
+}
+
+func BenchmarkFanoutEndpoints(b *testing.B) {
+	g, s := coneSession(b)
+	var modified []int
+	for i, v := range g.Topo {
+		if i%11 == 0 {
+			modified = append(modified, int(v))
+		}
+	}
+	dst := s.FanoutEndpointsInto(nil, modified)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = s.FanoutEndpointsInto(dst[:0], modified)
+	}
+}

@@ -138,7 +138,7 @@ func TestIncrementalVsFullSession(t *testing.T) {
 	rnd := rng.New(99)
 	resized := 0
 	for iter := 0; iter < 40 && resized < 20; iter++ {
-		v := g.Topo[rnd.Intn(len(g.Topo))]
+		v := int(g.Topo[rnd.Intn(len(g.Topo))])
 		in := d.Instances[v]
 		if in.IsFF() {
 			continue

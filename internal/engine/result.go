@@ -174,7 +174,7 @@ func (r *Result) forwardAll() {
 		lo, hi := s.levelOff[l], s.levelOff[l+1]
 		r.parallelFor(hi-lo, func(a, b int) {
 			for i := lo + a; i < lo+b; i++ {
-				r.evalInstance(s.levelOrder[i])
+				r.evalInstance(int(s.levelOrder[i]))
 			}
 		})
 	}
@@ -200,7 +200,7 @@ func (r *Result) evalInstance(v int) {
 		minAt = r.ClockEarly[fi]
 		worstSlew = 0
 	} else {
-		for _, e := range r.G.Fanin[v] {
+		for _, e := range r.G.Fanin(v) {
 			if s := r.Slew[e.From]; s > worstSlew {
 				worstSlew = s
 			}
@@ -213,7 +213,7 @@ func (r *Result) evalInstance(v int) {
 				minAt = mn
 			}
 		}
-		if len(r.G.Fanin[v]) == 0 {
+		if len(r.G.Fanin(v)) == 0 {
 			maxAt, minAt = 0, 0
 		}
 	}
@@ -250,7 +250,7 @@ func (r *Result) collectEndpointArrivals() {
 			ffID := d.FFs[fi]
 			maxAt := math.Inf(-1)
 			minAt := math.Inf(1)
-			for _, e := range r.G.Fanin[ffID] {
+			for _, e := range r.G.Fanin(ffID) {
 				at := r.ArrivalOut[e.From] + r.WireDelay[e.From]
 				if at > maxAt {
 					maxAt = at
@@ -260,7 +260,7 @@ func (r *Result) collectEndpointArrivals() {
 					minAt = mn
 				}
 			}
-			if len(r.G.Fanin[ffID]) == 0 {
+			if len(r.G.Fanin(ffID)) == 0 {
 				r.DataAtD[fi] = math.Inf(-1)
 				r.MinAtD[fi] = math.Inf(1)
 				continue
@@ -287,7 +287,7 @@ func (r *Result) endpointSlacks() {
 	d := r.G.D
 	r.WNS, r.TNS = 0, 0
 	for fi, ffID := range d.FFs {
-		if len(r.G.Fanin[ffID]) == 0 {
+		if len(r.G.Fanin(ffID)) == 0 {
 			r.Slack[fi] = unconstrained
 			r.HoldSlack[fi] = unconstrained
 			continue
@@ -330,13 +330,13 @@ func (r *Result) backwardAll() {
 		lo, hi := s.levelOff[l], s.levelOff[l+1]
 		r.parallelFor(hi-lo, func(a, b int) {
 			for i := lo + a; i < lo+b; i++ {
-				v := s.levelOrder[i]
+				v := int(s.levelOrder[i])
 				req := unconstrained
-				for _, e := range r.G.Fanout[v] {
+				for _, e := range r.G.Fanout(v) {
 					to := d.Instances[e.To]
 					var cand float64
 					if to.IsFF() {
-						cand = r.endpointRequired(r.G.FFIndex(e.To)) - r.WireDelay[v]
+						cand = r.endpointRequired(r.G.FFIndex(int(e.To))) - r.WireDelay[v]
 					} else {
 						cand = r.RequiredOut[e.To] - r.CellDelay[e.To] - r.WireDelay[v]
 					}
@@ -398,10 +398,11 @@ func (r *Result) Update(modified []int) {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, e := range r.G.Fanout[v] {
-			if !d.Instances[e.To].IsFF() && !dirty[e.To] {
-				dirty[e.To] = true
-				queue = append(queue, e.To)
+		for _, e := range r.G.Fanout(v) {
+			to := int(e.To)
+			if !d.Instances[to].IsFF() && !dirty[to] {
+				dirty[to] = true
+				queue = append(queue, to)
 			}
 		}
 	}

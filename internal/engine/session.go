@@ -32,16 +32,17 @@ type Session struct {
 	// at level l-1. levelOrder lists instances grouped by level (topo
 	// order within a level); level l spans
 	// levelOrder[levelOff[l]:levelOff[l+1]].
-	levelOrder []int
+	levelOrder []int32
 	levelOff   []int
 
-	topoPos []int // topological position per instance ID, -1 off the data DAG
+	topoPos []int32 // topological position per instance ID, -1 off the data DAG
 
 	mu     sync.Mutex
 	clocks map[clockKey]*clockState // per clock configuration
 
 	scratchMu sync.Mutex
-	free      []*scratch // released per-run buffer sets
+	free      []*scratch     // released per-run buffer sets
+	coneFree  []*coneScratch // released forward-cone walk buffers
 }
 
 // clockKey identifies the clock-dependent immutable state: clock insertion
@@ -77,12 +78,12 @@ func NewSession(g *graph.Graph) *Session {
 		Boxes:  g.ComputeBoxes(),
 		clocks: make(map[clockKey]*clockState),
 	}
-	s.topoPos = make([]int, len(g.D.Instances))
+	s.topoPos = make([]int32, len(g.D.Instances))
 	for i := range s.topoPos {
 		s.topoPos[i] = -1
 	}
 	for pos, v := range g.Topo {
-		s.topoPos[v] = pos
+		s.topoPos[v] = int32(pos)
 	}
 	s.levelize()
 	return s
@@ -101,7 +102,7 @@ func (s *Session) levelize() {
 			continue // level 0: registers are path sources
 		}
 		lv := 1
-		for _, e := range g.Fanin[v] {
+		for _, e := range g.Fanin(int(v)) {
 			if d.Instances[e.From].IsFF() {
 				continue
 			}
@@ -121,7 +122,7 @@ func (s *Session) levelize() {
 	for l := 1; l < len(s.levelOff); l++ {
 		s.levelOff[l] += s.levelOff[l-1]
 	}
-	s.levelOrder = make([]int, len(g.Topo))
+	s.levelOrder = make([]int32, len(g.Topo))
 	fill := append([]int(nil), s.levelOff[:maxLevel+1]...)
 	for _, v := range g.Topo {
 		s.levelOrder[fill[level[v]]] = v
@@ -162,9 +163,9 @@ func (s *Session) buildClockState(key clockKey) *clockState {
 		delay, slew float64
 		done        bool
 	}
-	memo := make(map[int]*bufT)
-	var eval func(chain []int, k int) *bufT
-	eval = func(chain []int, k int) *bufT {
+	memo := make(map[int32]*bufT)
+	var eval func(chain []int32, k int) *bufT
+	eval = func(chain []int32, k int) *bufT {
 		id := chain[k]
 		if m, ok := memo[id]; ok && m.done {
 			return m
@@ -252,7 +253,7 @@ func (s *Session) buildCredits(cs *clockState) {
 			dists[k] = netlist.Distance(root, in)
 		}
 		for leafC := 0; leafC < nl; leafC++ {
-			common := ci.Common[leafL][leafC]
+			common := ci.CommonLen(leafL, leafC)
 			earlyDepth := float64(len(ci.Chains[leafC]))
 			var credit float64
 			for k := 0; k < common; k++ {

@@ -39,6 +39,8 @@ type CalibBench struct {
 
 	Speedup     float64 `json:"speedup"`      // cold / incremental
 	SpeedupWarm float64 `json:"speedup_warm"` // warm-started cold / incremental
+
+	Mem MemStats `json:"mem"`
 }
 
 // benchScenario builds the benchmark fixture: the D3 stand-in design,
@@ -126,7 +128,7 @@ func newBenchScenario(e *Env, transforms int) (*benchScenario, error) {
 		return nil, fmt.Errorf("expt: no gate on the bench selection could be upsized")
 	}
 	for _, ffID := range g.D.FFs {
-		if len(g.Fanin[ffID]) > 0 {
+		if len(g.Fanin(ffID)) > 0 {
 			sc.eps++
 		}
 	}
@@ -251,6 +253,7 @@ func BenchCalibration(e *Env) (*report.Table, *CalibBench, error) {
 		fmt.Sprintf("%d", res.Reenumerated))
 	t.AddNote("speedup vs cold: %.2fx (acceptance floor: 3x); vs warm-started cold: %.2fx",
 		res.Speedup, res.SpeedupWarm)
+	res.Mem = CaptureMem()
 	return t, res, nil
 }
 
@@ -284,6 +287,8 @@ type SolverBench struct {
 	EvalSpeedup      float64 `json:"objgrad_speedup_par8_vs_serial"`
 
 	Note string `json:"note,omitempty"`
+
+	Mem MemStats `json:"mem"`
 }
 
 // BenchSolver measures the Eq. (6) solver kernels on the D3 stand-in's
@@ -401,5 +406,6 @@ func BenchSolver(e *Env) (*report.Table, *SolverBench, error) {
 	if res.Note != "" {
 		t.AddNote("%s", res.Note)
 	}
+	res.Mem = CaptureMem()
 	return t, res, nil
 }

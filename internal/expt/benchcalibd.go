@@ -42,6 +42,8 @@ type CalibdBench struct {
 	MaxInFlight int                `json:"max_in_flight"`
 	MaxQueue    int                `json:"max_queue"`
 	Levels      []CalibdLevelBench `json:"levels"`
+
+	Mem MemStats `json:"mem"`
 }
 
 // BenchCalibd measures the calibration daemon end to end: one session on
@@ -139,6 +141,7 @@ func BenchCalibd(e *Env) (*report.Table, *CalibdBench, error) {
 	}
 	t.AddNote(fmt.Sprintf("one session (single-writer), in-flight budget %d, per-session queue %d; rejected requests got 429 + Retry-After and were retried",
 		scfg.MaxInFlight, scfg.MaxQueue))
+	res.Mem = CaptureMem()
 	return t, res, nil
 }
 

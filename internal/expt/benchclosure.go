@@ -35,6 +35,8 @@ type ClosureMixBench struct {
 type ClosureBench struct {
 	Timer string            `json:"timer"`
 	Mixes []ClosureMixBench `json:"mixes"`
+
+	Mem MemStats `json:"mem"`
 }
 
 // BenchClosure measures the closure flow end to end per transform mix: the
@@ -111,5 +113,6 @@ func BenchClosure(e *Env) (*report.Table, *ClosureBench, error) {
 			fmt.Sprintf("%.1f", m.TransformsPerSec), fmt.Sprintf("%.3f", m.RecalShare))
 	}
 	t.AddNote("recal share is calibrator wall time over flow wall time; retimes force a session rebuild + calibrator rebind each")
+	res.Mem = CaptureMem()
 	return t, res, nil
 }

@@ -37,6 +37,8 @@ type XStageBench struct {
 	Design string            `json:"design"`
 	Gates  int               `json:"gates"`
 	Pairs  []XStagePairBench `json:"pairs"`
+
+	Mem MemStats `json:"mem"`
 }
 
 // BenchXStage times a cold calibration of the D3 stand-in under each
@@ -122,5 +124,6 @@ func BenchXStage(e *Env) (*report.Table, *XStageBench, error) {
 	}
 	t.AddNote("mse in 1e-3; optimism counts paths whose model slack beats golden beyond the eps guard")
 	t.AddNote("the preroute pair fits against a deterministically routed twin and must end with zero mgba optimism")
+	res.Mem = CaptureMem()
 	return t, res, nil
 }

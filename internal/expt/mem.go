@@ -1,0 +1,26 @@
+package expt
+
+import "runtime"
+
+// MemStats snapshots the process memory state and scheduler width for a
+// bench artifact. Every BENCH_*.json embeds one (taken as the benchmark
+// returns), so artifact diffs across commits carry the memory context the
+// timings were measured under.
+type MemStats struct {
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64 `json:"heap_sys_bytes"`
+	SysBytes       uint64 `json:"sys_bytes"`
+	GOMAXPROCS     int    `json:"gomaxprocs"`
+}
+
+// CaptureMem reads the runtime memory statistics into a MemStats.
+func CaptureMem() MemStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return MemStats{
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		SysBytes:       ms.Sys,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+	}
+}

@@ -1,0 +1,149 @@
+package gen
+
+import (
+	"testing"
+
+	"mgba/internal/engine"
+	"mgba/internal/graph"
+	"mgba/internal/sta"
+)
+
+// domainConfig is a small multi-domain design for the clock properties.
+func domainConfig(domains int, seed uint64) Config {
+	c := Toy()
+	c.Name = "domains"
+	c.Seed = seed
+	c.Gates, c.FFs = 800, 120
+	c.ClockDomains = domains
+	c.FFsPerLeaf = 16
+	return c
+}
+
+// TestClockDomainsProperties is the multi-domain clock contract between
+// gen and graph.ClockIndex: flip-flops group by clock leaf exactly as
+// their CK nets say, the precomputed shared-prefix table matches a brute
+// recomputation from the chains, chains of different domains share no
+// buffer, and the engine's CRPR credit is therefore exactly zero across
+// domains while staying positive within a leaf.
+func TestClockDomainsProperties(t *testing.T) {
+	for _, domains := range []int{2, 3, 4} {
+		for _, seed := range []uint64{7, 19} {
+			d, err := Generate(domainConfig(domains, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := graph.Build(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ci := g.ClockIndex()
+
+			// Leaf grouping: same CK net <=> same leaf id.
+			leafOfNet := make(map[int]int32)
+			for fi, ffID := range d.FFs {
+				ck := d.Instances[ffID].Clock
+				if prev, ok := leafOfNet[ck]; ok {
+					if prev != ci.LeafOfFF[fi] {
+						t.Fatalf("domains=%d seed=%d: CK net %d maps to leaves %d and %d",
+							domains, seed, ck, prev, ci.LeafOfFF[fi])
+					}
+				} else {
+					leafOfNet[ck] = ci.LeafOfFF[fi]
+				}
+			}
+			seenLeaf := make(map[int32]int)
+			for ck, leaf := range leafOfNet {
+				if prev, ok := seenLeaf[leaf]; ok {
+					t.Fatalf("domains=%d seed=%d: leaf %d claimed by CK nets %d and %d",
+						domains, seed, leaf, prev, ck)
+				}
+				seenLeaf[leaf] = ck
+			}
+
+			// Shared-prefix table vs brute recomputation over the chains.
+			brute := func(a, b []int32) int {
+				n := 0
+				for n < len(a) && n < len(b) && a[n] == b[n] {
+					n++
+				}
+				return n
+			}
+			nl := ci.NumLeaves()
+			for a := 0; a < nl; a++ {
+				for b := 0; b < nl; b++ {
+					if got, want := ci.CommonLen(a, b), brute(ci.Chains[a], ci.Chains[b]); got != want {
+						t.Fatalf("domains=%d seed=%d: CommonLen(%d,%d)=%d, brute %d",
+							domains, seed, a, b, got, want)
+					}
+				}
+			}
+
+			// Domain separation: FFs are assigned round-robin by creation
+			// order, so fi%domains is the domain; cross-domain chains must
+			// share nothing, same-domain chains share at least the 3-buffer
+			// domain repeater chain.
+			cfg := sta.DefaultConfig()
+			r := engine.NewSession(g).Run(cfg)
+			crossChecked, sameChecked := 0, 0
+			for fi := range d.FFs {
+				for fj := fi + 1; fj < len(d.FFs); fj++ {
+					la, lb := int(ci.LeafOfFF[fi]), int(ci.LeafOfFF[fj])
+					if fi%domains != fj%domains {
+						if n := ci.CommonLen(la, lb); n != 0 {
+							t.Fatalf("domains=%d seed=%d: cross-domain FFs %d,%d share %d clock buffers",
+								domains, seed, fi, fj, n)
+						}
+						if c := r.CRPRCredit(fi, fj); c != 0 {
+							t.Fatalf("domains=%d seed=%d: cross-domain CRPR credit %v != 0",
+								domains, seed, c)
+						}
+						crossChecked++
+					} else if la == lb {
+						if n := ci.CommonLen(la, lb); n != len(ci.Chains[la]) {
+							t.Fatalf("domains=%d seed=%d: self prefix %d != chain depth %d",
+								domains, seed, n, len(ci.Chains[la]))
+						}
+						if c := r.CRPRCredit(fi, fj); c <= 0 {
+							t.Fatalf("domains=%d seed=%d: same-leaf CRPR credit %v not positive",
+								domains, seed, c)
+						}
+						sameChecked++
+					} else if n := ci.CommonLen(la, lb); n < 3 {
+						t.Fatalf("domains=%d seed=%d: same-domain leaves %d,%d share only %d buffers (< repeater chain)",
+							domains, seed, la, lb, n)
+					}
+				}
+			}
+			if crossChecked == 0 || sameChecked == 0 {
+				t.Fatalf("domains=%d seed=%d: degenerate coverage (cross=%d same=%d)",
+					domains, seed, crossChecked, sameChecked)
+			}
+		}
+	}
+}
+
+// TestSingleDomainUnchanged pins backward compatibility: ClockDomains <= 1
+// with FFsPerLeaf unset must produce the identical design to a config
+// that predates the knobs.
+func TestSingleDomainUnchanged(t *testing.T) {
+	a, err := Generate(Toy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Toy()
+	cfg.ClockDomains = 1
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Instances) != len(b.Instances) || len(a.Nets) != len(b.Nets) || a.ClockPeriod != b.ClockPeriod {
+		t.Fatalf("ClockDomains=1 changed the design: %d/%d insts, %d/%d nets, period %v/%v",
+			len(a.Instances), len(b.Instances), len(a.Nets), len(b.Nets), a.ClockPeriod, b.ClockPeriod)
+	}
+	for i, in := range a.Instances {
+		bi := b.Instances[i]
+		if in.Cell.Name != bi.Cell.Name || in.X != bi.X || in.Y != bi.Y {
+			t.Fatalf("instance %d differs", i)
+		}
+	}
+}

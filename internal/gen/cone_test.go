@@ -72,7 +72,7 @@ func TestConeModeDepthsClustered(t *testing.T) {
 	deep := 0
 	total := 0
 	for fi, ffID := range d.FFs {
-		if len(g.Fanin[ffID]) == 0 {
+		if len(g.Fanin(ffID)) == 0 {
 			continue
 		}
 		p := an.WorstPath(fi)

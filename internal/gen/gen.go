@@ -67,6 +67,20 @@ type Config struct {
 	ConeMode bool
 	ShareP   float64
 	JoinP    float64
+
+	// ClockDomains, when >= 2, builds that many independent clock subtrees
+	// diverging at the clock root net: flip-flops are assigned to domains
+	// round-robin by creation order, and launch/capture pairs in different
+	// domains share no clock buffers (zero CRPR credit). <= 1 keeps the
+	// historical single quadrant tree, bit-identical to older configs.
+	ClockDomains int
+
+	// FFsPerLeaf sets the clock tree's leaf-buffer density — one leaf
+	// buffer per this many flip-flops, on a regular die-covering grid whose
+	// containing cell gives the nearest leaf in O(1). 0 keeps the
+	// historical per-quadrant grid with its linear-scan hookup. Setting
+	// either this or ClockDomains >= 2 selects the grid layout.
+	FFsPerLeaf int
 }
 
 // Validate reports the first problem with the configuration.
@@ -88,6 +102,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("gen: ShareP outside [0,1]")
 	case c.JoinP < 0 || c.JoinP > 1:
 		return fmt.Errorf("gen: JoinP outside [0,1]")
+	case c.ClockDomains < 0 || c.ClockDomains > 16:
+		return fmt.Errorf("gen: ClockDomains outside [0,16]")
+	case c.FFsPerLeaf < 0:
+		return fmt.Errorf("gen: FFsPerLeaf must be >= 0")
 	}
 	return nil
 }
@@ -103,7 +121,13 @@ func Generate(cfg Config) (*netlist.Design, error) {
 
 	die := math.Sqrt(float64(cfg.Gates+cfg.FFs) * cfg.AreaPerGate)
 
-	clkNets, err := buildClockTree(d, r, die, cfg.FFs)
+	var clkNets *clockNets
+	var err error
+	if cfg.ClockDomains >= 2 || cfg.FFsPerLeaf > 0 {
+		clkNets, err = buildClockForest(d, die, cfg.FFs, cfg.ClockDomains, cfg.FFsPerLeaf)
+	} else {
+		clkNets, err = buildClockTree(d, r, die, cfg.FFs)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +147,7 @@ func Generate(cfg Config) (*netlist.Design, error) {
 		x, y := r.Float64()*die, r.Float64()*die
 		dNet := d.AddNet()
 		qNet := d.AddNet()
-		clk := clkNets.nearest(x, y)
+		clk := clkNets.leafFor(i, x, y)
 		ff, err := d.AddFF(ffCell, x, y, dNet, qNet, clk)
 		if err != nil {
 			return nil, err
@@ -512,11 +536,18 @@ func generateCones(cfg Config, d *netlist.Design, r *rng.Rand, lib *cells.Librar
 	return nil
 }
 
-// clockNets locates the leaf clock nets for nearest-leaf FF hookup.
+// clockNets locates the leaf clock nets for nearest-leaf FF hookup. The
+// historical tree fills only nets/xs/ys and scans linearly; the forest
+// layout additionally sets domains/gridN/die and answers in O(1) from the
+// regular leaf grid.
 type clockNets struct {
 	nets []int
 	xs   []float64
 	ys   []float64
+
+	domains int     // 0 for the historical tree
+	gridN   int     // leaves per domain are a gridN x gridN die cover
+	die     float64 // die edge, for grid-cell lookup
 }
 
 func (c *clockNets) nearest(x, y float64) int {
@@ -529,6 +560,29 @@ func (c *clockNets) nearest(x, y float64) int {
 		}
 	}
 	return best
+}
+
+// leafFor returns the clock leaf net for flip-flop ffIdx at (x, y):
+// the nearest leaf of the FF's round-robin domain in forest layouts, the
+// historical nearest-of-all scan otherwise. On a regular grid the leaf of
+// the containing cell is never farther than any other cell's leaf (per
+// axis, |x-own| <= cell/2 <= |x-other|), so the lookup is exact.
+func (c *clockNets) leafFor(ffIdx int, x, y float64) int {
+	if c.domains == 0 {
+		return c.nearest(x, y)
+	}
+	dom := ffIdx % c.domains
+	cell := func(v float64) int {
+		g := int(v / c.die * float64(c.gridN))
+		if g < 0 {
+			g = 0
+		}
+		if g >= c.gridN {
+			g = c.gridN - 1
+		}
+		return g
+	}
+	return c.nets[(dom*c.gridN+cell(x))*c.gridN+cell(y)]
 }
 
 // buildClockTree creates a three-level tree — root buffer, four quadrant
@@ -589,6 +643,110 @@ func buildClockTree(d *netlist.Design, r *rng.Rand, die float64, nFFs int) (*clo
 		}
 	}
 	return leaves, nil
+}
+
+// buildClockForest creates one independent clock subtree per domain, all
+// diverging at the shared root net: a per-domain repeater chain at the die
+// center, four quadrant spines, and a regular gridN x gridN leaf grid
+// covering the whole die (domains overlap spatially, as real multi-domain
+// floorplans do). Chains of different domains share no buffer, so the CRPR
+// common prefix across domains is zero. Leaf density follows ffsPerLeaf;
+// construction and hookup are O(gates), which is what lets the scale
+// configs stay memory- and time-lean.
+func buildClockForest(d *netlist.Design, die float64, nFFs, domains, ffsPerLeaf int) (*clockNets, error) {
+	if domains < 1 {
+		domains = 1
+	}
+	if ffsPerLeaf <= 0 {
+		ffsPerLeaf = 8
+	}
+	root := d.AddNet()
+	if err := d.SetClockRoot(root); err != nil {
+		return nil, err
+	}
+	cb, err := d.Lib.Pick(cells.ClkBuf, 4)
+	if err != nil {
+		return nil, err
+	}
+	cbLeaf, err := d.Lib.Pick(cells.ClkBuf, 2)
+	if err != nil {
+		return nil, err
+	}
+	perDomain := (nFFs + domains - 1) / domains
+	wantLeaves := (perDomain + ffsPerLeaf - 1) / ffsPerLeaf
+	gridN := int(math.Max(1, math.Ceil(math.Sqrt(float64(wantLeaves)))))
+	leaves := &clockNets{domains: domains, gridN: gridN, die: die}
+	for dom := 0; dom < domains; dom++ {
+		cur := root
+		for i := 0; i < 3; i++ {
+			next := d.AddNet()
+			if _, err := d.AddGate(cb, die/2, die/2, []int{cur}, next); err != nil {
+				return nil, err
+			}
+			cur = next
+		}
+		var quadOut [2][2]int
+		for qx := 0; qx < 2; qx++ {
+			for qy := 0; qy < 2; qy++ {
+				quadX := (float64(qx)*2 + 1) * die / 4
+				quadY := (float64(qy)*2 + 1) * die / 4
+				quadIn := d.AddNet()
+				if _, err := d.AddGate(cb, (die/2+quadX)/2, (die/2+quadY)/2, []int{cur}, quadIn); err != nil {
+					return nil, err
+				}
+				quadOut[qx][qy] = d.AddNet()
+				if _, err := d.AddGate(cb, quadX, quadY, []int{quadIn}, quadOut[qx][qy]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Leaf order is gx-major then gy, matching leafFor's index math.
+		for gx := 0; gx < gridN; gx++ {
+			for gy := 0; gy < gridN; gy++ {
+				lx := (float64(gx) + 0.5) / float64(gridN) * die
+				ly := (float64(gy) + 0.5) / float64(gridN) * die
+				qx, qy := 0, 0
+				if lx >= die/2 {
+					qx = 1
+				}
+				if ly >= die/2 {
+					qy = 1
+				}
+				leafOut := d.AddNet()
+				if _, err := d.AddGate(cbLeaf, lx, ly, []int{quadOut[qx][qy]}, leafOut); err != nil {
+					return nil, err
+				}
+				leaves.nets = append(leaves.nets, leafOut)
+				leaves.xs = append(leaves.xs, lx)
+				leaves.ys = append(leaves.ys, ly)
+			}
+		}
+	}
+	return leaves, nil
+}
+
+// Large returns the scale-layer design family: cone-structured designs of
+// 100k to 1M gates with three clock domains and a leaf grid dense enough
+// that the per-leaf CRPR credit matrix stays small. Generation is
+// O(gates); pair with Options.StreamShard so calibration memory stays
+// bounded by one endpoint shard.
+func Large(gates int) Config {
+	return Config{
+		Name:         fmt.Sprintf("large-%dk", gates/1000),
+		Seed:         77001 + uint64(gates),
+		Node:         28,
+		Gates:        gates,
+		FFs:          gates / 10,
+		MaxLevel:     12,
+		AreaPerGate:  30,
+		ViolateFrac:  0.10,
+		DepthCap:     0.05,
+		ConeMode:     true,
+		JoinP:        0.04,
+		ShareP:       0.03,
+		ClockDomains: 3,
+		FFsPerLeaf:   64,
+	}
 }
 
 // Toy returns the small design of the paper's §3.2 study: about 1.4k

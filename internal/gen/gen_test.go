@@ -140,11 +140,11 @@ func TestDepthDiversity(t *testing.T) {
 		if d.Instances[v].IsFF() {
 			continue
 		}
-		if dp.GBA[v] < minD {
-			minD = dp.GBA[v]
+		if int(dp.GBA[v]) < minD {
+			minD = int(dp.GBA[v])
 		}
-		if dp.GBA[v] > maxD {
-			maxD = dp.GBA[v]
+		if int(dp.GBA[v]) > maxD {
+			maxD = int(dp.GBA[v])
 		}
 	}
 	if maxD-minD < 5 {

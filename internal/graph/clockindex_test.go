@@ -30,7 +30,7 @@ func TestClockIndexLeafGrouping(t *testing.T) {
 		t.Fatalf("LeafOfFF size %d, want %d", len(ci.LeafOfFF), len(g.D.FFs))
 	}
 	// FFs sharing a clock net must share a leaf id and hence a chain.
-	byNet := map[int]int{}
+	byNet := map[int]int32{}
 	for fi, ffID := range g.D.FFs {
 		net := g.D.Instances[ffID].Clock
 		if prev, ok := byNet[net]; ok {
@@ -51,14 +51,14 @@ func TestClockIndexCommonSymmetricAndBounded(t *testing.T) {
 	ci := g.ClockIndex()
 	n := len(ci.Chains)
 	for a := 0; a < n; a++ {
-		if ci.Common[a][a] != len(ci.Chains[a]) {
-			t.Fatalf("self common %d != chain length %d", ci.Common[a][a], len(ci.Chains[a]))
+		if ci.CommonLen(a, a) != len(ci.Chains[a]) {
+			t.Fatalf("self common %d != chain length %d", ci.CommonLen(a, a), len(ci.Chains[a]))
 		}
 		for b := 0; b < n; b++ {
-			if ci.Common[a][b] != ci.Common[b][a] {
+			if ci.CommonLen(a, b) != ci.CommonLen(b, a) {
 				t.Fatal("common prefix not symmetric")
 			}
-			if ci.Common[a][b] > len(ci.Chains[a]) || ci.Common[a][b] > len(ci.Chains[b]) {
+			if ci.CommonLen(a, b) > len(ci.Chains[a]) || ci.CommonLen(a, b) > len(ci.Chains[b]) {
 				t.Fatal("common prefix exceeds a chain length")
 			}
 		}
@@ -74,7 +74,7 @@ func TestClockIndexMatchesCommonClockDepth(t *testing.T) {
 				break // spot check a few pairs
 			}
 			want := g.CommonClockDepth(fi, fj)
-			got := ci.Common[ci.LeafOfFF[fi]][ci.LeafOfFF[fj]]
+			got := ci.CommonLen(int(ci.LeafOfFF[fi]), int(ci.LeafOfFF[fj]))
 			if got != want {
 				t.Fatalf("pair (%d,%d): index common %d, chain walk %d", fi, fj, got, want)
 			}
@@ -89,11 +89,11 @@ func TestClockIndexLaunchLeavesSound(t *testing.T) {
 	// and every reported leaf id must be valid.
 	for fi, ffID := range g.D.FFs {
 		leaves := ci.LaunchLeaves[fi]
-		if len(g.Fanin[ffID]) > 0 && len(leaves) == 0 {
+		if len(g.Fanin(ffID)) > 0 && len(leaves) == 0 {
 			t.Fatalf("endpoint %d has fanin but no launch leaves", fi)
 		}
 		for _, leaf := range leaves {
-			if leaf < 0 || leaf >= len(ci.Chains) {
+			if leaf < 0 || int(leaf) >= len(ci.Chains) {
 				t.Fatalf("endpoint %d: leaf id %d out of range", fi, leaf)
 			}
 		}

@@ -1,0 +1,10 @@
+package graph
+
+// SetIndexLimitForTest lowers the int32 index ceiling so the overflow
+// error path can be exercised without building 2^31 objects. It returns a
+// func restoring the real limit.
+func SetIndexLimitForTest(v int64) (restore func()) {
+	old := indexLimit
+	indexLimit = v
+	return func() { indexLimit = old }
+}

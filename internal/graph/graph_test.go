@@ -30,23 +30,23 @@ func TestBuildFig2(t *testing.T) {
 		t.Fatalf("topo covers %d of %d", len(g.Topo), len(d.Instances))
 	}
 	// g4 must have two fanins (g3 and h).
-	if n := len(g.Fanin[info.Gates[3]]); n != 2 {
+	if n := len(g.Fanin(info.Gates[3])); n != 2 {
 		t.Fatalf("g4 fanin = %d, want 2", n)
 	}
 	// g4 fans out to g5 and k.
-	if n := len(g.Fanout[info.Gates[3]]); n != 2 {
+	if n := len(g.Fanout(info.Gates[3])); n != 2 {
 		t.Fatalf("g4 fanout = %d, want 2", n)
 	}
 }
 
 func TestTopoOrderRespected(t *testing.T) {
-	_, _, g := fig2(t)
-	pos := make(map[int]int, len(g.Topo))
+	d, _, g := fig2(t)
+	pos := make(map[int32]int, len(g.Topo))
 	for i, v := range g.Topo {
 		pos[v] = i
 	}
-	for v, edges := range g.Fanout {
-		for _, e := range edges {
+	for v := range d.Instances {
+		for _, e := range g.Fanout(v) {
 			if g.D.Instances[e.To].IsFF() {
 				continue
 			}
@@ -81,7 +81,7 @@ func TestFFIndex(t *testing.T) {
 func TestFig2GBADepths(t *testing.T) {
 	_, info, g := fig2(t)
 	dp := g.ComputeDepths()
-	want := [6]int{5, 5, 5, 3, 4, 4}
+	want := [6]int32{5, 5, 5, 3, 4, 4}
 	for i, id := range info.Gates {
 		if dp.GBA[id] != want[i] {
 			t.Errorf("g%d GBA depth = %d, want %d", i+1, dp.GBA[id], want[i])
@@ -94,8 +94,8 @@ func TestFig2PrefixSuffix(t *testing.T) {
 	dp := g.ComputeDepths()
 	// Prefixes along the main path: 1,2,3 then the FF2 shortcut makes g4's
 	// prefix 2, so 2,3,4 follow.
-	wantPre := [6]int{1, 2, 3, 2, 3, 4}
-	wantSuf := [6]int{5, 4, 3, 2, 2, 1}
+	wantPre := [6]int32{1, 2, 3, 2, 3, 4}
+	wantSuf := [6]int32{5, 4, 3, 2, 2, 1}
 	for i, id := range info.Gates {
 		if dp.MinPrefix[id] != wantPre[i] {
 			t.Errorf("g%d MinPrefix = %d, want %d", i+1, dp.MinPrefix[id], wantPre[i])
@@ -174,10 +174,10 @@ func TestClockChainsAndCommonDepth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(g.ClockChain[0]) != 2 || g.ClockChain[0][0] != rootBuf.ID || g.ClockChain[0][1] != bufA.ID {
+	if len(g.ClockChain[0]) != 2 || g.ClockChain[0][0] != int32(rootBuf.ID) || g.ClockChain[0][1] != int32(bufA.ID) {
 		t.Fatalf("chain0 = %v", g.ClockChain[0])
 	}
-	if len(g.ClockChain[1]) != 2 || g.ClockChain[1][1] != bufB.ID {
+	if len(g.ClockChain[1]) != 2 || g.ClockChain[1][1] != int32(bufB.ID) {
 		t.Fatalf("chain1 = %v", g.ClockChain[1])
 	}
 	if got := g.CommonClockDepth(0, 1); got != 1 {

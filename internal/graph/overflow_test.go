@@ -1,0 +1,62 @@
+package graph_test
+
+import (
+	"strings"
+	"testing"
+
+	"mgba/internal/aocv"
+	"mgba/internal/cells"
+	"mgba/internal/fixtures"
+	"mgba/internal/graph"
+	"mgba/internal/netlist"
+)
+
+// The int32 index contract (DESIGN.md §11): a design whose instance, net
+// or edge count exceeds the ceiling must be rejected with an error, never
+// silently wrapped into corrupt indices.
+func TestBuildRejectsInstanceOverflow(t *testing.T) {
+	d, _, _, err := fixtures.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := graph.SetIndexLimitForTest(4) // below the 12-instance fixture
+	if _, err := graph.Build(d); err == nil || !strings.Contains(err.Error(), "int32 index ceiling") {
+		t.Fatalf("instance overflow not rejected: %v", err)
+	}
+	restore()
+	if _, err := graph.Build(d); err != nil {
+		t.Fatalf("build fails at the real limit: %v", err)
+	}
+}
+
+func TestBuildRejectsEdgeOverflow(t *testing.T) {
+	// Two cross-coupled FFs fanning out to five 2-input gates: 12 data
+	// edges (10 gate fanins + 2 FF-to-FF transfers) from 7 instances and 8
+	// nets, so a limit of 8 admits the instance and net counts but must
+	// trip on the edges.
+	lib := cells.Default(28)
+	d := netlist.New("wide", 28, lib, aocv.Default(28), 1000)
+	clk := d.AddNet()
+	d.SetClockRoot(clk)
+	ffc, _ := lib.Pick(cells.DFF, 1)
+	q0, q1 := d.AddNet(), d.AddNet()
+	d.AddFF(ffc, 0, 0, q1, q0, clk)
+	d.AddFF(ffc, 1, 0, q0, q1, clk)
+	gate, _ := lib.Pick(cells.Nand2, 1)
+	for i := 0; i < 5; i++ {
+		out := d.AddNet()
+		d.AddGate(gate, float64(i), 1, []int{q0, q1}, out)
+	}
+	restore := graph.SetIndexLimitForTest(int64(len(d.Nets)))
+	if _, err := graph.Build(d); err == nil || !strings.Contains(err.Error(), "data edges") {
+		t.Fatalf("edge overflow not rejected: %v", err)
+	}
+	restore()
+	g, err := graph.Build(d)
+	if err != nil {
+		t.Fatalf("build fails at the real limit: %v", err)
+	}
+	if g.NumEdges() != 12 {
+		t.Fatalf("edge count = %d, want 12", g.NumEdges())
+	}
+}

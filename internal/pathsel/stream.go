@@ -1,0 +1,102 @@
+package pathsel
+
+import (
+	"mgba/internal/pba"
+)
+
+// Shard is one contiguous run of endpoints handed to a streaming consumer:
+// the endpoints (D.FFs positions, FF order) and their enumerated path
+// groups, exactly as Enumerate would have produced for those positions.
+// The groups are owned by the consumer and become garbage once the
+// callback returns — that is the point: peak memory is one shard.
+type Shard struct {
+	Start     int   // position of Endpoints[0] in the full FF-order endpoint list
+	Endpoints []int // D.FFs positions; parallel to Groups
+	Groups    [][]*pba.Path
+}
+
+// EnumerateStream enumerates the violated-path population shard by shard
+// instead of materializing it whole: endpoints are processed in FF order
+// in runs of shardSize (<= 0 means one shard), each run fanned across
+// workers exactly as Enumerate fans the full list. Per-endpoint searches
+// are independent and slot-written by position, so the concatenation of
+// the streamed groups is bit-identical to Enumerate's at every
+// Parallelism setting — the equivalence tests pin this.
+//
+// fn is called once per shard, in order, on the caller's goroutine. A
+// non-nil error stops the stream and is returned.
+func EnumerateStream(a *pba.Analyzer, capPerEndpoint, shardSize int, fn func(*Shard) error) error {
+	zero := 0.0
+	eps := a.EndpointIndices()
+	if shardSize <= 0 || shardSize > len(eps) {
+		shardSize = len(eps)
+	}
+	for lo := 0; lo < len(eps); lo += shardSize {
+		hi := lo + shardSize
+		if hi > len(eps) {
+			hi = len(eps)
+		}
+		groups := a.KWorstAll(eps[lo:hi], capPerEndpoint, &zero, a.R.Cfg.Parallelism)
+		if err := fn(&Shard{Start: lo, Endpoints: eps[lo:hi], Groups: groups}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bank is the slab-backed form of a per-endpoint grouped path population:
+// the same information as Population's [][]*pba.Path, held in one
+// pba.PathStore plus a group-offset arena. It is built shard by shard
+// (AppendShard) and never holds pointer-form paths.
+type Bank struct {
+	Store     *pba.PathStore
+	endpoints []int
+	groupOff  []int32 // per group: start index into Store; len = len(endpoints)+1
+}
+
+// NewBank returns an empty bank, optionally pre-sized for n endpoints.
+func NewBank(n int) *Bank {
+	b := &Bank{Store: pba.NewPathStore(0, 0)}
+	if n > 0 {
+		b.endpoints = make([]int, 0, n)
+		b.groupOff = make([]int32, 1, n+1)
+	} else {
+		b.groupOff = append(b.groupOff, 0)
+	}
+	return b
+}
+
+// AppendShard encodes a shard's groups into the bank. Shards must arrive
+// in stream order.
+func (b *Bank) AppendShard(sh *Shard) error {
+	for gi, g := range sh.Groups {
+		for _, p := range g {
+			if err := b.Store.Append(p); err != nil {
+				return err
+			}
+		}
+		b.endpoints = append(b.endpoints, sh.Endpoints[gi])
+		b.groupOff = append(b.groupOff, int32(b.Store.Len()))
+	}
+	return nil
+}
+
+// Total returns the number of stored paths.
+func (b *Bank) Total() int { return b.Store.Len() }
+
+// NumGroups returns the number of endpoint groups.
+func (b *Bank) NumGroups() int { return len(b.endpoints) }
+
+// Endpoints returns the endpoint (D.FFs) positions, parallel to groups.
+// Shared storage; callers must not modify.
+func (b *Bank) Endpoints() []int { return b.endpoints }
+
+// Group returns the [lo, hi) store-index range of group gi.
+func (b *Bank) Group(gi int) (lo, hi int) {
+	return int(b.groupOff[gi]), int(b.groupOff[gi+1])
+}
+
+// SizeBytes returns the retained byte footprint of the bank's slabs.
+func (b *Bank) SizeBytes() int64 {
+	return b.Store.SizeBytes() + 8*int64(cap(b.endpoints)) + 4*int64(cap(b.groupOff))
+}

@@ -1,0 +1,141 @@
+package pathsel_test
+
+import (
+	"errors"
+	"testing"
+
+	"mgba/internal/gen"
+	"mgba/internal/graph"
+	"mgba/internal/pathsel"
+	"mgba/internal/pba"
+	"mgba/internal/sta"
+)
+
+func streamAnalyzer(t *testing.T, parallelism int) *pba.Analyzer {
+	t.Helper()
+	cfg := gen.Toy()
+	cfg.Gates, cfg.FFs = 500, 70
+	cfg.Name = "stream"
+	d, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sta.DefaultConfig()
+	sc.Parallelism = parallelism
+	return pba.NewAnalyzer(sta.Analyze(g, sc))
+}
+
+// The streamed shards, concatenated, must reproduce the materialized
+// population bit-exactly — same endpoints, same groups, same path order,
+// same floats — at every shard size and Parallelism.
+func TestEnumerateStreamBitIdentical(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		a := streamAnalyzer(t, par)
+		pop := pathsel.Enumerate(a, 25)
+		for _, shardSize := range []int{1, 3, 16, 0} {
+			var eps []int
+			var groups [][]*pba.Path
+			err := pathsel.EnumerateStream(a, 25, shardSize, func(sh *pathsel.Shard) error {
+				if sh.Start != len(eps) {
+					t.Fatalf("shard start %d, expected %d", sh.Start, len(eps))
+				}
+				eps = append(eps, sh.Endpoints...)
+				groups = append(groups, sh.Groups...)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantEps := pop.Endpoints()
+			wantGroups := pop.Groups()
+			if len(eps) != len(wantEps) || len(groups) != len(wantGroups) {
+				t.Fatalf("par %d shard %d: %d endpoints, want %d", par, shardSize, len(eps), len(wantEps))
+			}
+			for i := range eps {
+				if eps[i] != wantEps[i] {
+					t.Fatalf("par %d shard %d: endpoint %d differs", par, shardSize, i)
+				}
+				if len(groups[i]) != len(wantGroups[i]) {
+					t.Fatalf("par %d shard %d: group %d size %d, want %d",
+						par, shardSize, i, len(groups[i]), len(wantGroups[i]))
+				}
+				for j, p := range groups[i] {
+					w := wantGroups[i][j]
+					if p.Launch != w.Launch || p.Capture != w.Capture ||
+						p.GBAArrival != w.GBAArrival || p.GBASlack != w.GBASlack {
+						t.Fatalf("par %d shard %d: path (%d,%d) differs", par, shardSize, i, j)
+					}
+					for k := range p.Cells {
+						if p.Cells[k] != w.Cells[k] {
+							t.Fatalf("par %d shard %d: cells differ at (%d,%d,%d)", par, shardSize, i, j, k)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEnumerateStreamStopsOnError(t *testing.T) {
+	a := streamAnalyzer(t, 1)
+	boom := errors.New("boom")
+	calls := 0
+	err := pathsel.EnumerateStream(a, 25, 2, func(sh *pathsel.Shard) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 1 {
+		t.Fatalf("stream continued after error (%d calls)", calls)
+	}
+}
+
+// A bank built shard by shard must hold the same population as the
+// materialized groups, decodable bit-exactly.
+func TestBankMatchesPopulation(t *testing.T) {
+	a := streamAnalyzer(t, 1)
+	pop := pathsel.Enumerate(a, 25)
+	bank := pathsel.NewBank(0)
+	err := pathsel.EnumerateStream(a, 25, 4, func(sh *pathsel.Shard) error {
+		return bank.AppendShard(sh)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bank.Total() != pop.Total() {
+		t.Fatalf("bank holds %d paths, population %d", bank.Total(), pop.Total())
+	}
+	if bank.NumGroups() != len(pop.Groups()) {
+		t.Fatalf("bank groups %d, population %d", bank.NumGroups(), len(pop.Groups()))
+	}
+	var buf pba.Path
+	idx := 0
+	for gi, g := range pop.Groups() {
+		lo, hi := bank.Group(gi)
+		if hi-lo != len(g) {
+			t.Fatalf("group %d: bank size %d, want %d", gi, hi-lo, len(g))
+		}
+		if bank.Endpoints()[gi] != pop.Endpoints()[gi] {
+			t.Fatalf("group %d: endpoint differs", gi)
+		}
+		for _, w := range g {
+			got := bank.Store.PathInto(&buf, idx)
+			if got.Launch != w.Launch || got.Capture != w.Capture ||
+				got.GBAArrival != w.GBAArrival || got.GBASlack != w.GBASlack {
+				t.Fatalf("path %d differs", idx)
+			}
+			for k := range w.Cells {
+				if got.Cells[k] != w.Cells[k] {
+					t.Fatalf("path %d cell %d differs", idx, k)
+				}
+			}
+			idx++
+		}
+	}
+}

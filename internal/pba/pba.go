@@ -235,10 +235,10 @@ func (a *Analyzer) kWorst(sc *enumScratch, captureIdx, k int, stopAtSlack *float
 	budget := a.Budget(captureIdx)
 
 	h := &sc.heap
-	for _, e := range r.G.Fanin[ffID] {
+	for _, e := range r.G.Fanin(ffID) {
 		s := sc.arena.alloc()
 		*s = searchState{
-			inst: e.From,
+			inst: int(e.From),
 			tail: r.WireDelay[e.From],
 		}
 		s.bound = r.ArrivalOut[e.From] + s.tail
@@ -268,10 +268,10 @@ func (a *Analyzer) kWorst(sc *enumScratch, captureIdx, k int, stopAtSlack *float
 			})
 			continue
 		}
-		for _, e := range r.G.Fanin[s.inst] {
+		for _, e := range r.G.Fanin(s.inst) {
 			ns := sc.arena.alloc()
 			*ns = searchState{
-				inst:   e.From,
+				inst:   int(e.From),
 				tail:   s.tail + r.CellDelay[s.inst] + r.WireDelay[e.From],
 				parent: s,
 			}
@@ -292,7 +292,7 @@ func (a *Analyzer) EndpointIndices() []int {
 	g := a.R.G
 	out := make([]int, 0, len(g.D.FFs))
 	for fi, id := range g.D.FFs {
-		if len(g.Fanin[id]) > 0 {
+		if len(g.Fanin(id)) > 0 {
 			out = append(out, fi)
 		}
 	}

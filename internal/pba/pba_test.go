@@ -189,7 +189,7 @@ func TestWorstPathMatchesGraphArrival(t *testing.T) {
 	r := sta.Analyze(g, sta.DefaultConfig())
 	a := pba.NewAnalyzer(r)
 	for fi, ffID := range d.FFs {
-		if len(g.Fanin[ffID]) == 0 {
+		if len(g.Fanin(ffID)) == 0 {
 			continue
 		}
 		p := a.WorstPath(fi)
@@ -246,8 +246,8 @@ func TestPathsAreContiguous(t *testing.T) {
 			}
 			for i := 1; i < len(p.Cells); i++ {
 				found := false
-				for _, e := range g.Fanout[p.Cells[i-1]] {
-					if e.To == p.Cells[i] {
+				for _, e := range g.Fanout(p.Cells[i-1]) {
+					if int(e.To) == p.Cells[i] {
 						found = true
 						break
 					}
@@ -258,8 +258,8 @@ func TestPathsAreContiguous(t *testing.T) {
 			}
 			// Last cell must feed the capture FF.
 			found := false
-			for _, e := range g.Fanout[p.Cells[len(p.Cells)-1]] {
-				if e.To == p.Capture {
+			for _, e := range g.Fanout(p.Cells[len(p.Cells)-1]) {
+				if int(e.To) == p.Capture {
 					found = true
 					break
 				}

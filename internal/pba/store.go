@@ -1,0 +1,119 @@
+package pba
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PathStore is a slab-backed layout for large path populations. The
+// pointer-rich *Path representation costs ~180 bytes per path at typical
+// depths (Path header in its size class, a Cells slice, the pointer into
+// the group slice); at the million-path scale that alone dominates heap.
+// The store keeps the same information in flat arenas:
+//
+//   - cell IDs as zigzag-varint deltas in one shared byte slab — cell IDs
+//     along a path are consecutive instance IDs more often than not, so
+//     deltas are short and most encode in one byte;
+//   - one uint32 slab offset, an int32 capture ID and the two float64
+//     timing fields per path.
+//
+// Appended paths decode bit-exactly: cell order, launch/capture IDs and
+// the GBA floats round-trip unchanged. The store is append-only and not
+// safe for concurrent mutation; concurrent readers are fine once writes
+// stop.
+type PathStore struct {
+	cellData []byte   // zigzag-varint: absolute first cell, then deltas
+	cellOff  []uint32 // per path; len = Len()+1
+	capture  []int32
+	arrival  []float64
+	slack    []float64
+}
+
+// NewPathStore returns an empty store, optionally pre-sized for n paths of
+// roughly depth d.
+func NewPathStore(n, d int) *PathStore {
+	ps := &PathStore{}
+	if n > 0 {
+		ps.cellOff = make([]uint32, 1, n+1)
+		ps.capture = make([]int32, 0, n)
+		ps.arrival = make([]float64, 0, n)
+		ps.slack = make([]float64, 0, n)
+		ps.cellData = make([]byte, 0, n*(4+2*d))
+	} else {
+		ps.cellOff = append(ps.cellOff, 0)
+	}
+	return ps
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Append encodes one path into the slab. The *Path is not retained.
+func (ps *PathStore) Append(p *Path) error {
+	if len(ps.cellData) > (1<<32)-1-64*len(p.Cells) {
+		return fmt.Errorf("pba: path store cell slab exceeds uint32 offsets (%d bytes)", len(ps.cellData))
+	}
+	prev := int64(0)
+	for i, c := range p.Cells {
+		v := int64(c)
+		if i == 0 {
+			ps.cellData = binary.AppendUvarint(ps.cellData, zigzag(v))
+		} else {
+			ps.cellData = binary.AppendUvarint(ps.cellData, zigzag(v-prev))
+		}
+		prev = v
+	}
+	ps.cellOff = append(ps.cellOff, uint32(len(ps.cellData)))
+	ps.capture = append(ps.capture, int32(p.Capture))
+	ps.arrival = append(ps.arrival, p.GBAArrival)
+	ps.slack = append(ps.slack, p.GBASlack)
+	return nil
+}
+
+// Len returns the number of stored paths.
+func (ps *PathStore) Len() int { return len(ps.capture) }
+
+// Capture returns the capture FF instance ID of path i.
+func (ps *PathStore) Capture(i int) int { return int(ps.capture[i]) }
+
+// GBAArrival returns the GBA arrival of path i.
+func (ps *PathStore) GBAArrival(i int) float64 { return ps.arrival[i] }
+
+// GBASlack returns the GBA slack of path i.
+func (ps *PathStore) GBASlack(i int) float64 { return ps.slack[i] }
+
+// AppendCells decodes path i's cell IDs (launch FF first) into dst.
+func (ps *PathStore) AppendCells(dst []int, i int) []int {
+	data := ps.cellData[ps.cellOff[i]:ps.cellOff[i+1]]
+	prev := int64(0)
+	for pos := 0; pos < len(data); {
+		u, n := binary.Uvarint(data[pos:])
+		pos += n
+		prev += unzigzag(u)
+		dst = append(dst, int(prev))
+	}
+	return dst
+}
+
+// PathInto decodes path i into buf, reusing buf.Cells' capacity, and
+// returns buf. The decoded path is bit-identical to the appended one.
+func (ps *PathStore) PathInto(buf *Path, i int) *Path {
+	buf.Cells = ps.AppendCells(buf.Cells[:0], i)
+	buf.Launch = buf.Cells[0]
+	buf.Capture = int(ps.capture[i])
+	buf.GBAArrival = ps.arrival[i]
+	buf.GBASlack = ps.slack[i]
+	return buf
+}
+
+// PathAt materializes path i as a fresh *Path.
+func (ps *PathStore) PathAt(i int) *Path {
+	return ps.PathInto(&Path{}, i)
+}
+
+// SizeBytes returns the retained byte footprint of the slabs (capacities,
+// not lengths — what the heap actually holds).
+func (ps *PathStore) SizeBytes() int64 {
+	return int64(cap(ps.cellData)) + 4*int64(cap(ps.cellOff)) + 4*int64(cap(ps.capture)) +
+		8*int64(cap(ps.arrival)) + 8*int64(cap(ps.slack))
+}

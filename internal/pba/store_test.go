@@ -1,0 +1,87 @@
+package pba_test
+
+import (
+	"testing"
+
+	"mgba/internal/gen"
+	"mgba/internal/graph"
+	"mgba/internal/pba"
+	"mgba/internal/sta"
+)
+
+// Every enumerated path must round-trip through the slab store bit-exactly:
+// cell order, launch/capture and the GBA floats.
+func TestPathStoreRoundTrip(t *testing.T) {
+	d, err := gen.Generate(gen.Toy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sta.Analyze(g, sta.DefaultConfig())
+	a := pba.NewAnalyzer(r)
+
+	ps := pba.NewPathStore(0, 0)
+	var orig []*pba.Path
+	for _, fi := range a.EndpointIndices() {
+		for _, p := range a.KWorst(fi, 10, nil) {
+			if err := ps.Append(p); err != nil {
+				t.Fatal(err)
+			}
+			orig = append(orig, p)
+		}
+	}
+	if ps.Len() != len(orig) {
+		t.Fatalf("store holds %d paths, appended %d", ps.Len(), len(orig))
+	}
+	var buf pba.Path
+	for i, want := range orig {
+		got := ps.PathInto(&buf, i)
+		if got.Launch != want.Launch || got.Capture != want.Capture {
+			t.Fatalf("path %d: launch/capture %d/%d, want %d/%d",
+				i, got.Launch, got.Capture, want.Launch, want.Capture)
+		}
+		if got.GBAArrival != want.GBAArrival || got.GBASlack != want.GBASlack {
+			t.Fatalf("path %d: floats differ", i)
+		}
+		if len(got.Cells) != len(want.Cells) {
+			t.Fatalf("path %d: %d cells, want %d", i, len(got.Cells), len(want.Cells))
+		}
+		for j := range got.Cells {
+			if got.Cells[j] != want.Cells[j] {
+				t.Fatalf("path %d cell %d: %d, want %d", i, j, got.Cells[j], want.Cells[j])
+			}
+		}
+		fresh := ps.PathAt(i)
+		if fresh.Launch != want.Launch || len(fresh.Cells) != len(want.Cells) {
+			t.Fatalf("path %d: PathAt disagrees with PathInto", i)
+		}
+	}
+	if ps.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes not positive")
+	}
+}
+
+func TestPathStoreNegativeDeltas(t *testing.T) {
+	// Descending and mixed cell IDs must survive the zigzag delta coding.
+	ps := pba.NewPathStore(2, 4)
+	p1 := &pba.Path{Launch: 900, Capture: 7, Cells: []int{900, 3, 850, 4}, GBAArrival: 1.5, GBASlack: -0.25}
+	p2 := &pba.Path{Launch: 0, Capture: 1, Cells: []int{0}, GBAArrival: 0, GBASlack: 0}
+	if err := ps.Append(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Append(p2); err != nil {
+		t.Fatal(err)
+	}
+	got := ps.PathAt(0)
+	for j, c := range p1.Cells {
+		if got.Cells[j] != c {
+			t.Fatalf("cell %d: %d, want %d", j, got.Cells[j], c)
+		}
+	}
+	if got2 := ps.PathAt(1); got2.Launch != 0 || len(got2.Cells) != 1 {
+		t.Fatalf("single-cell path mangled: %+v", got2)
+	}
+}

@@ -115,6 +115,16 @@ func NewBuilder(cols int) *Builder {
 	return &Builder{cols: cols, rowPtr: []int{0}}
 }
 
+// EnsureCols widens the builder's column space to at least cols; existing
+// rows are untouched. Streaming assembly discovers columns shard by shard,
+// so the final count is not known when the builder is created. Shrinking
+// is a silent no-op, mirroring Matrix.GrowCols' grow-only contract.
+func (b *Builder) EnsureCols(cols int) {
+	if cols > b.cols {
+		b.cols = cols
+	}
+}
+
 // AddRow appends one row given parallel index/value slices. Indices may be
 // unordered and may repeat; repeated indices are summed (a gate appearing
 // twice on a reconvergent path contributes twice). It returns an error for

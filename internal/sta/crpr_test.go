@@ -32,7 +32,7 @@ func TestGBACRPRIsConservative(t *testing.T) {
 	ci := g.ClockIndex()
 	checked := 0
 	for fi, ffID := range g.D.FFs {
-		if len(g.Fanin[ffID]) == 0 {
+		if len(g.Fanin(ffID)) == 0 {
 			continue
 		}
 		for lj := range g.D.FFs {
@@ -80,7 +80,7 @@ func TestGBACRPRImprovesSlack(t *testing.T) {
 	// folded into required.
 	d := g.D
 	for fi, ffID := range d.FFs {
-		if len(g.Fanin[ffID]) == 0 {
+		if len(g.Fanin(ffID)) == 0 {
 			continue
 		}
 		ff := d.Instances[ffID]

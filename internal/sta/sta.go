@@ -78,7 +78,7 @@ func TunePeriod(g *graph.Graph, cfg Config, violateFrac, maxViolDepth float64) (
 	defer r.Release()
 	var needs []float64
 	for fi, ffID := range d.FFs {
-		if len(g.Fanin[ffID]) == 0 {
+		if len(g.Fanin(ffID)) == 0 {
 			continue
 		}
 		ff := d.Instances[ffID]

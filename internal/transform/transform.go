@@ -191,10 +191,10 @@ func WorstPath(a *Analysis, fi int) []int {
 
 func worstFanin(a *Analysis, v int) (int, bool) {
 	best, bestAt := -1, math.Inf(-1)
-	for _, e := range a.G.Fanin[v] {
+	for _, e := range a.G.Fanin(v) {
 		at := a.R.ArrivalOut[e.From] + a.R.WireDelay[e.From]
 		if at > bestAt {
-			best, bestAt = e.From, at
+			best, bestAt = int(e.From), at
 		}
 	}
 	return best, best >= 0

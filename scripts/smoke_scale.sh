@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Smoke-test the scale layer end to end on the 100k-gate design:
+#
+#   1. the MGBA_SCALE-gated tests — the closure smoke (generate, cold
+#      calibrate, ten transforms with a mid-flow recalibration) and the
+#      streamed-vs-materialized bit-identity check at 100k — under a hard
+#      wall-clock ceiling;
+#   2. the benchscale artifact: experiments -run benchscale -json must
+#      write a non-empty BENCH_scale.json (quick mode keeps CI fast; the
+#      full 100k measurement runs locally with MGBA_SCALE_FULL=1).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+timeout="${MGBA_SCALE_TIMEOUT:-10m}"
+
+MGBA_SCALE=1 go test -timeout "$timeout" -run \
+    'TestScaleSmoke100k|TestStreamedColdBitIdenticalLarge' \
+    ./internal/closure/ ./internal/core/ -v
+
+quick="-quick"
+if [ -n "${MGBA_SCALE_FULL:-}" ]; then
+    quick=""
+fi
+rm -f BENCH_scale.json
+go run ./cmd/experiments -run benchscale $quick -json -q
+test -s BENCH_scale.json
+echo "smoke_scale: OK"
