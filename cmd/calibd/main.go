@@ -44,16 +44,22 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
 	par := flag.Int("par", 0, "worker count for timing and solver kernels (0: GOMAXPROCS)")
 	viewpair := flag.String("viewpair", "", "default view pair for new sessions: gba-pba (default) or preroute; a session's view_pair field overrides")
+	corners := flag.String("corners", "", "default corner set for new sessions: name[:derate-scale[:uncertainty-ps]],... (empty: single-corner); a session's corners field overrides")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/summary on this host:port")
 	flag.Parse()
 
 	if _, err := core.LookupViewPair(*viewpair); err != nil {
 		fail(err)
 	}
+	cornerSet, err := core.ParseCorners(*corners)
+	if err != nil {
+		fail(err)
+	}
 
 	cfg := serve.DefaultConfig()
 	cfg.SnapshotDir = *snapshots
 	cfg.Core.ViewPair = *viewpair
+	cfg.Core.Corners = cornerSet
 	if *maxSessions > 0 {
 		cfg.MaxSessions = *maxSessions
 	}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"mgba/internal/closure"
+	"mgba/internal/core"
 	"mgba/internal/fixtures"
 	"mgba/internal/gen"
 	"mgba/internal/netlist"
@@ -50,6 +51,7 @@ func main() {
 	resume := flag.String("resume", "", "resume an interrupted run from this checkpoint file (requires -timer gba or mgba)")
 	coldcal := flag.Bool("coldcal", false, "mgba: full cold calibration at every recalibration point instead of the incremental calibrator (ablation; bit-identical results, just slower)")
 	viewpair := flag.String("viewpair", "", "mgba: view pair to calibrate against: gba-pba (default) or preroute (cross-stage: corrections fitted to a deterministically routed twin)")
+	corners := flag.String("corners", "", "mgba: multi-corner set, name[:derate-scale[:uncertainty-ps]],... e.g. typ,slow:1.15:10; repairs are scheduled on the merged worst-corner slack and no accepted move may regress a corner")
 	par := flag.Int("par", 0, "worker count for timing propagation, path enumeration and solver kernels (0: GOMAXPROCS, 1: serial; the result is identical at every setting)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -100,8 +102,14 @@ func main() {
 		defer cancel()
 	}
 
+	cornerSet, err := core.ParseCorners(*corners)
+	if err != nil {
+		fail(err)
+	}
+
 	applyRegistry := func(opt *closure.Options) {
 		opt.Core.ViewPair = *viewpair
+		opt.Core.Corners = cornerSet
 		opt.Transforms = parseTransforms(*transforms)
 		opt.Scheduler = *scheduler
 		opt.RetimeMaxLag = *retimeLag
@@ -203,6 +211,12 @@ func printRows(title string, rows []row) {
 			res.CalibElapsed.Round(time.Millisecond).String())
 	}
 	t.AddNote("signoff numbers are PBA-measured; a less pessimistic timer needs fewer fixes")
+	for _, r := range rows {
+		for _, cq := range r.res.Corners {
+			t.AddNote("%s corner %s: WNS %s ps, TNS %s ps",
+				r.kind, cq.Name, report.F(cq.WNS, 1), report.F(cq.TNS, 1))
+		}
+	}
 	for _, r := range rows {
 		if r.res.DegradedCalibrations > 0 {
 			t.AddNote("%s: %d of %d calibrations degraded down the solver ladder",

@@ -58,6 +58,7 @@ func main() {
 		"benchcalibd":  "BENCH_calibd.json",
 		"benchxstage":  "BENCH_xstage.json",
 		"benchscale":   "BENCH_scale.json",
+		"benchmcmm":    "BENCH_mcmm.json",
 	}
 	if *jsonOut {
 		for name, path := range benchArtifacts {
@@ -222,8 +223,18 @@ func main() {
 			writeJSON("BENCH_scale.json", res)
 		}
 	}
+	if want["benchmcmm"] { // deliberately not part of 'all': pure timing
+		t, res, err := expt.BenchMCMM(env)
+		if err != nil {
+			fail(err)
+		}
+		emit("benchmcmm", t)
+		if *jsonOut {
+			writeJSON("BENCH_mcmm.json", res)
+		}
+	}
 	if ran == 0 {
-		fail(fmt.Errorf("nothing matched -run=%q; artifacts: table1 fig2 sec32 fig3 fig4 table2 table3 table4 table4x table5 bench benchsolver benchclosure benchcalibd benchxstage benchscale all", *runList))
+		fail(fmt.Errorf("nothing matched -run=%q; artifacts: table1 fig2 sec32 fig3 fig4 table2 table3 table4 table4x table5 bench benchsolver benchclosure benchcalibd benchxstage benchscale benchmcmm all", *runList))
 	}
 }
 

@@ -32,6 +32,8 @@ func main() {
 	method := flag.String("method", "scgrs", "solver: gd, scg, scgrs, full")
 	k := flag.Int("k", 20, "k': worst paths selected per endpoint")
 	viewpair := flag.String("viewpair", "", "view pair to calibrate: gba-pba (default) or preroute (cross-stage: pre-route analysis corrected against a deterministically routed twin; implies strict Eq. (5) enforcement)")
+	corners := flag.String("corners", "", "multi-corner set, name[:derate-scale[:uncertainty-ps]],... e.g. typ,slow:1.15:10; paths are enumerated once on the first corner and every corner is fitted (empty: single-corner)")
+	jointfit := flag.Bool("jointfit", false, "solve all corners as one stacked system sharing the sparsity pattern instead of independent per-corner fits")
 	seed := flag.Uint64("seed", 0, "override the design seed (0 keeps the preset)")
 	epsilon := flag.Float64("epsilon", 0.02, "optimism tolerance of Eq. (5)")
 	saveFile := flag.String("save", "", "write the generated design as JSON to this file (atomic)")
@@ -113,6 +115,10 @@ func main() {
 	opt.K = *k
 	opt.Epsilon = *epsilon
 	opt.ViewPair = *viewpair
+	if opt.Corners, err = core.ParseCorners(*corners); err != nil {
+		fail(err)
+	}
+	opt.JointFit = *jointfit
 	switch strings.ToLower(*method) {
 	case "gd":
 		opt.Method = core.MethodGD
@@ -162,6 +168,22 @@ func main() {
 	t.AddNote("solver: %d iterations over %d rows in %v", m.Stats.Iters, m.Stats.RowsUsed, m.Stats.Elapsed)
 	t.AddNote("correction sparsity: %s%% of entries within [-0.01, 0.01]", report.Pct(m.SparsityFraction(0.01), 1))
 	fmt.Print(t.String())
+	if len(m.Corners) > 0 {
+		fit := "independent fits"
+		if opt.JointFit {
+			fit = "joint fit"
+		}
+		fmt.Printf("corners (%d, %s): merged worst WNS %.1f ps, TNS %.1f ps\n",
+			len(m.Corners), fit, m.WorstWNS, m.WorstTNS)
+		for _, cf := range m.Corners {
+			cm, err := cf.Evaluate("mgba", opt.Epsilon)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("  %-12s WNS %9.1f ps  mse %.3e  optimistic paths %d\n",
+				cf.Spec.Name, cf.MGBA.WNS, cm.MSE, cm.Optimism)
+		}
+	}
 }
 
 func findConfig(name string) (gen.Config, error) {

@@ -134,6 +134,48 @@ type Set struct {
 	Early *Table
 }
 
+// Scale returns a derived corner table set with every derate margin
+// scaled by f: late factors become 1 + f*(v-1), early factors become
+// 1 - f*(1-v) (clamped to a small positive floor so clock paths keep a
+// meaningful early bound). f == 1 reproduces the input set exactly;
+// f > 1 models a more pessimistic corner, f in (0,1) a tighter one.
+// For f >= 0 the transform is affine in v, so the late/early
+// monotonicity properties of the source tables are preserved.
+func (s *Set) Scale(f float64) (*Set, error) {
+	if f < 0 {
+		return nil, fmt.Errorf("aocv: negative derate scale %v", f)
+	}
+	scaleTable := func(t *Table, late bool) (*Table, error) {
+		values := make([][]float64, len(t.Values))
+		for di, row := range t.Values {
+			values[di] = make([]float64, len(row))
+			for de, v := range row {
+				var sv float64
+				if late {
+					sv = 1 + f*(v-1)
+				} else {
+					sv = 1 - f*(1-v)
+					if sv < 0.05 {
+						sv = 0.05
+					}
+				}
+				values[di][de] = sv
+			}
+		}
+		return NewTable(append([]float64(nil), t.Depths...),
+			append([]float64(nil), t.Distances...), values)
+	}
+	lt, err := scaleTable(s.Late, true)
+	if err != nil {
+		return nil, err
+	}
+	et, err := scaleTable(s.Early, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Set{Late: lt, Early: et}, nil
+}
+
 // sigma0 returns the single-stage relative variation for a node; smaller
 // nodes vary more, which is what makes GBA pessimism grow as nodes shrink.
 func sigma0(node int) float64 {

@@ -160,6 +160,10 @@ type Result struct {
 	// Robustness record.
 
 	Weights []float64 // final mGBA weights (nil for the GBA flow)
+	// Corners reports each extra corner's final timing in a multi-corner
+	// run (Options.Core.Corners, N>=2); nil otherwise. The selection
+	// corner is TimerWNS/TimerTNS above.
+	Corners []CornerQoR
 	// Interrupted is true when the run was stopped by context cancellation
 	// or deadline; the Result is still a valid (partial) outcome.
 	Interrupted bool

@@ -61,6 +61,12 @@ type flow struct {
 	calStale bool
 	dirty    map[int]bool
 
+	// cviews holds the extra corners' live mGBA views of a multi-corner
+	// run (empty otherwise), kept in lockstep with r; mergedBuf is the
+	// reused worst-corner slack buffer (see corners.go).
+	cviews    []*cornerView
+	mergedBuf []float64
+
 	res        *Result
 	transforms int // transforms since the last recalibration
 
@@ -338,6 +344,7 @@ func (f *flow) refresh() error {
 		cfg.Weights = f.weights
 	}
 	f.retire(f.sess.Run(cfg))
+	f.refreshCorners(cfg.Weights)
 	return nil
 }
 
@@ -396,6 +403,7 @@ func (f *flow) calibrate() error {
 	}
 	f.weights = model.Weights
 	f.retire(model.MGBA)
+	f.adoptCorners(model)
 	// The calibration's baseline GBA stays with the calibrator, which
 	// advances it incrementally across recalibrations; the flow must not
 	// release it.
@@ -455,7 +463,7 @@ func (f *flow) fixViolations() error {
 		if f.stopped() {
 			return nil
 		}
-		fi := f.sched.Next(f.r.Slack, skip)
+		fi := f.sched.Next(f.mergedSlack(), skip)
 		if fi < 0 {
 			break // timing closed (or every violator exhausted)
 		}
@@ -507,7 +515,8 @@ func (f *flow) validateViolators() int {
 
 func (f *flow) violatedCount() int {
 	n := 0
-	for _, s := range f.r.Slack {
+	// Merged worst-corner slack: an endpoint failing in any corner counts.
+	for _, s := range f.mergedSlack() {
 		if s < 0 {
 			n++
 		}
@@ -566,14 +575,17 @@ func (f *flow) tryCandidate(tr transform.Transform, fi int, c transform.Candidat
 	}
 	if !tr.ConnectivityChanging() {
 		mod := mv.DirtySet()
+		cwns := f.cornerWNS()
 		f.r.Update(mod)
-		if tr.Accept(before, f.snap(fi)) {
+		f.updateCorners(mod)
+		if tr.Accept(before, f.snap(fi)) && !f.cornersRegressed(cwns) {
 			f.noteDirty(mod)
 			return true, nil
 		}
 		f.noteReject(tr.Kind())
 		if rerr := mv.Revert(a); rerr == nil {
 			f.r.Update(mod)
+			f.updateCorners(mod)
 		} else {
 			// The design kept the trial cell: the gate is dirty after all.
 			f.noteDirty(mod)
@@ -591,10 +603,11 @@ func (f *flow) tryCandidate(tr transform.Transform, fi int, c transform.Candidat
 // dropping the calibrator, so the next mGBA calibration is cold — and
 // rebuild again if the move is rejected and reverted.
 func (f *flow) tryCold(tr transform.Transform, fi int, mv transform.Move, before transform.Snapshot) (bool, error) {
+	cwns := f.cornerWNS()
 	if err := f.refresh(); err != nil {
 		return false, err
 	}
-	if tr.Accept(before, f.snap(fi)) {
+	if tr.Accept(before, f.snap(fi)) && !f.cornersRegressed(cwns) {
 		return true, nil
 	}
 	f.noteReject(tr.Kind())
@@ -635,10 +648,18 @@ func (f *flow) tryStructural(tr transform.Transform, fi int, mv transform.Move, 
 	if fi >= 0 {
 		after.Slack = newR.Slack[fi]
 	}
-	if tr.Accept(before, after) {
+	cwns := f.cornerWNS()
+	newCViews := f.runCornersOn(newSess, cfg.Weights)
+	if tr.Accept(before, after) && !vetoedByCorners(cwns, newCViews) {
 		dirty := append([]int(nil), mv.DirtySet()...)
 		dirty = append(dirty, diffSessions(f.sess, newSess)...)
 		f.retire(nil)
+		for i, cv := range f.cviews {
+			// The old views belong to the superseded session; swap in the
+			// trial session's.
+			cv.r.Release()
+			cv.r = newCViews[i]
+		}
 		f.g, f.sess, f.r = g2, newSess, newR
 		if f.cal != nil {
 			f.calStale = true
@@ -648,6 +669,9 @@ func (f *flow) tryStructural(tr transform.Transform, fi int, mv transform.Move, 
 	}
 	f.noteReject(tr.Kind())
 	newR.Release()
+	for _, r := range newCViews {
+		r.Release()
+	}
 	if err := mv.Revert(f.analysis()); err != nil {
 		return false, err
 	}
@@ -685,6 +709,7 @@ func (f *flow) finish() {
 	if f.opt.Timer == TimerMGBA {
 		f.res.Weights = f.weights
 	}
+	f.res.Corners = f.cornerQoR()
 
 	f.res.SignoffWNS, f.res.SignoffTNS = signoff(f.sess, f.opt.STA)
 }

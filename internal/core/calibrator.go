@@ -52,6 +52,12 @@ type Calibrator struct {
 	cheap  CheapView
 	golden GoldenProvider
 
+	// corners holds the extra (non-selection) corners of a multi-corner
+	// calibration, each with its own bound view pair instances; empty for
+	// a single-corner calibrator. The calibrator's own cfg/cheap/golden
+	// are the selection corner (Options.Corners[0]).
+	corners []*cornerState
+
 	// Cache of the last healthy calibration; eps == nil means no cache.
 	gba      *sta.Result // cached baseline, advanced in place via Update
 	mgba     *sta.Result // private weighted re-analysis, advanced via Update
@@ -104,14 +110,48 @@ func newBoundCalibrator(s *engine.Session, cfg sta.Config, opt Options, oneShot 
 		// alone; force the exact enforcement the pair declares it needs.
 		opt.StrictSafety = true
 	}
+	// Derive every corner's analysis config once, up front: the scaled
+	// derate tables are pointer-stable for the calibrator's lifetime, so
+	// the engine's clock-state cache hits on every run of every corner.
+	var cornerCfgs []sta.Config
+	if len(opt.Corners) > 0 {
+		cornerCfgs = make([]sta.Config, len(opt.Corners))
+		for i, spec := range opt.Corners {
+			ccfg, err := cornerConfig(cfg, s.G.D, spec)
+			if err != nil {
+				return nil, err
+			}
+			cornerCfgs[i] = ccfg
+		}
+		// Corners[0] is the selection corner: the calibrator's own views
+		// run under it, so an N=1 set with the identity spec is the plain
+		// single-corner pipeline bit for bit.
+		cfg = cornerCfgs[0]
+		if len(opt.Corners) > 1 {
+			// With several corners the soft penalty cannot vouch for all of
+			// them; force the exact Eq. (5) enforcement on every fit.
+			opt.StrictSafety = true
+		}
+	}
 	cheap, golden, err := vp.Bind(s, cfg, opt)
 	if err != nil {
 		return nil, err
 	}
-	return &Calibrator{
+	c := &Calibrator{
 		sess: s, cfg: cfg, opt: opt, warm: opt.WarmWeights,
 		pair: vp, cheap: cheap, golden: golden, oneShot: oneShot,
-	}, nil
+	}
+	for i := 1; i < len(cornerCfgs); i++ {
+		ccheap, cgolden, err := vp.Bind(s, cornerCfgs[i], opt)
+		if err != nil {
+			return nil, err
+		}
+		c.corners = append(c.corners, &cornerState{
+			spec: opt.Corners[i], cfg: cornerCfgs[i],
+			cheap: ccheap, golden: cgolden, warm: opt.WarmWeights,
+		})
+	}
+	return c, nil
 }
 
 // Pair returns the name of the view pair the calibrator corrects
@@ -161,6 +201,16 @@ func (c *Calibrator) Rebind(s *engine.Session) error {
 		c.gba.Release()
 		c.gba = nil
 	}
+	for _, cs := range c.corners {
+		cs.cheap.Rebind(s)
+		if err := cs.golden.Rebind(s); err != nil {
+			return err
+		}
+		if cs.gba != nil {
+			cs.gba.Release()
+			cs.gba = nil
+		}
+	}
 	if !sameShape {
 		c.Invalidate()
 		return nil
@@ -171,6 +221,9 @@ func (c *Calibrator) Rebind(s *engine.Session) error {
 	if c.eps != nil {
 		obsCalibRebinds.Inc()
 		c.gba = c.cheap.Run()
+		for _, cs := range c.corners {
+			cs.gba = cs.cheap.Run()
+		}
 	}
 	return nil
 }
@@ -192,6 +245,10 @@ func (c *Calibrator) Invalidate() {
 	c.guards = nil
 	c.mat = nil
 	c.cols = nil
+	for _, cs := range c.corners {
+		cs.tgroups = nil
+		cs.flat = nil
+	}
 }
 
 // Calibrate runs a full cold calibration and (re)fills the cache.
@@ -209,6 +266,12 @@ func (c *Calibrator) cold(ctx context.Context, sel *pathsel.Selection) (*Model, 
 		// (callers were handed it inside now-superseded models); recycle
 		// its buffers before running a fresh analysis.
 		c.gba.Release()
+	}
+	for _, cs := range c.corners {
+		if cs.gba != nil {
+			cs.gba.Release()
+			cs.gba = nil
+		}
 	}
 	c.Invalidate()
 	c.stats.Cold++
@@ -247,6 +310,10 @@ func (c *Calibrator) cold(ctx context.Context, sel *pathsel.Selection) (*Model, 
 		spEnum.End()
 		// Nothing violates: mGBA degenerates to the cheap baseline.
 		m.MGBA = m.GBA
+		if c.multiCorner() {
+			c.degenerateCorners(m)
+			c.mergeWorst(m)
+		}
 		return c.finish(m), nil
 	}
 	timer, err := c.golden.Timer(m.GBA)
@@ -270,9 +337,22 @@ func (c *Calibrator) cold(ctx context.Context, sel *pathsel.Selection) (*Model, 
 	}
 	spAsm.End()
 	spSolve := sp.Child("solve")
-	if err := m.solve(ctx); err != nil {
-		spSolve.End()
-		return nil, err
+	if !(c.multiCorner() && c.opt.JointFit) {
+		// Under a joint fit the selection corner's rows are solved inside
+		// the stacked system instead of standalone.
+		if err := m.solve(ctx); err != nil {
+			spSolve.End()
+			return nil, err
+		}
+	}
+	if c.multiCorner() {
+		if err := c.calibrateCorners(ctx, m); err != nil {
+			spSolve.End()
+			if err == errCornersCancelled {
+				return c.finish(m.abandon("cancelled during golden retiming")), nil
+			}
+			return nil, err
+		}
 	}
 	spSolve.End()
 	spVal := sp.Child("validate")
@@ -280,11 +360,13 @@ func (c *Calibrator) cold(ctx context.Context, sel *pathsel.Selection) (*Model, 
 	wcfg.Weights = m.Weights
 	m.MGBA = c.sess.Run(wcfg)
 	spVal.End()
+	c.mergeWorst(m)
 	// Fill the cache only when the model is trustworthy and the selection
 	// is the plain endpoint-major concatenation (an mCap-truncated
 	// round-robin selection cannot be patched per endpoint).
 	if pop != nil && !m.Partial && m.Fault == "" && len(m.Selection.Paths) == pop.Total() {
 		c.fillCache(m, pop)
+		c.fillCornerCache()
 		if !c.oneShot {
 			c.mgba = m.MGBA.Clone()
 			c.mweights = append([]float64(nil), m.Weights...)
@@ -445,6 +527,10 @@ func (c *Calibrator) Recalibrate(ctx context.Context, dirty []int) (*Model, erro
 		// an empty matrix is not worth patching back to life.
 		m.MGBA = m.GBA
 		c.Invalidate()
+		if c.multiCorner() {
+			c.degenerateCorners(m)
+			c.mergeWorst(m)
+		}
 		return c.finish(m), nil
 	}
 	flatB := make([]float64, 0, total)
@@ -461,9 +547,35 @@ func (c *Calibrator) Recalibrate(ctx context.Context, dirty []int) (*Model, erro
 	}
 	spAsm.End()
 	spSolve := sp.Child("solve")
-	if err := m.solve(ctx); err != nil {
-		spSolve.End()
-		return nil, err
+	var cornerSystems []*cornerSystem
+	if c.multiCorner() {
+		var cerr error
+		cornerSystems, cerr = c.rebuildCornerSystems(ctx, m, slots, dirty)
+		switch cerr {
+		case nil:
+		case errCornerCold:
+			spSolve.End()
+			return c.cold(ctx, nil)
+		case errCornersCancelled:
+			spSolve.End()
+			c.Invalidate()
+			return c.finish(m.abandon("cancelled during golden retiming")), nil
+		default:
+			spSolve.End()
+			return nil, cerr
+		}
+	}
+	if !(c.multiCorner() && c.opt.JointFit) {
+		if err := m.solve(ctx); err != nil {
+			spSolve.End()
+			return nil, err
+		}
+	}
+	if c.multiCorner() {
+		if err := c.fitCorners(ctx, m, cornerSystems); err != nil {
+			spSolve.End()
+			return nil, err
+		}
 	}
 	spSolve.End()
 	spVal := sp.Child("validate")
@@ -490,6 +602,7 @@ func (c *Calibrator) Recalibrate(ctx context.Context, dirty []int) (*Model, erro
 	} else {
 		m.MGBA = c.sess.Run(wcfg)
 	}
+	c.mergeWorst(m)
 	if m.Partial || m.Fault != "" {
 		// A cut-short or faulted fit may have left the patched system in a
 		// state we cannot vouch for; force the next calibration cold.

@@ -106,6 +106,23 @@ type Options struct {
 	// MaxPaths round-robin truncation, so exceeding MaxPaths is an error.
 	StreamShard int
 
+	// Corners is the multi-corner (MCMM) corner set. Empty or length 1
+	// runs the single-corner pipeline (a one-element set applies that
+	// corner's derates and uncertainty to the analysis config and is
+	// otherwise bit-identical to the plain calibrator). With N >= 2
+	// corners, Corners[0] is the selection corner: its enumeration feeds
+	// every corner's Eq. (9) system, StrictSafety is forced on (the
+	// never-optimistic guard must hold per corner by construction), and
+	// the model grows per-corner fits plus a merged worst-corner slack
+	// view.
+	Corners []CornerSpec
+
+	// JointFit solves the N per-corner systems as one stacked fit sharing
+	// the sparsity pattern — a single weight vector that every corner's
+	// guard constrains — instead of N independent per-corner fits. Only
+	// meaningful with >= 2 corners.
+	JointFit bool
+
 	// StrictSafety enforces Eq. (5) exactly on the training selection by
 	// scaling the fitted correction back until no selected path is
 	// optimistic beyond the epsilon guard. The paper's soft penalty
@@ -163,6 +180,15 @@ type Model struct {
 	Stats      solver.Stats
 
 	MGBA *sta.Result // re-analysis with the fitted weights
+
+	// Corners holds the per-corner fits of a multi-corner calibration
+	// (Corners[0] mirrors the model's own selection-corner fit); nil in
+	// single-corner mode. WorstSlack is the merged worst-corner mGBA
+	// slack per endpoint — the view the closure flow drives transforms
+	// from — with WorstWNS/WorstTNS its negative-slack reduction.
+	Corners            []*CornerFit
+	WorstSlack         []float64
+	WorstWNS, WorstTNS float64
 
 	// cheap is the view the model's rows were decomposed by; assemble and
 	// the calibrator's row patching dispatch through it.
@@ -264,6 +290,9 @@ func validateOptions(cfg sta.Config, opt Options) error {
 	if _, err := LookupViewPair(opt.ViewPair); err != nil {
 		return err
 	}
+	if err := ValidateCorners(opt.Corners); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -284,6 +313,9 @@ func (m *Model) abandon(why string) *Model {
 	m.Correction = nil
 	m.Weights = identity(len(m.G.D.Instances))
 	m.MGBA = m.GBA
+	m.Corners = nil
+	m.WorstSlack = nil
+	m.WorstWNS, m.WorstTNS = 0, 0
 	m.Partial = true
 	m.Degraded = true
 	m.Fault = why

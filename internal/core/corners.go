@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mgba/internal/netlist"
+	"mgba/internal/sta"
+)
+
+// CornerSpec names one analysis corner of a multi-corner (MCMM)
+// calibration. A corner is the base analysis configuration with its own
+// AOCV derate tables — the design's tables margin-scaled by DerateScale —
+// and its own clock uncertainty. The zero transform (DerateScale 0 or 1,
+// Uncertainty 0) reproduces the base corner exactly, which is what pins
+// an N=1 corner set bit-identical to a plain single-corner calibration.
+//
+// The JSON tags are the calibd wire and snapshot format: a session
+// created with a corner set keeps it across snapshot/resume.
+type CornerSpec struct {
+	Name string `json:"name"`
+	// DerateScale scales the design's AOCV margins: late factors become
+	// 1 + f*(v-1), early factors 1 - f*(1-v). 0 and 1 both mean the
+	// design's own tables.
+	DerateScale float64 `json:"derate_scale,omitempty"`
+	// Uncertainty is the corner's clock uncertainty in ps, subtracted
+	// from every setup required time (cheap and golden view alike).
+	Uncertainty float64 `json:"uncertainty_ps,omitempty"`
+}
+
+func (cs CornerSpec) String() string {
+	if cs.Uncertainty != 0 {
+		return fmt.Sprintf("%s:%s:%s", cs.Name, trimFloat(cs.effectiveScale()), trimFloat(cs.Uncertainty))
+	}
+	if s := cs.effectiveScale(); s != 1 {
+		return fmt.Sprintf("%s:%s", cs.Name, trimFloat(s))
+	}
+	return cs.Name
+}
+
+// effectiveScale maps the "unset" zero value onto the identity scale.
+func (cs CornerSpec) effectiveScale() float64 {
+	if cs.DerateScale == 0 {
+		return 1
+	}
+	return cs.DerateScale
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ParseCorners decodes a -corners flag value: a comma-separated list of
+// name[:derate-scale[:uncertainty-ps]] entries, e.g.
+//
+//	typ,slow:1.15:10,fast:0.85
+//
+// An empty string yields a nil (single-corner) set.
+func ParseCorners(s string) ([]CornerSpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []CornerSpec
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		parts := strings.Split(f, ":")
+		if len(parts) > 3 {
+			return nil, fmt.Errorf("core: bad corner %q (want name[:scale[:uncertainty-ps]])", f)
+		}
+		spec := CornerSpec{Name: strings.TrimSpace(parts[0])}
+		if len(parts) > 1 {
+			v, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: bad corner derate scale %q: %v", parts[1], err)
+			}
+			spec.DerateScale = v
+		}
+		if len(parts) > 2 {
+			v, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: bad corner uncertainty %q: %v", parts[2], err)
+			}
+			spec.Uncertainty = v
+		}
+		out = append(out, spec)
+	}
+	if err := ValidateCorners(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FormatCorners is ParseCorners' inverse; ParseCorners(FormatCorners(s))
+// round-trips any valid set.
+func FormatCorners(specs []CornerSpec) string {
+	parts := make([]string, len(specs))
+	for i, cs := range specs {
+		parts[i] = cs.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// CornerNames lists the corner names in set order.
+func CornerNames(specs []CornerSpec) []string {
+	names := make([]string, len(specs))
+	for i, cs := range specs {
+		names[i] = cs.Name
+	}
+	return names
+}
+
+// ValidateCorners rejects corner sets the calibrator cannot run on:
+// empty or duplicate names, negative derate scales, negative
+// uncertainties. A nil/empty set is valid (single-corner calibration).
+func ValidateCorners(specs []CornerSpec) error {
+	seen := make(map[string]bool, len(specs))
+	for i, cs := range specs {
+		if strings.TrimSpace(cs.Name) == "" {
+			return fmt.Errorf("core: corner %d has no name", i)
+		}
+		if seen[cs.Name] {
+			return fmt.Errorf("core: duplicate corner name %q", cs.Name)
+		}
+		seen[cs.Name] = true
+		if cs.DerateScale < 0 {
+			return fmt.Errorf("core: corner %q has negative derate scale %v", cs.Name, cs.DerateScale)
+		}
+		if cs.Uncertainty < 0 {
+			return fmt.Errorf("core: corner %q has negative uncertainty %v", cs.Name, cs.Uncertainty)
+		}
+	}
+	return nil
+}
+
+// cornerConfig derives the per-corner analysis configuration from the
+// calibration's base config: the corner's scaled derate tables (built
+// once here, so the engine's pointer-keyed clock-state cache hits across
+// every run of the corner) and its clock uncertainty. The identity spec
+// returns the base config unchanged — bit-identical analyses.
+func cornerConfig(base sta.Config, d *netlist.Design, spec CornerSpec) (sta.Config, error) {
+	cfg := base
+	if f := spec.effectiveScale(); f != 1 {
+		src := cfg.Derates
+		if src == nil {
+			src = d.Derates
+		}
+		scaled, err := src.Scale(f)
+		if err != nil {
+			return cfg, fmt.Errorf("core: corner %q: %w", spec.Name, err)
+		}
+		cfg.Derates = scaled
+	}
+	cfg.Uncertainty += spec.Uncertainty
+	return cfg, nil
+}

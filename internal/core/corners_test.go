@@ -1,0 +1,115 @@
+package core_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mgba/internal/core"
+)
+
+func TestParseCorners(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []core.CornerSpec
+	}{
+		{"", nil},
+		{"   ", nil},
+		{"typ", []core.CornerSpec{{Name: "typ"}}},
+		{"typ,slow:1.15", []core.CornerSpec{{Name: "typ"}, {Name: "slow", DerateScale: 1.15}}},
+		{" typ , slow : 1.15 : 10 ", []core.CornerSpec{{Name: "typ"}, {Name: "slow", DerateScale: 1.15, Uncertainty: 10}}},
+		{"a:0.9:5,b:1.2", []core.CornerSpec{{Name: "a", DerateScale: 0.9, Uncertainty: 5}, {Name: "b", DerateScale: 1.2}}},
+	} {
+		got, err := core.ParseCorners(tc.in)
+		if err != nil {
+			t.Errorf("ParseCorners(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseCorners(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{
+		"slow:fast",   // non-numeric scale
+		"slow:1.1:x",  // non-numeric uncertainty
+		"slow:1:2:3",  // too many fields
+		"typ,typ",     // duplicate name
+		":1.1",        // empty name
+		"slow:-0.5",   // negative scale
+		"slow:1.1:-3", // negative uncertainty
+	} {
+		if _, err := core.ParseCorners(bad); err == nil {
+			t.Errorf("ParseCorners(%q) did not error", bad)
+		}
+	}
+}
+
+func TestFormatCornersRoundTrip(t *testing.T) {
+	sets := [][]core.CornerSpec{
+		{{Name: "typ"}},
+		{{Name: "typ"}, {Name: "slow", DerateScale: 1.15, Uncertainty: 10}},
+		{{Name: "fast", DerateScale: 0.85}, {Name: "hot", DerateScale: 1.3, Uncertainty: 20}},
+		// Uncertainty without an explicit scale forces the x:1:y form.
+		{{Name: "unc", Uncertainty: 7.5}},
+	}
+	for _, set := range sets {
+		s := core.FormatCorners(set)
+		back, err := core.ParseCorners(s)
+		if err != nil {
+			t.Fatalf("round-trip %q: %v", s, err)
+		}
+		if len(back) != len(set) {
+			t.Fatalf("round-trip %q: %d specs, want %d", s, len(back), len(set))
+		}
+		for i := range set {
+			if back[i].Name != set[i].Name ||
+				effectiveScale(back[i]) != effectiveScale(set[i]) ||
+				back[i].Uncertainty != set[i].Uncertainty {
+				t.Errorf("round-trip %q spec %d: %+v vs %+v", s, i, back[i], set[i])
+			}
+		}
+	}
+}
+
+// effectiveScale mirrors the spec's zero-means-identity scale handling
+// for the round-trip comparison (String() normalizes 0 to 1).
+func effectiveScale(cs core.CornerSpec) float64 {
+	if cs.DerateScale == 0 {
+		return 1
+	}
+	return cs.DerateScale
+}
+
+func TestValidateCorners(t *testing.T) {
+	if err := core.ValidateCorners(nil); err != nil {
+		t.Errorf("nil set must be valid: %v", err)
+	}
+	ok := []core.CornerSpec{{Name: "typ"}, {Name: "slow", DerateScale: 1.15, Uncertainty: 10}}
+	if err := core.ValidateCorners(ok); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		set  []core.CornerSpec
+		want string
+	}{
+		{[]core.CornerSpec{{Name: ""}}, "no name"},
+		{[]core.CornerSpec{{Name: "a"}, {Name: "a"}}, "duplicate"},
+		{[]core.CornerSpec{{Name: "a", DerateScale: -1}}, "negative derate"},
+		{[]core.CornerSpec{{Name: "a", Uncertainty: -1}}, "negative uncertainty"},
+	} {
+		err := core.ValidateCorners(tc.set)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ValidateCorners(%+v) = %v, want error containing %q", tc.set, err, tc.want)
+		}
+	}
+}
+
+func TestCornerNames(t *testing.T) {
+	set := []core.CornerSpec{{Name: "typ"}, {Name: "slow"}, {Name: "fast"}}
+	if got := core.CornerNames(set); !reflect.DeepEqual(got, []string{"typ", "slow", "fast"}) {
+		t.Errorf("CornerNames = %v (set order must be preserved)", got)
+	}
+	if got := core.CornerNames(nil); len(got) != 0 {
+		t.Errorf("CornerNames(nil) = %v", got)
+	}
+}

@@ -145,6 +145,14 @@ func calibGoldenDesign(t *testing.T, name string) *netlist.Design {
 
 func calibGoldenRunOne(t *testing.T, design string, par int) calibGoldenRun {
 	t.Helper()
+	return calibGoldenRunWith(t, design, par, core.DefaultOptions())
+}
+
+// calibGoldenRunWith runs the golden pipeline under explicit options, so
+// variants that must stay bit-identical to the default pipeline (the N=1
+// corner set) can be checked against the same committed file.
+func calibGoldenRunWith(t *testing.T, design string, par int, opt core.Options) calibGoldenRun {
+	t.Helper()
 	ctx := context.Background()
 	d := calibGoldenDesign(t, design)
 	g, err := graph.Build(d)
@@ -153,7 +161,6 @@ func calibGoldenRunOne(t *testing.T, design string, par int) calibGoldenRun {
 	}
 	cfg := sta.DefaultConfig()
 	cfg.Parallelism = par
-	opt := core.DefaultOptions()
 
 	cal, err := core.NewCalibrator(engine.NewSession(g), cfg, opt)
 	if err != nil {

@@ -44,6 +44,17 @@ func (c *Calibrator) coldStream(ctx context.Context, sp *obs.Span, m *Model) (*M
 	var targets, guards, goldenSlack []float64
 	retimed := 0
 	streamErr := pathsel.EnumerateStream(an, c.opt.K, c.opt.StreamShard, func(sh *pathsel.Shard) error {
+		// Reject a population over MaxPaths before burning golden retimes
+		// on a shard that can only end in the same error.
+		if c.opt.MaxPaths > 0 {
+			shardPaths := 0
+			for _, g := range sh.Groups {
+				shardPaths += len(g)
+			}
+			if bank.Total()+shardPaths > c.opt.MaxPaths {
+				return fmt.Errorf("core: streamed population exceeds MaxPaths (%d > %d); raise MaxPaths or lower K — streaming cannot reproduce the round-robin truncation", bank.Total()+shardPaths, c.opt.MaxPaths)
+			}
+		}
 		for _, g := range sh.Groups {
 			for _, p := range g {
 				if retimed%256 == 0 && cancelled(ctx) {
@@ -67,13 +78,7 @@ func (c *Calibrator) coldStream(ctx context.Context, sp *obs.Span, m *Model) (*M
 				goldenSlack = append(goldenSlack, tm.Slack)
 			}
 		}
-		if err := bank.AppendShard(sh); err != nil {
-			return err
-		}
-		if c.opt.MaxPaths > 0 && bank.Total() > c.opt.MaxPaths {
-			return fmt.Errorf("core: streamed population exceeds MaxPaths (%d > %d); raise MaxPaths or lower K — streaming cannot reproduce the round-robin truncation", bank.Total(), c.opt.MaxPaths)
-		}
-		return nil
+		return bank.AppendShard(sh)
 	})
 	spEnum.End()
 	if errors.Is(streamErr, errStreamCancelled) {
@@ -86,6 +91,10 @@ func (c *Calibrator) coldStream(ctx context.Context, sp *obs.Span, m *Model) (*M
 	if bank.Total() == 0 {
 		// Nothing violates: mGBA degenerates to the cheap baseline.
 		m.MGBA = m.GBA
+		if c.multiCorner() {
+			c.degenerateCorners(m)
+			c.mergeWorst(m)
+		}
 		return c.finish(m), nil
 	}
 	m.Bank = bank
@@ -101,9 +110,22 @@ func (c *Calibrator) coldStream(ctx context.Context, sp *obs.Span, m *Model) (*M
 	}
 	spAsm.End()
 	spSolve := sp.Child("solve")
-	if err := m.solve(ctx); err != nil {
-		spSolve.End()
-		return nil, err
+	if !(c.multiCorner() && c.opt.JointFit) {
+		if err := m.solve(ctx); err != nil {
+			spSolve.End()
+			return nil, err
+		}
+	}
+	if c.multiCorner() {
+		// The extra corners re-retime the banked selection — decoded path
+		// by path, never re-materialized — through their own golden views.
+		if err := c.calibrateCorners(ctx, m); err != nil {
+			spSolve.End()
+			if err == errCornersCancelled {
+				return c.finish(m.abandon("cancelled during golden retiming")), nil
+			}
+			return nil, err
+		}
 	}
 	spSolve.End()
 	spVal := sp.Child("validate")
@@ -111,5 +133,6 @@ func (c *Calibrator) coldStream(ctx context.Context, sp *obs.Span, m *Model) (*M
 	wcfg.Weights = m.Weights
 	m.MGBA = c.sess.Run(wcfg)
 	spVal.End()
+	c.mergeWorst(m)
 	return c.finish(m), nil
 }

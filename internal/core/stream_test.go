@@ -178,6 +178,32 @@ func TestStreamedMaxPathsError(t *testing.T) {
 	}
 }
 
+// TestStreamedMaxPathsBoundary pins the early cap check's edge: a cap
+// exactly at the population streams fine, one below fails — and fails
+// before any shard is retimed, so the error must mention the cap.
+func TestStreamedMaxPathsBoundary(t *testing.T) {
+	g, cfg := streamEquivDesign(t, 700, 90)
+	ctx := context.Background()
+	opt := core.DefaultOptions()
+	opt.StreamShard = 8
+	m, err := core.Calibrate(ctx, g, cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := m.Bank.Total()
+	if total == 0 {
+		t.Fatal("design banked no paths; boundary not exercised")
+	}
+	opt.MaxPaths = total
+	if _, err := core.Calibrate(ctx, g, cfg, opt); err != nil {
+		t.Fatalf("MaxPaths == population must stream: %v", err)
+	}
+	opt.MaxPaths = total - 1
+	if _, err := core.Calibrate(ctx, g, cfg, opt); err == nil {
+		t.Fatal("MaxPaths one below the population did not error")
+	}
+}
+
 // TestStreamedRecalibrateRunsCold verifies the cache contract: a streamed
 // cold leaves the incremental cache empty, so Recalibrate re-runs the
 // (streamed) cold pipeline and still matches a materialized cold of the

@@ -28,6 +28,7 @@
 package engine
 
 import (
+	"mgba/internal/aocv"
 	"mgba/internal/graph"
 	"mgba/internal/par"
 )
@@ -52,6 +53,17 @@ type Config struct {
 	// IdealClock treats every clock buffer as zero-delay, removing clock
 	// insertion and CRPR effects entirely.
 	IdealClock bool
+
+	// Derates, when non-nil, replaces the design's AOCV table set for this
+	// run — the per-corner binding of multi-corner analysis. nil keeps the
+	// design's own tables (bit-identical to an analysis before this knob
+	// existed).
+	Derates *aocv.Set
+
+	// Uncertainty is the clock uncertainty of the analysis corner in ps,
+	// subtracted from the setup required time at every endpoint (and from
+	// the PBA retiming budget). Zero — the default — changes nothing.
+	Uncertainty float64
 
 	// Parallelism is the worker count for level-parallel propagation:
 	// 0 means runtime.NumCPU(), 1 runs fully sequential. Results are

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"mgba/internal/aocv"
 	"mgba/internal/graph"
 	"mgba/internal/obs"
 )
@@ -123,14 +124,22 @@ func (r *Result) weight(v int) float64 {
 	return r.Cfg.Weights[v]
 }
 
+// derates resolves the AOCV table set this run analyzes under: the
+// config's corner binding when set, the design's own tables otherwise.
+func (r *Result) derates() *aocv.Set {
+	if r.Cfg.Derates != nil {
+		return r.Cfg.Derates
+	}
+	return r.G.D.Derates
+}
+
 // lateDerate returns the conservative late AOCV factor GBA applies to the
 // data cell v.
 func (r *Result) lateDerate(v int) float64 {
 	if !r.Cfg.DerateData {
 		return 1
 	}
-	d := r.G.D
-	return d.Derates.Late.Lookup(float64(r.Depths.GBA[v]), r.Boxes.GBADistance[v])
+	return r.derates().Late.Lookup(float64(r.Depths.GBA[v]), r.Boxes.GBADistance[v])
 }
 
 // CRPRCredit returns the exact clock-reconvergence pessimism credit for a
@@ -277,7 +286,7 @@ func (r *Result) collectEndpointArrivals() {
 func (r *Result) endpointRequired(fi int) float64 {
 	d := r.G.D
 	ff := d.Instances[d.FFs[fi]]
-	return d.ClockPeriod + r.ClockEarly[fi] - ff.Cell.Setup + r.GBACRPR[fi]
+	return d.ClockPeriod + r.ClockEarly[fi] - ff.Cell.Setup + r.GBACRPR[fi] - r.Cfg.Uncertainty
 }
 
 // endpointSlacks derives setup and hold slacks, WNS and TNS. The WNS/TNS

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"mgba/internal/aocv"
 	"mgba/internal/graph"
 	"mgba/internal/netlist"
 	"mgba/internal/obs"
@@ -47,9 +48,13 @@ type Session struct {
 
 // clockKey identifies the clock-dependent immutable state: clock insertion
 // delays and CRPR credits depend only on whether the clock tree is derated
-// or idealized, never on data-path settings or weights.
+// or idealized and on which AOCV table set the run binds (per-corner
+// analyses carry their own), never on data-path settings or weights. The
+// derate set is resolved (nil config → the design's tables) before keying,
+// so every default-corner run shares one cache entry.
 type clockKey struct {
 	derate, ideal bool
+	derates       *aocv.Set
 }
 
 // clockState is the clock-derived immutable state for one clock
@@ -133,7 +138,11 @@ func (s *Session) levelize() {
 // clockState returns (building and caching on first use) the clock-derived
 // state for the run configuration.
 func (s *Session) clockState(cfg Config) *clockState {
-	key := clockKey{derate: cfg.DerateClock, ideal: cfg.IdealClock}
+	derates := cfg.Derates
+	if derates == nil {
+		derates = s.G.D.Derates
+	}
+	key := clockKey{derate: cfg.DerateClock, ideal: cfg.IdealClock, derates: derates}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if cs, ok := s.clocks[key]; ok {
@@ -204,8 +213,8 @@ func (s *Session) buildClockState(key clockKey) *clockState {
 				if root != nil {
 					dist = netlist.Distance(root, d.Instances[id])
 				}
-				lateF = d.Derates.Late.Lookup(depth, dist)
-				earlyF = d.Derates.Early.Lookup(depth, dist)
+				lateF = key.derates.Late.Lookup(depth, dist)
+				earlyF = key.derates.Early.Lookup(depth, dist)
 			}
 			late += b.delay * lateF
 			early += b.delay * earlyF
@@ -214,7 +223,7 @@ func (s *Session) buildClockState(key clockKey) *clockState {
 		cs.clockEarly[fi] = early
 	}
 	if key.derate {
-		s.buildCredits(cs)
+		s.buildCredits(cs, key.derates)
 	}
 	return cs
 }
@@ -227,7 +236,7 @@ func (s *Session) buildClockState(key clockKey) *clockState {
 // double-counted spread. Precomputing the full matrix here is what lets
 // every later analysis — GBA endpoint credits, PBA per-pair retiming, the
 // whole closure loop — look credits up for free.
-func (s *Session) buildCredits(cs *clockState) {
+func (s *Session) buildCredits(cs *clockState, derates *aocv.Set) {
 	d := s.G.D
 	ci := s.G.ClockIndex()
 	nl := len(ci.Chains)
@@ -257,8 +266,8 @@ func (s *Session) buildCredits(cs *clockState) {
 			earlyDepth := float64(len(ci.Chains[leafC]))
 			var credit float64
 			for k := 0; k < common; k++ {
-				lateF := d.Derates.Late.Lookup(lateDepth, dists[k])
-				earlyF := d.Derates.Early.Lookup(earlyDepth, dists[k])
+				lateF := derates.Late.Lookup(lateDepth, dists[k])
+				earlyF := derates.Early.Lookup(earlyDepth, dists[k])
 				credit += delays[k] * (lateF - earlyF)
 			}
 			cs.credits[leafL][leafC] = credit

@@ -75,7 +75,7 @@ func (a *Analyzer) Session() *engine.Session { return a.R.S }
 func (a *Analyzer) Budget(captureIdx int) float64 {
 	d := a.R.G.D
 	ff := d.Instances[d.FFs[captureIdx]]
-	return d.ClockPeriod + a.R.ClockEarly[captureIdx] - ff.Cell.Setup
+	return d.ClockPeriod + a.R.ClockEarly[captureIdx] - ff.Cell.Setup - a.R.Cfg.Uncertainty
 }
 
 // Retime computes the exact PBA timing of p: the path-specific AOCV late
@@ -97,7 +97,11 @@ func (a *Analyzer) Retime(p *Path) *Timing {
 		if lookupDepth < 1 {
 			lookupDepth = 1 // direct FF-to-FF transfer
 		}
-		late = d.Derates.Late.Lookup(lookupDepth, dist)
+		derates := r.Cfg.Derates
+		if derates == nil {
+			derates = d.Derates
+		}
+		late = derates.Late.Lookup(lookupDepth, dist)
 	}
 
 	var cellSum, wireSum, slew float64

@@ -43,24 +43,30 @@ type createRequest struct {
 	// under; empty selects the server's configured default. Unknown names
 	// are rejected with 400 listing the registered pairs.
 	ViewPair string `json:"view_pair,omitempty"`
+	// Corners selects a multi-corner calibration: the session enumerates
+	// once on Corners[0] and fits every corner per batch. Empty keeps the
+	// server's configured (usually single-corner) set. Invalid sets are
+	// rejected with 400.
+	Corners []core.CornerSpec `json:"corners,omitempty"`
 }
 
 // sessionStatus is the session's externally visible state, returned by
 // create, status, batch and recalibrate.
 type sessionStatus struct {
-	ID         string  `json:"id"`
-	Source     string  `json:"source"`
-	ViewPair   string  `json:"view_pair"`
-	Instances  int     `json:"instances"`
-	Endpoints  int     `json:"endpoints"`
-	Calibrated bool    `json:"calibrated"`
-	Applied    int     `json:"applied_batches"`
-	WNS        float64 `json:"wns_ps"`
-	TNS        float64 `json:"tns_ps"`
-	Degraded   bool    `json:"degraded,omitempty"`
-	Partial    bool    `json:"partial,omitempty"`
-	Fault      string  `json:"fault,omitempty"`
-	Resumed    bool    `json:"resumed,omitempty"`
+	ID         string   `json:"id"`
+	Source     string   `json:"source"`
+	ViewPair   string   `json:"view_pair"`
+	Corners    []string `json:"corners,omitempty"` // multi-corner sessions only
+	Instances  int      `json:"instances"`
+	Endpoints  int      `json:"endpoints"`
+	Calibrated bool     `json:"calibrated"`
+	Applied    int      `json:"applied_batches"`
+	WNS        float64  `json:"wns_ps"`
+	TNS        float64  `json:"tns_ps"`
+	Degraded   bool     `json:"degraded,omitempty"`
+	Partial    bool     `json:"partial,omitempty"`
+	Fault      string   `json:"fault,omitempty"`
+	Resumed    bool     `json:"resumed,omitempty"`
 }
 
 type batchRequest struct {
@@ -233,6 +239,10 @@ func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if err := core.ValidateCorners(req.Corners); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	sv.mu.Lock()
 	_, exists := sv.sessions[req.ID]
 	sv.mu.Unlock()
@@ -249,6 +259,9 @@ func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	opt := sv.cfg.Core
 	if req.ViewPair != "" {
 		opt.ViewPair = req.ViewPair
+	}
+	if len(req.Corners) > 0 {
+		opt.Corners = req.Corners
 	}
 	s, err := newSession(req.ID, source, d, sv.cfg.STA, opt)
 	if err != nil {
@@ -427,6 +440,7 @@ func (sv *Server) statusLocked(s *session) sessionStatus {
 		ID:         s.id,
 		Source:     s.source,
 		ViewPair:   s.cal.Pair(),
+		Corners:    core.CornerNames(s.opt.Corners),
 		Instances:  len(s.d.Instances),
 		Endpoints:  len(s.slacks),
 		Calibrated: s.calibrated,

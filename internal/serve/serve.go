@@ -131,6 +131,11 @@ type Server struct {
 	mu       sync.Mutex
 	sessions map[string]*session
 	draining bool
+	// cornerGauges remembers every corner name a resident session ever
+	// published a gauge under, so a deleted session's gauge drops to zero
+	// instead of freezing at its last value (corner names are user-chosen,
+	// unlike the fixed view-pair registry). Guarded by mu.
+	cornerGauges map[string]bool
 
 	maintainStop chan struct{}
 	maintainDone chan struct{}
@@ -327,6 +332,28 @@ func (sv *Server) pairGaugesLocked() {
 	for _, name := range core.ViewPairNames() {
 		obs.NewGauge("serve.sessions.pair." + name).SetInt(counts[name])
 	}
+	sv.cornerGaugesLocked()
+}
+
+// cornerGaugesLocked refreshes the per-corner resident-session gauges
+// (serve.sessions.corner.<name>) for multi-corner sessions. Caller holds
+// sv.mu.
+func (sv *Server) cornerGaugesLocked() {
+	counts := make(map[string]int)
+	for _, s := range sv.sessions {
+		for _, name := range core.CornerNames(s.opt.Corners) {
+			counts[name]++
+		}
+	}
+	if sv.cornerGauges == nil {
+		sv.cornerGauges = make(map[string]bool)
+	}
+	for name := range counts {
+		sv.cornerGauges[name] = true
+	}
+	for name := range sv.cornerGauges {
+		obs.NewGauge("serve.sessions.corner." + name).SetInt(counts[name])
+	}
 }
 
 // lruLocked picks the least recently used session other than keep.
@@ -513,6 +540,15 @@ func (sv *Server) neverSnapshotted(s *session) bool {
 // so a rejected thundering herd does not come back as one.
 func (sv *Server) retryAfterHint() time.Duration {
 	base := sv.cfg.RetryAfter
+	if base <= 0 {
+		// New coerces the config, but a directly-constructed Server can
+		// carry a zero base; a fixed hint beats a modulo-by-zero panic.
+		return time.Second
+	}
 	seq := sv.reqSeq.Add(1)
-	return base/2 + time.Duration(seq*2654435761%int64(base))
+	// Mix in uint64: the int64 product overflows once seq passes ~3.49e9,
+	// and a negative remainder would advertise hints below base/2 (or a
+	// negative Retry-After, which reads as "retry now").
+	jitter := (uint64(seq) * 2654435761) % uint64(base)
+	return base/2 + time.Duration(jitter)
 }

@@ -5,10 +5,12 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -179,7 +181,7 @@ func TestSessionLifecycle(t *testing.T) {
 
 	var got sessionStatus
 	wantStatus(t, doJSON(t, "GET", ts.URL+"/v1/sessions/life", nil, &got), http.StatusOK)
-	if got != st {
+	if !reflect.DeepEqual(got, st) {
 		t.Fatalf("status drifted without writes: %+v vs %+v", got, st)
 	}
 
@@ -508,6 +510,40 @@ func TestRetryAfterHintJittered(t *testing.T) {
 	}
 	if len(seen) < 8 {
 		t.Fatalf("hints barely vary: %d distinct over 64 draws", len(seen))
+	}
+}
+
+// TestRetryAfterHintOverflowSeed seeds the jitter sequence just below the
+// point where the int64 product seq*2654435761 overflows, then draws
+// across it: every hint must stay in [base/2, 3*base/2). Before the
+// unsigned mix, the overflowed remainder went negative and the daemon
+// advertised sub-base/2 (even negative) Retry-After hints.
+func TestRetryAfterHintOverflowSeed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RetryAfter = 400 * time.Millisecond
+	sv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownServer(t, sv)
+	sv.reqSeq.Store(math.MaxInt64/2654435761 - 10)
+	lo, hi := cfg.RetryAfter/2, cfg.RetryAfter/2+cfg.RetryAfter
+	for i := 0; i < 1000; i++ {
+		if h := sv.retryAfterHint(); h < lo || h >= hi {
+			t.Fatalf("draw %d (seq %d): hint %v outside [%v, %v)", i, sv.reqSeq.Load(), h, lo, hi)
+		}
+	}
+}
+
+// TestRetryAfterHintZeroBase: a directly-constructed Server (no New, so
+// no config coercion) carries a zero RetryAfter; the hint must fall back
+// to a fixed second instead of a modulo-by-zero panic.
+func TestRetryAfterHintZeroBase(t *testing.T) {
+	sv := &Server{}
+	for i := 0; i < 3; i++ {
+		if h := sv.retryAfterHint(); h != time.Second {
+			t.Fatalf("zero-base hint = %v, want %v", h, time.Second)
+		}
 	}
 }
 

@@ -67,13 +67,14 @@ type session struct {
 // envelope; this records the serving counters and flags a resumed
 // session reports back to clients.
 type snapMeta struct {
-	Source     string `json:"source"`
-	ViewPair   string `json:"view_pair,omitempty"`
-	Applied    int    `json:"applied"`
-	Calibrated bool   `json:"calibrated"`
-	Degraded   bool   `json:"degraded,omitempty"`
-	Partial    bool   `json:"partial,omitempty"`
-	Fault      string `json:"fault,omitempty"`
+	Source     string            `json:"source"`
+	ViewPair   string            `json:"view_pair,omitempty"`
+	Corners    []core.CornerSpec `json:"corners,omitempty"`
+	Applied    int               `json:"applied"`
+	Calibrated bool              `json:"calibrated"`
+	Degraded   bool              `json:"degraded,omitempty"`
+	Partial    bool              `json:"partial,omitempty"`
+	Fault      string            `json:"fault,omitempty"`
 }
 
 // newSession binds a fresh calibration session to d. No calibration runs
@@ -109,11 +110,14 @@ func resumeSession(id string, c *netio.Checkpoint, cfg sta.Config, opt core.Opti
 	if source == "" {
 		source = c.Design.Name
 	}
-	// The pair is part of the session's identity: a resumed session must
-	// calibrate under the pair it was created with, even if the server's
-	// configured default changed across the restart.
+	// The pair and the corner set are part of the session's identity: a
+	// resumed session must calibrate exactly as the one it replaces, even
+	// if the server's configured defaults changed across the restart.
 	if meta.ViewPair != "" {
 		opt.ViewPair = meta.ViewPair
+	}
+	if len(meta.Corners) > 0 {
+		opt.Corners = meta.Corners
 	}
 	s, err := newSession(id, source, c.Design, cfg, opt)
 	if err != nil {
@@ -338,6 +342,7 @@ func (s *session) snapshotCheckpoint() (*netio.Checkpoint, error) {
 	blob, err := json.Marshal(&snapMeta{
 		Source:     s.source,
 		ViewPair:   s.cal.Pair(),
+		Corners:    s.opt.Corners,
 		Applied:    s.applied,
 		Calibrated: s.calibrated,
 		Degraded:   s.degraded,

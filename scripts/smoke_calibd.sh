@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Smoke-test the calibration daemon end to end, including crash recovery:
 # start calibd on a free port with a snapshot directory, create a session
-# on the toy design, apply a sizing batch, read the slacks, SIGTERM the
-# daemon (graceful drain + snapshot), restart it on the same snapshot
-# directory, and assert the resumed session serves byte-identical slacks.
+# on the toy design (plus a multi-corner one), apply sizing batches, read
+# the slacks, SIGTERM the daemon (graceful drain + snapshot), restart it
+# on the same snapshot directory, and assert the resumed sessions serve
+# byte-identical slacks and keep their corner sets.
 set -euo pipefail
 
 tmp=$(mktemp -d)
@@ -55,6 +56,28 @@ case "$batch" in
     ;;
 esac
 
+# A second session carrying a two-corner set: the corner set is part of
+# the session identity and must survive the snapshot/resume cycle below.
+mc=$(curl -fsS -X POST "http://$addr/v1/sessions" \
+    -d '{"id":"mc","design":"toy","corners":[{"name":"typ"},{"name":"slow","derate_scale":1.15,"uncertainty_ps":10}]}')
+case "$mc" in
+*'"calibrated":true'*) ;;
+*)
+    echo "smoke_calibd: multi-corner create did not calibrate: $mc" >&2
+    exit 1
+    ;;
+esac
+
+mcbatch=$(curl -fsS -X POST "http://$addr/v1/sessions/mc/batch" \
+    -d '{"ops":[{"op":"upsize","instance":225},{"op":"upsize","instance":226}]}')
+case "$mcbatch" in
+*'"applied":true'*) ;;
+*)
+    echo "smoke_calibd: multi-corner batch applied nothing: $mcbatch" >&2
+    exit 1
+    ;;
+esac
+
 before=$(curl -fsS "http://$addr/v1/sessions/smoke/slacks")
 case "$before" in
 *'"slacks_ps":['*) ;;
@@ -81,6 +104,15 @@ case "$status" in
     ;;
 esac
 
+mcstatus=$(curl -fsS "http://$addr/v1/sessions/mc")
+case "$mcstatus" in
+*'"corners":["typ","slow"]'*) ;;
+*)
+    echo "smoke_calibd: resumed session lost its corner set: $mcstatus" >&2
+    exit 1
+    ;;
+esac
+
 after=$(curl -fsS "http://$addr/v1/sessions/smoke/slacks")
 if [ "$before" != "$after" ]; then
     echo "smoke_calibd: resumed slacks differ from pre-restart slacks" >&2
@@ -90,9 +122,10 @@ if [ "$before" != "$after" ]; then
 fi
 
 curl -fsS -X DELETE "http://$addr/v1/sessions/smoke" >/dev/null
+curl -fsS -X DELETE "http://$addr/v1/sessions/mc" >/dev/null
 
 kill -TERM "$pid" 2>/dev/null || true
 wait "$pid" 2>/dev/null || true
 rm -rf "$tmp"
 
-echo "smoke_calibd: ok (resumed slacks byte-identical across restart)"
+echo "smoke_calibd: ok (resumed slacks byte-identical across restart; corner set preserved)"
